@@ -1,0 +1,253 @@
+// Benchmarks: one per experiment (the paper's tables and figures — see
+// DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured),
+// plus microbenchmarks of the simulator itself. The per-experiment benches
+// report the key measured statistics as benchmark metrics, so
+// `go test -bench=.` regenerates the evaluation.
+package fpc_test
+
+import (
+	"testing"
+
+	fpc "repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/frames"
+	"repro/internal/linker"
+	"repro/internal/mem"
+	"repro/internal/workload"
+	"repro/internal/xfer"
+)
+
+// benchExperiment runs one experiment per iteration and reports its key
+// values as metrics.
+func benchExperiment(b *testing.B, run func() (*experiments.Result, error), keys ...string) {
+	b.Helper()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if !last.Passed() {
+		for _, c := range last.Checks {
+			if !c.Pass {
+				b.Errorf("check failed: %s (got %s)", c.Claim, c.Got)
+			}
+		}
+	}
+	for _, k := range keys {
+		if v, ok := last.Values[k]; ok {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+// BenchmarkE1CallPathRefs — Figure 1 / §5.1: memory references per call
+// mechanism (EXTERNALCALL's four levels of indirection vs LOCALCALL vs
+// DIRECTCALL).
+func BenchmarkE1CallPathRefs(b *testing.B) {
+	benchExperiment(b, experiments.E1CallPathRefs, "ext_refs", "local_refs", "direct_refs")
+}
+
+// BenchmarkE2TableEncoding — §5 T1: nf vs ni+f space; the paper's n=3
+// example saves 34 bits.
+func BenchmarkE2TableEncoding(b *testing.B) {
+	benchExperiment(b, experiments.E2TableEncoding, "saved_n3", "crossover_n")
+}
+
+// BenchmarkE3InstrLengths — §5: share of one-byte instructions in the
+// compiled corpus (paper: about two-thirds on a large Mesa sample).
+func BenchmarkE3InstrLengths(b *testing.B) {
+	benchExperiment(b, experiments.E3InstrLengths, "one_byte_fraction")
+}
+
+// BenchmarkE4FrameHeap — Figure 2 / §5.3: 3-ref allocation, 4-ref free,
+// ~10% fragmentation with <20 geometric size classes.
+func BenchmarkE4FrameHeap(b *testing.B) {
+	benchExperiment(b, experiments.E4FrameHeap, "alloc_refs", "free_refs", "frag_20_classes")
+}
+
+// BenchmarkE5ReturnStack — §6: hit rate of the IFU return stack across
+// depths on synthetic traces and the compiled corpus.
+func BenchmarkE5ReturnStack(b *testing.B) {
+	benchExperiment(b, experiments.E5ReturnStack, "corpus_hit8", "trace_hit8")
+}
+
+// BenchmarkE6CallSpace — §6 D1: static space of LV vs DIRECTCALL vs
+// SHORTDIRECTCALL linkage (+30% at one call, SDCALL break-even, +50% at two).
+func BenchmarkE6CallSpace(b *testing.B) {
+	benchExperiment(b, experiments.E6CallSpace, "dcall_overhead_k1", "sdcall_overhead_k2", "measured_dcall_ratio")
+}
+
+// BenchmarkE7RegisterBanks — §7.1: bank overflow+underflow under 5% of
+// XFERs with 4 banks, ~1% with 8; 95% of frames under 80 bytes; effective
+// allocation speed ~0.8x.
+func BenchmarkE7RegisterBanks(b *testing.B) {
+	benchExperiment(b, experiments.E7RegisterBanks,
+		"trace_trouble4", "trace_trouble8", "frames_under_80B", "effective_alloc_speed")
+}
+
+// BenchmarkE8ArgPassing — §5.2 vs §7.2 / Figure 3: argument words moved
+// per call with stack stores vs bank renaming.
+func BenchmarkE8ArgPassing(b *testing.B) {
+	benchExperiment(b, experiments.E8ArgPassing, "arg_words_stack", "arg_words_banks")
+}
+
+// BenchmarkE9Tradeoffs — §8: cycles per call+return for I2/I3/I4 and the
+// headline 95%-at-jump-speed statistic.
+func BenchmarkE9Tradeoffs(b *testing.B) {
+	benchExperiment(b, experiments.E9Tradeoffs, "i2_cyc", "i3_cyc", "i4_cyc", "jump_fast_fraction")
+}
+
+// BenchmarkE10EarlyBinding — §6/§8: identical behaviour under both
+// linkages; early binding trades space for speed.
+func BenchmarkE10EarlyBinding(b *testing.B) {
+	benchExperiment(b, experiments.E10EarlyBinding, "speedup")
+}
+
+// BenchmarkE11CallDensity — §1: one call or return per ~10 instructions.
+func BenchmarkE11CallDensity(b *testing.B) {
+	benchExperiment(b, experiments.E11CallDensity, "instrs_per_transfer", "min_instrs_per_transfer")
+}
+
+// BenchmarkE12LocalReferenceShare — §7.3: local variables take half or
+// more of all data references; banks remove them from storage.
+func BenchmarkE12LocalReferenceShare(b *testing.B) {
+	benchExperiment(b, experiments.E12LocalReferenceShare, "local_share", "refs_removed")
+}
+
+// Ablation sweeps (design parameters the paper leaves open).
+
+// BenchmarkA1ReturnStackDepth sweeps the §6 return-stack depth.
+func BenchmarkA1ReturnStackDepth(b *testing.B) {
+	benchExperiment(b, experiments.A1ReturnStackDepth, "cycles_d0", "cycles_d8")
+}
+
+// BenchmarkA2BankCount sweeps the §7.1 register bank count.
+func BenchmarkA2BankCount(b *testing.B) {
+	benchExperiment(b, experiments.A2BankCount, "cycles_b0", "cycles_b9")
+}
+
+// BenchmarkA3BankWords sweeps the §7.1 bank size.
+func BenchmarkA3BankWords(b *testing.B) {
+	benchExperiment(b, experiments.A3BankWords, "hit_w16")
+}
+
+// BenchmarkA4FreeFrameStack sweeps the §7.1 free-frame stack capacity.
+func BenchmarkA4FreeFrameStack(b *testing.B) {
+	benchExperiment(b, experiments.A4FreeFrameStack, "cycles_f0", "cycles_f8")
+}
+
+// BenchmarkA5ImportSlotSorting measures the §5.1 hot-slot policy.
+func BenchmarkA5ImportSlotSorting(b *testing.B) {
+	benchExperiment(b, experiments.A5ImportSlotSorting, "bytes_saved")
+}
+
+// --- microbenchmarks of the implementation itself ---
+
+func buildFib(b *testing.B, early bool) *fpc.Program {
+	b.Helper()
+	p := workload.Fib(15)
+	prog, _, err := p.Build(linker.Options{EarlyBind: early})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+func benchMachine(b *testing.B, cfg fpc.Config, early bool) {
+	prog := buildFib(b, early)
+	m, err := fpc.NewMachine(prog, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var calls uint64
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Call(prog.Entry, 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mt := m.Metrics()
+	calls = mt.CallsAndReturns()
+	b.ReportMetric(float64(mt.Cycles)/float64(b.N), "simcycles/op")
+	b.ReportMetric(float64(calls)/float64(b.N), "simcalls/op")
+}
+
+// BenchmarkMachineI2Mesa times a whole fib(15) run under the §5 scheme.
+func BenchmarkMachineI2Mesa(b *testing.B) { benchMachine(b, fpc.ConfigMesa, false) }
+
+// BenchmarkMachineI3FastFetch adds the return stack and direct calls.
+func BenchmarkMachineI3FastFetch(b *testing.B) { benchMachine(b, fpc.ConfigFastFetch, true) }
+
+// BenchmarkMachineI4FastCalls is the full optimization stack.
+func BenchmarkMachineI4FastCalls(b *testing.B) { benchMachine(b, fpc.ConfigFastCalls, true) }
+
+// BenchmarkFrameHeap times the Figure 2 allocator's alloc/free pair.
+func BenchmarkFrameHeap(b *testing.B) {
+	m := mem.New()
+	h, err := frames.New(m, frames.Config{AVBase: 0x100, HeapBase: 0x200, HeapLimit: 0xF000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lf, err := h.Alloc(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Free(lf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXferModel times a call+return round trip through the I1
+// abstract model (goroutine hand-off per activation).
+func BenchmarkXferModel(b *testing.B) {
+	s := xfer.NewSystem()
+	defer s.Shutdown()
+	leaf := &xfer.ProcDesc{Name: "leaf", Code: func(fr *xfer.Frame, args []xfer.Value) []xfer.Value {
+		return args
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Call(leaf, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompile times the whole compiler pipeline on the corpus.
+func BenchmarkCompile(b *testing.B) {
+	p := workload.Queens(6)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Build(linker.Options{EarlyBind: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreterDispatch times raw simulated instruction dispatch.
+func BenchmarkInterpreterDispatch(b *testing.B) {
+	p := workload.Sieve(200)
+	prog, _, err := p.Build(linker.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.New(prog, core.ConfigMesa)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Call(prog.Entry); err != nil {
+			b.Fatal(err)
+		}
+	}
+	instrs = m.Metrics().Instructions
+	b.ReportMetric(float64(instrs)/float64(b.N), "siminstrs/op")
+}

@@ -1,0 +1,47 @@
+// Command fpcbench regenerates every experiment table of the reproduction
+// (the tables and quantitative claims of the paper's evaluation), printing
+// paper-vs-measured checks for each.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment by id (e.g. E7 or A2)")
+	ablations := flag.Bool("ablations", false, "also run the design-parameter ablation sweeps (A1-A5)")
+	flag.Parse()
+	results, err := experiments.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpcbench:", err)
+		os.Exit(1)
+	}
+	if *ablations || (*only != "" && (*only)[0] == 'A') {
+		abl, err := experiments.Ablations()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpcbench:", err)
+			os.Exit(1)
+		}
+		results = append(results, abl...)
+	}
+	failed := 0
+	for _, r := range results {
+		if *only != "" && r.ID != *only {
+			continue
+		}
+		fmt.Println(r)
+	}
+	for _, r := range results {
+		if !r.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "fpcbench: %d experiments with failing checks\n", failed)
+		os.Exit(1)
+	}
+}

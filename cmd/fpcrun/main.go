@@ -1,0 +1,138 @@
+// Command fpcrun compiles, links and runs programs in the reproduction's
+// source language on the simulated Mesa-like processor, printing the
+// results, the output record, and the control-transfer metrics.
+//
+// Usage:
+//
+//	fpcrun [-config mesa|fastfetch|fastcalls] [-early] [-entry M.p] [-args "1 2"] file.fpc...
+//
+// Each file provides one module; the entry point defaults to main.main
+// (or Module.main when a single file is given).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	fpc "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	configName := flag.String("config", "fastcalls", "machine configuration: mesa (I2), fastfetch (I3), fastcalls (I4)")
+	early := flag.Bool("early", false, "early-bind calls to DIRECTCALL/SHORTDIRECTCALL (§6)")
+	entry := flag.String("entry", "", "entry point as Module.proc (default <module>.main)")
+	argStr := flag.String("args", "", "space-separated integer arguments")
+	metrics := flag.Bool("metrics", true, "print transfer metrics")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: fpcrun [flags] file.fpc ...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	sources := map[string]string{}
+	firstModule := ""
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		// Honor the declared module name if present.
+		if i := strings.Index(string(data), "module "); i >= 0 {
+			rest := string(data)[i+7:]
+			if j := strings.IndexAny(rest, "; \n\t"); j > 0 {
+				name = strings.TrimSpace(rest[:j])
+			}
+		}
+		if firstModule == "" {
+			firstModule = name
+		}
+		sources[name] = string(data)
+	}
+
+	entryModule, entryProc := firstModule, "main"
+	if *entry != "" {
+		parts := strings.SplitN(*entry, ".", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -entry %q; want Module.proc", *entry))
+		}
+		entryModule, entryProc = parts[0], parts[1]
+	}
+
+	var cfg fpc.Config
+	switch *configName {
+	case "mesa":
+		cfg = fpc.ConfigMesa
+	case "fastfetch":
+		cfg = fpc.ConfigFastFetch
+	case "fastcalls":
+		cfg = fpc.ConfigFastCalls
+	default:
+		fatal(fmt.Errorf("unknown config %q", *configName))
+	}
+
+	var args []fpc.Word
+	for _, f := range strings.Fields(*argStr) {
+		v, err := strconv.ParseInt(f, 0, 32)
+		if err != nil {
+			fatal(err)
+		}
+		args = append(args, fpc.Word(v))
+	}
+
+	mods, err := fpc.Compile(sources)
+	if err != nil {
+		fatal(err)
+	}
+	prog, lst, err := fpc.Link(mods, entryModule, entryProc, fpc.LinkOptions{EarlyBind: *early})
+	if err != nil {
+		fatal(err)
+	}
+	m, err := fpc.NewMachine(prog, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := m.Call(prog.Entry, args...)
+	if err != nil {
+		fatal(err)
+	}
+
+	if len(m.Output) > 0 {
+		fmt.Print("output: ")
+		for _, v := range m.Output {
+			fmt.Printf("%d ", int16(v))
+		}
+		fmt.Println()
+	}
+	fmt.Print("result: ")
+	for _, v := range res {
+		fmt.Printf("%d ", int16(v))
+	}
+	fmt.Println()
+
+	if *metrics {
+		mt := m.Metrics()
+		fmt.Printf("\ninstructions %d, cycles %d, memory refs %d, code bytes %d\n",
+			mt.Instructions, mt.Cycles, mt.ChargedRefs, lst.CodeBytes)
+		fmt.Printf("calls: %d external, %d local, %d direct; %d returns; %d general XFERs\n",
+			mt.Transfers[core.KindExternalCall], mt.Transfers[core.KindLocalCall],
+			mt.Transfers[core.KindDirectCall], mt.Transfers[core.KindReturn], mt.Transfers[core.KindXfer])
+		if mt.CallsAndReturns() > 0 {
+			fmt.Printf("jump-fast transfers: %.1f%% (the paper's headline statistic)\n", 100*mt.FastFraction())
+		}
+		if mt.RSHits+mt.RSMisses > 0 {
+			fmt.Printf("return stack hit rate: %.1f%%\n", 100*mt.RSHitRate())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpcrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,144 @@
+// Package fpc is a library reproduction of Butler W. Lampson's "Fast
+// Procedure Calls" (ASPLOS 1982): a general control-transfer mechanism —
+// contexts and a single XFER primitive covering procedure calls, returns,
+// coroutine transfers, traps and process switches — together with the
+// paper's four implementations:
+//
+//	I1  the straightforward scheme (internal/xfer + internal/interp):
+//	    contexts are first-class heap objects; the reference semantics.
+//	I2  the Mesa encoding (ConfigMesa): byte-coded stack machine, link
+//	    vectors, global frame table, entry vectors, packed 16-bit
+//	    procedure descriptors, frame heap with size-class free lists.
+//	I3  fast instruction fetching (ConfigFastFetch): DIRECTCALL /
+//	    SHORTDIRECTCALL linkage plus an IFU return stack.
+//	I4  fast locals and parameters (ConfigFastCalls): register banks with
+//	    stack-bank renaming for free argument passing, and a processor
+//	    stack of standard-size free frames.
+//
+// The processor is a deterministic simulator that charges the costs the
+// paper reasons with — memory references and cycles (1-cycle registers,
+// 2-cycle storage, IFU refills) — so the paper's quantitative claims can
+// be measured rather than assumed. Programs are written in a small
+// Algol-family language, compiled to the byte code, linked (optionally
+// with §6/§8 early binding), and run under any configuration; the I1
+// interpreter provides differential reference runs.
+//
+// Quick start:
+//
+//	prog, err := fpc.Build(map[string]string{"hello": `
+//	module hello;
+//	proc main(n) { return n * 2; }
+//	`}, "hello", "main", fpc.LinkOptions{})
+//	m, err := fpc.NewMachine(prog, fpc.ConfigFastCalls)
+//	res, err := m.Call(prog.Entry, 21)   // res[0] == 42
+//	met := m.Metrics()                   // cycles, references, hit rates
+package fpc
+
+import (
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/linker"
+	"repro/internal/mem"
+)
+
+// Word is the machine word: 16 bits, as on the Mesa machines.
+type Word = mem.Word
+
+// Module is a compiled module ready for linking.
+type Module = image.Module
+
+// Program is a linked, loadable image.
+type Program = image.Program
+
+// Machine is the simulated processor.
+type Machine = core.Machine
+
+// Config selects which of the paper's optimizations are active.
+type Config = core.Config
+
+// Metrics is the measurement record of a run.
+type Metrics = core.Metrics
+
+// LinkOptions selects linkage policies (early binding, short calls, ...).
+type LinkOptions = linker.Options
+
+// LinkStats summarizes static code-space properties of a linked program.
+type LinkStats = linker.Stats
+
+// Machine configurations matching the paper's implementations.
+var (
+	// ConfigMesa is I2 (§5): everything in main storage, optimized for
+	// space.
+	ConfigMesa = core.ConfigMesa
+	// ConfigFastFetch is I3 (§6): I2 plus the IFU return stack.
+	ConfigFastFetch = core.ConfigFastFetch
+	// ConfigFastCalls is I4 (§7): I3 plus register banks and the
+	// free-frame stack.
+	ConfigFastCalls = core.ConfigFastCalls
+)
+
+// JumpCycles is the simulator's cost of a taken unconditional jump — the
+// yardstick for the paper's "as fast as unconditional jumps" claim.
+const JumpCycles = core.JumpCycles
+
+// Compile compiles a set of module sources (module name -> source text).
+func Compile(sources map[string]string) ([]*Module, error) {
+	return lang.CompileAll(sources)
+}
+
+// Link binds compiled modules into a runnable Program starting at
+// module.proc.
+func Link(mods []*Module, module, proc string, opts LinkOptions) (*Program, *LinkStats, error) {
+	return linker.Link(mods, module, proc, opts)
+}
+
+// Build compiles and links in one step.
+func Build(sources map[string]string, module, proc string, opts LinkOptions) (*Program, error) {
+	mods, err := Compile(sources)
+	if err != nil {
+		return nil, err
+	}
+	prog, _, err := Link(mods, module, proc, opts)
+	return prog, err
+}
+
+// NewMachine boots a machine for prog under cfg.
+func NewMachine(prog *Program, cfg Config) (*Machine, error) {
+	return core.New(prog, cfg)
+}
+
+// Run is the one-shot convenience: compile, link, boot, call.
+func Run(sources map[string]string, module, proc string, cfg Config, args ...Word) ([]Word, *Metrics, error) {
+	prog, err := Build(sources, module, proc, LinkOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := NewMachine(prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := m.Call(prog.Entry, args...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, m.Metrics(), nil
+}
+
+// Reference runs module.proc under the I1 reference implementation (the
+// abstract model of §3-§4 with first-class heap contexts) and returns its
+// results and output record.
+func Reference(sources map[string]string, module, proc string, args ...Word) (results, output []Word, err error) {
+	prog, err := lang.ParseAll(sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	ip := interp.New(prog)
+	defer ip.Close()
+	res, err := ip.Run(module, proc, args...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, ip.Output, nil
+}

@@ -1,0 +1,37 @@
+// Package core implements the simulated Mesa-like processor: the space-
+// optimized Mesa implementation I2 (§5), the fast-instruction-fetch
+// optimizations I3 (§6: DIRECTCALL and the IFU return stack), and the fast
+// locals and parameters of I4 (§7: register banks with renaming and the
+// free-frame stack). The configuration selects which optimizations are
+// active; with everything off the machine is exactly the §5 scheme.
+package core
+
+// Cost model. The paper's performance arguments are counting arguments,
+// and §7.3 fixes the relative costs: a register can be read and written in
+// a single cycle while a cache access takes two, and an instruction-fetch
+// unit follows an unconditional jump with a short refill. The simulator
+// charges:
+const (
+	// CycDispatch is charged per instruction executed (decode + register
+	// operations; sequential instruction fetch is hidden by the IFU).
+	CycDispatch = 1
+	// CycMemRef is charged per data-space reference, and per code-space
+	// reference that the IFU cannot prefetch (entry-vector and frame-size
+	// reads on the general call path). §7.3: "two cycles are needed for a
+	// cache access."
+	CycMemRef = 2
+	// CycRefill is charged when the IFU redirects to a target it can
+	// compute from the instruction alone: taken jumps, DIRECTCALL,
+	// SHORTDIRECTCALL, and returns served by the return stack.
+	CycRefill = 2
+	// CycComputedTarget is charged in addition to CycRefill when the
+	// target address must come from data memory (the EXTERNALCALL
+	// indirection chain, general XFERs, returns that miss the return
+	// stack): the IFU sits idle while the processor unpacks the address.
+	CycComputedTarget = 2
+)
+
+// JumpCycles is the cost of a taken unconditional jump — the yardstick the
+// paper measures calls against ("as fast as unconditional jumps at least
+// 95% of the time").
+const JumpCycles = CycDispatch + CycRefill

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/linker"
+	"repro/internal/workload"
+)
+
+// TestDeterminism: the simulator is a measurement instrument — two
+// machines running the same program must agree on every counter, or the
+// experiment tables would not be reproducible.
+func TestDeterminism(t *testing.T) {
+	p := workload.Queens(5)
+	prog, _, err := p.Build(linker.Options{EarlyBind: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Metrics {
+		m, err := New(prog, ConfigFastCalls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Call(prog.Entry, p.Args...); err != nil {
+			t.Fatal(err)
+		}
+		return m.Metrics()
+	}
+	a, b := run(), run()
+	if a.Instructions != b.Instructions || a.Cycles != b.Cycles ||
+		a.ChargedRefs != b.ChargedRefs || a.FastTransfers != b.FastTransfers ||
+		a.BankOverflows != b.BankOverflows || a.RSHits != b.RSHits {
+		t.Fatalf("two runs diverged:\n%+v\n%+v", a, b)
+	}
+	for k := range a.Transfers {
+		if a.Transfers[k] != b.Transfers[k] {
+			t.Fatalf("transfer counts diverged for kind %d", k)
+		}
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	prog := linkOne(t, fibModule(), "main", linker.Options{})
+	m, err := New(prog, ConfigMesa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := make([]uint16, EvalStackDepth+1)
+	if _, err := m.Call(prog.Entry, args...); !errors.Is(err, ErrStack) {
+		t.Errorf("oversized argument record: %v", err)
+	}
+	if _, err := m.CallNamed("fib", "nothere"); err == nil {
+		t.Error("missing proc accepted")
+	}
+	if _, err := m.CallNamed("ghost", "main"); err == nil {
+		t.Error("missing module accepted")
+	}
+	// XFER to a word that is neither NIL, a proc, nor a plausible frame.
+	if _, err := m.Call(0x0002); !errors.Is(err, ErrBadContext) {
+		t.Errorf("bad context: %v", err)
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	prog := linkOne(t, fibModule(), "main", linker.Options{})
+	m, err := New(prog, ConfigMesa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CallNamed("fib", "main", 5); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() {
+		t.Fatal("machine not halted after the computation returned")
+	}
+	if err := m.Step(); !errors.Is(err, ErrHalted) {
+		t.Fatalf("step after halt: %v", err)
+	}
+	if len(m.Results()) != 1 || m.Results()[0] != 5 {
+		t.Fatalf("results = %v", m.Results())
+	}
+	if m.Entry() != prog.Entry {
+		t.Fatal("Entry accessor broken")
+	}
+}
+
+func TestTransferKindStrings(t *testing.T) {
+	names := map[TransferKind]string{
+		KindExternalCall: "external-call",
+		KindLocalCall:    "local-call",
+		KindDirectCall:   "direct-call",
+		KindReturn:       "return",
+		KindXfer:         "xfer",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d = %q", k, k.String())
+		}
+	}
+	if TransferKind(99).String() != "?" {
+		t.Error("unknown kind not flagged")
+	}
+}
+
+func TestAccessorsExposed(t *testing.T) {
+	prog := linkOne(t, fibModule(), "main", linker.Options{})
+	m, err := New(prog, ConfigMesa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem() == nil || m.Heap() == nil || m.Program() != prog {
+		t.Fatal("accessors broken")
+	}
+	if _, err := m.CallNamed("fib", "main", 3); err != nil {
+		t.Fatal(err)
+	}
+	if m.PC() == 0 {
+		t.Fatal("PC accessor returned zero after running")
+	}
+	if m.SP() != 1 {
+		t.Fatalf("SP = %d after a 1-result return", m.SP())
+	}
+}

@@ -1,0 +1,525 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/frames"
+	"repro/internal/ifu"
+	"repro/internal/image"
+	"repro/internal/mem"
+	"repro/internal/regbank"
+)
+
+// EvalStackDepth is the evaluation-stack capacity in words. With 16-word
+// register banks and three linkage slots per frame, 13 stack words rename
+// cleanly into a callee's first locals (Mesa used a depth of 14).
+const EvalStackDepth = 13
+
+// Config selects which of the paper's optimizations are active.
+type Config struct {
+	// ReturnStackDepth is the IFU return stack size (§6); 0 disables it —
+	// every call and return takes the general §5 path.
+	ReturnStackDepth int
+	// RegBanks is the number of register banks (§7.1); 0 disables banking.
+	RegBanks int
+	// BankWords is the bank size in words (default 16).
+	BankWords int
+	// FreeFrameStack is the capacity of the processor's stack of
+	// standard-size free frames (§7.1); 0 disables it.
+	FreeFrameStack int
+	// StdFrameWords is the standard frame size for the free-frame stack
+	// (default 40 words = 80 bytes, the paper's "95% of all frames" bound).
+	StdFrameWords int
+	// HeapCheck enables the frame heap's shadow invariant checking.
+	HeapCheck bool
+	// MaxSteps bounds a run (default 200M instructions).
+	MaxSteps uint64
+	// Trap, when set, handles TRAPB and runtime traps; returning an error
+	// halts the machine. When nil any trap is fatal.
+	Trap func(m *Machine, code int) error
+}
+
+// Named configurations matching the paper's implementations. (I1, the
+// straightforward scheme, is the reference interpreter in internal/interp.)
+var (
+	// ConfigMesa is I2: the space-optimized encoding with no speed
+	// hardware — all state in main storage.
+	ConfigMesa = Config{}
+	// ConfigFastFetch is I3: ConfigMesa plus an 8-entry IFU return stack;
+	// combined with DIRECTCALL linkage, instruction fetching proceeds as
+	// for an unconditional branch.
+	ConfigFastFetch = Config{ReturnStackDepth: 8}
+	// ConfigFastCalls is I4: I3 plus 8 register banks of 16 words and a
+	// free-frame stack, making argument passing and frame allocation free
+	// in the common case.
+	ConfigFastCalls = Config{ReturnStackDepth: 8, RegBanks: 8, BankWords: 16, FreeFrameStack: 8}
+)
+
+// Errors.
+var (
+	ErrHalted     = errors.New("core: machine halted")
+	ErrMaxSteps   = errors.New("core: step limit exceeded")
+	ErrStack      = errors.New("core: evaluation stack overflow or underflow")
+	ErrBadContext = errors.New("core: XFER to invalid context")
+	ErrTrap       = errors.New("core: unhandled trap")
+	ErrNotBooted  = errors.New("core: machine not booted")
+)
+
+// Trap codes raised by the machine itself.
+const (
+	TrapDivZero = 128 + iota
+	TrapAlloc
+	TrapBadContext
+	TrapStack
+)
+
+// Machine is the simulated processor.
+type Machine struct {
+	cfg  Config
+	prog *image.Program
+	m    *mem.Memory
+	heap *frames.Heap
+	code []byte
+
+	// Processor registers.
+	pc        uint32 // absolute code byte address
+	lf        mem.Addr
+	gf        mem.Addr
+	codeBase  uint32
+	cbValid   bool
+	retCtx    mem.Word // the returnContext global
+	stack     [EvalStackDepth]mem.Word
+	sp        int
+	curFSI    int16 // current frame's size class; -1 unknown
+	curRet    bool  // current frame is retained (valid when curFSI >= 0)
+	stackBank int   // bank holding the evaluation stack, -1 when none
+
+	rs    *ifu.Stack
+	banks *regbank.File
+
+	// trapCtx is the in-machine trap handler context (set by STRAP). A
+	// trap transfers to it exactly like a call with [code] as the
+	// argument record; the handler's RETURN resumes the trapping context
+	// with the handler's results on the stack (§3's uniform treatment of
+	// traps). When zero, traps go to the Go-level Config.Trap handler.
+	trapCtx mem.Word
+	// trapSaves holds the trapping contexts' partial evaluation stacks —
+	// a trap can strike mid-expression, and the machine (like Mesa's
+	// state-vector save) preserves the operands below the trap and
+	// restores them beneath the handler's results on resumption.
+	trapSaves []trapSave
+
+	// Free-frame stack (§7.1): processor-held standard-size frames.
+	freeFrames []mem.Addr
+	stdFSI     int // size class of the standard frame; -1 when disabled
+
+	halted  bool
+	cycles  uint64 // non-memory cycles; memory cycles derive from reference counts
+	metrics Metrics
+
+	// per-transfer cost snapshots (set before each transfer opcode)
+	snapRefs uint64
+	snapCyc  uint64
+
+	// Output is the machine's output record (the OUT instruction).
+	Output []mem.Word
+}
+
+// New creates a machine for prog with the given configuration.
+func New(prog *image.Program, cfg Config) (*Machine, error) {
+	if cfg.BankWords == 0 {
+		cfg.BankWords = 16
+	}
+	if cfg.RegBanks > 0 && cfg.BankWords < image.FrameHeaderWords+1 {
+		return nil, fmt.Errorf("core: banks of %d words cannot hold the frame linkage", cfg.BankWords)
+	}
+	if cfg.RegBanks == 1 {
+		return nil, fmt.Errorf("core: a single bank cannot hold both the stack and a frame")
+	}
+	if cfg.StdFrameWords == 0 {
+		cfg.StdFrameWords = 40
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 200_000_000
+	}
+	m := &Machine{
+		cfg:       cfg,
+		prog:      prog,
+		m:         mem.New(),
+		code:      prog.Code,
+		rs:        ifu.New(cfg.ReturnStackDepth),
+		banks:     regbank.New(cfg.RegBanks, cfg.BankWords),
+		stackBank: -1,
+		stdFSI:    -1,
+		curFSI:    -1,
+	}
+	prog.Load(m.m)
+	h, err := frames.New(m.m, frames.Config{
+		AVBase:    image.AVBase,
+		HeapBase:  prog.HeapBase,
+		HeapLimit: image.HeapLimit,
+		Sizes:     prog.FrameSizes,
+		Check:     cfg.HeapCheck,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.heap = h
+	if cfg.FreeFrameStack > 0 {
+		fsi, ok := h.FSIForWords(cfg.StdFrameWords)
+		if !ok {
+			return nil, fmt.Errorf("core: no frame class holds %d words", cfg.StdFrameWords)
+		}
+		m.stdFSI = fsi
+		// Pre-fill the stack; boot-time traffic is not part of any run.
+		for i := 0; i < cfg.FreeFrameStack; i++ {
+			lf, err := h.Alloc(fsi)
+			if err != nil {
+				return nil, err
+			}
+			m.freeFrames = append(m.freeFrames, lf)
+		}
+	}
+	m.m.ResetStats()
+	return m, nil
+}
+
+// refs reports total charged references so far: every data-space
+// reference plus the non-prefetchable code-space reads.
+func (m *Machine) refs() uint64 {
+	return m.m.Stats().Refs() + m.metrics.CodeReads
+}
+
+// Metrics returns the accumulated counters. Total cycles are the
+// non-memory cycles plus CycMemRef per charged reference.
+func (m *Machine) Metrics() *Metrics {
+	m.metrics.ChargedRefs = m.refs()
+	m.metrics.Cycles = m.cycles + CycMemRef*m.metrics.ChargedRefs
+	return &m.metrics
+}
+
+// snapshot marks the start of a transfer for per-kind cost accounting.
+func (m *Machine) snapshot() {
+	m.snapRefs = m.refs()
+	m.snapCyc = m.cycles
+}
+
+// recordTransfer attributes the cost since the last snapshot to kind. A
+// call or return that needed no references and only the standard refill is
+// indistinguishable from an unconditional jump — the headline statistic.
+func (m *Machine) recordTransfer(kind TransferKind) {
+	refs := m.refs() - m.snapRefs
+	cyc := (m.cycles - m.snapCyc) + CycMemRef*refs + CycDispatch
+	m.metrics.RefsPer[kind].Observe(int(refs))
+	m.metrics.CyclesPer[kind].Observe(int(cyc))
+	if kind != KindXfer && cyc == JumpCycles {
+		m.metrics.FastTransfers++
+	}
+}
+
+// Mem exposes the store for tests and trap handlers.
+func (m *Machine) Mem() *mem.Memory { return m.m }
+
+// Heap exposes the frame allocator for inspection.
+func (m *Machine) Heap() *frames.Heap { return m.heap }
+
+// Program returns the loaded program.
+func (m *Machine) Program() *image.Program { return m.prog }
+
+// PC reports the current program counter (diagnostics).
+func (m *Machine) PC() uint32 { return m.pc }
+
+// SP reports the evaluation-stack depth (diagnostics and trap handlers).
+func (m *Machine) SP() int { return m.sp }
+
+// charged data reference helpers: every use costs CycMemRef (accounted in
+// Metrics from the store's counters).
+
+func (m *Machine) read(a mem.Addr) mem.Word { return m.m.Read(a) }
+
+func (m *Machine) write(a mem.Addr, v mem.Word) { m.m.Write(a, v) }
+
+// codeRead8 / codeRead16 are charged code-space reads: entry-vector and
+// frame-size fetches on the general call path, which the IFU cannot
+// prefetch.
+func (m *Machine) codeRead8(a uint32) (byte, error) {
+	if int(a) >= len(m.code) {
+		return 0, fmt.Errorf("core: code read at %06x outside %d bytes", a, len(m.code))
+	}
+	m.metrics.CodeReads++
+	return m.code[a], nil
+}
+
+func (m *Machine) codeRead16(a uint32) (uint16, error) {
+	if int(a)+1 >= len(m.code) {
+		return 0, fmt.Errorf("core: code read at %06x outside %d bytes", a, len(m.code))
+	}
+	m.metrics.CodeReads++
+	return uint16(m.code[a]) | uint16(m.code[a+1])<<8, nil
+}
+
+// codePeek reads code the IFU has prefetched (DIRECTCALL headers): free.
+func (m *Machine) codePeek8(a uint32) (byte, error) {
+	if int(a) >= len(m.code) {
+		return 0, fmt.Errorf("core: code read at %06x outside %d bytes", a, len(m.code))
+	}
+	return m.code[a], nil
+}
+
+func (m *Machine) codePeek16(a uint32) (uint16, error) {
+	if int(a)+1 >= len(m.code) {
+		return 0, fmt.Errorf("core: code read at %06x outside %d bytes", a, len(m.code))
+	}
+	return uint16(m.code[a]) | uint16(m.code[a+1])<<8, nil
+}
+
+// frameLoad reads word off of frame lf through the bank file when the
+// frame is shadowed (free) and from storage otherwise (charged).
+func (m *Machine) frameLoad(lf mem.Addr, off int) mem.Word {
+	if b := m.bankOf(lf); b >= 0 && off < m.cfg.BankWords {
+		m.metrics.BankHits++
+		return m.banks.Read(b, off)
+	}
+	if m.cfg.RegBanks > 0 {
+		m.metrics.BankMisses++
+	}
+	return m.read(lf + mem.Addr(off))
+}
+
+// frameStore writes word off of frame lf (bank or storage).
+func (m *Machine) frameStore(lf mem.Addr, off int, v mem.Word) {
+	if b := m.bankOf(lf); b >= 0 && off < m.cfg.BankWords {
+		m.metrics.BankHits++
+		m.banks.Write(b, off, v)
+		return
+	}
+	if m.cfg.RegBanks > 0 {
+		m.metrics.BankMisses++
+	}
+	m.write(lf+mem.Addr(off), v)
+}
+
+func (m *Machine) bankOf(lf mem.Addr) int {
+	if m.cfg.RegBanks == 0 {
+		return -1
+	}
+	return m.banks.Lookup(lf)
+}
+
+// flushBank writes a bank's dirty words to its frame (charged) — the §7.1
+// overflow path and the §7.4 pointer fallback.
+func (m *Machine) flushBank(b regbank.Bank) {
+	lf := mem.Addr(b.Owner)
+	for i := 0; i < len(b.Words); i++ {
+		if b.Dirty&(1<<uint(i)) != 0 {
+			m.write(lf+mem.Addr(i), b.Words[i])
+			m.metrics.BankFlushWords++
+		}
+	}
+}
+
+// acquireBank gets a bank for owner, flushing the oldest bank if needed.
+func (m *Machine) acquireBank(owner int32) int {
+	b, victim, flushed := m.banks.Acquire(owner)
+	if b < 0 {
+		return -1
+	}
+	if flushed && victim.Owner >= 0 {
+		m.metrics.BankOverflows++
+		m.flushBank(victim)
+	}
+	return b
+}
+
+// reloadBank assigns and fills a bank for frame lf (§7.1 underflow).
+func (m *Machine) reloadBank(lf mem.Addr) int {
+	b := m.acquireBank(int32(lf))
+	if b < 0 {
+		return -1
+	}
+	m.metrics.BankUnderflows++
+	words := make([]uint16, m.cfg.BankWords)
+	for i := range words {
+		words[i] = m.read(lf + mem.Addr(i))
+		m.metrics.BankReloadWords++
+	}
+	m.banks.Load(b, words)
+	return b
+}
+
+// fallback flushes the return stack and all banks into storage — the
+// orderly retreat to the general scheme (§6, §7.1) used by general XFERs
+// and process switches.
+func (m *Machine) fallback() error {
+	for _, e := range m.rs.Flush() {
+		m.metrics.RSFlushed++
+		if err := m.flushRSEntry(e); err != nil {
+			return err
+		}
+	}
+	for _, b := range m.banks.ReleaseAll() {
+		m.flushBank(b)
+	}
+	m.stackBank = -1
+	return nil
+}
+
+// flushRSEntry writes a suspended caller's PC into its frame: "the PC goes
+// into the PC component of LF"; the return link and global frame were
+// stored at call time, and the global frame pointer can be discarded.
+func (m *Machine) flushRSEntry(e ifu.Entry) error {
+	cb, err := m.loadCodeBase(mem.Addr(e.GF))
+	if err != nil {
+		return err
+	}
+	m.frameStore(mem.Addr(e.LF), 2, mem.Word(e.PC-cb))
+	return nil
+}
+
+// loadCodeBase reads a module's code base from its global frame (two
+// charged references).
+func (m *Machine) loadCodeBase(gf mem.Addr) (uint32, error) {
+	lo := m.read(gf)
+	hi := m.read(gf + 1)
+	return uint32(lo) | uint32(hi)<<16, nil
+}
+
+// ensureCodeBase makes the code-base register valid for the running
+// context (lazy after DIRECTCALLs).
+func (m *Machine) ensureCodeBase() error {
+	if m.cbValid {
+		return nil
+	}
+	cb, err := m.loadCodeBase(m.gf)
+	if err != nil {
+		return err
+	}
+	m.codeBase = cb
+	m.cbValid = true
+	return nil
+}
+
+// allocFrame allocates a frame of class fsi, using the free-frame stack
+// for standard-size requests when enabled. It returns the frame and the
+// class it actually is.
+func (m *Machine) allocFrame(fsi int) (mem.Addr, int16, error) {
+	if m.stdFSI >= 0 && m.heap.SizeOf(fsi) <= m.heap.SizeOf(m.stdFSI) {
+		if n := len(m.freeFrames); n > 0 {
+			lf := m.freeFrames[n-1]
+			m.freeFrames = m.freeFrames[:n-1]
+			m.metrics.FFHits++
+			return lf, int16(m.stdFSI), nil
+		}
+		m.metrics.FFMisses++
+		lf, err := m.heap.Alloc(m.stdFSI)
+		return lf, int16(m.stdFSI), err
+	}
+	lf, err := m.heap.Alloc(fsi)
+	return lf, int16(fsi), err
+}
+
+// freeFrame releases the frame with known class fsi (-1: read the header).
+func (m *Machine) freeFrame(lf mem.Addr, fsi int16, retained bool) error {
+	if fsi < 0 {
+		hdr := m.read(lf - frames.Overhead)
+		m.metrics.HeaderReads++
+		fsi = int16(hdr & 0xff)
+		retained = hdr&frames.FlagRetained != 0
+	}
+	if retained {
+		return nil // the owner frees it explicitly (§4)
+	}
+	if b := m.bankOf(lf); b >= 0 {
+		m.banks.Release(b) // contents unimportant, never written back
+	}
+	if m.stdFSI >= 0 && int(fsi) == m.stdFSI && len(m.freeFrames) < m.cfg.FreeFrameStack {
+		m.freeFrames = append(m.freeFrames, lf)
+		m.metrics.FFPushes++
+		return nil
+	}
+	return m.heap.FreeKnown(lf, int(fsi))
+}
+
+// push/pop on the evaluation stack (processor registers: free).
+
+func (m *Machine) push(v mem.Word) error {
+	if m.sp >= EvalStackDepth {
+		return fmt.Errorf("%w: push at depth %d", ErrStack, m.sp)
+	}
+	m.stack[m.sp] = v
+	m.sp++
+	return nil
+}
+
+func (m *Machine) pop() (mem.Word, error) {
+	if m.sp == 0 {
+		return 0, fmt.Errorf("%w: pop of empty stack", ErrStack)
+	}
+	m.sp--
+	return m.stack[m.sp], nil
+}
+
+type trapSave struct {
+	calleeLF mem.Addr   // the handler frame whose return restores the save
+	words    []mem.Word // the trapper's stack below the trap point
+}
+
+// trap routes a trap code: to the in-machine handler context when one is
+// installed (an XFER like any other — the handler's return resumes the
+// trapper, its results landing where the trapping operation's result
+// would), otherwise to the Go-level handler, otherwise the machine fails.
+// The boolean reports whether an in-machine transfer took place (the
+// trapping instruction must then not push its own result).
+func (m *Machine) trapXfer(code int) (bool, error) {
+	if m.trapCtx != 0 {
+		// Preserve the trapper's partial evaluation stack; the handler
+		// receives only the trap code.
+		saved := append([]mem.Word(nil), m.stack[:m.sp]...)
+		m.sp = 0
+		if err := m.push(mem.Word(code)); err != nil {
+			return false, err
+		}
+		m.snapshot()
+		if !image.IsProc(m.trapCtx) {
+			return false, fmt.Errorf("%w: trap handler %04x is not a procedure", ErrBadContext, m.trapCtx)
+		}
+		gf, cb, entry, fsi, err := m.resolveProc(m.trapCtx)
+		if err != nil {
+			return false, err
+		}
+		if err := m.enterProc(gf, cb, true, entry, fsi, KindXfer); err != nil {
+			return false, err
+		}
+		m.trapSaves = append(m.trapSaves, trapSave{calleeLF: m.lf, words: saved})
+		return true, nil
+	}
+	return false, m.trap(code)
+}
+
+// restoreTrapSave reinstates a trapper's saved operands beneath the
+// handler's results, when the frame just retired was a trap handler.
+func (m *Machine) restoreTrapSave(retired mem.Addr) error {
+	n := len(m.trapSaves)
+	if n == 0 || m.trapSaves[n-1].calleeLF != retired {
+		return nil
+	}
+	save := m.trapSaves[n-1]
+	m.trapSaves = m.trapSaves[:n-1]
+	if len(save.words)+m.sp > EvalStackDepth {
+		return fmt.Errorf("%w: trap restore overflows", ErrStack)
+	}
+	results := append([]mem.Word(nil), m.stack[:m.sp]...)
+	copy(m.stack[:], save.words)
+	copy(m.stack[len(save.words):], results)
+	m.sp = len(save.words) + len(results)
+	return nil
+}
+
+// trap routes a trap code to the configured Go handler or fails.
+func (m *Machine) trap(code int) error {
+	if m.cfg.Trap != nil {
+		return m.cfg.Trap(m, code)
+	}
+	return fmt.Errorf("%w: code %d at pc %06x (%s)", ErrTrap, code, m.pc, m.prog.ProcName(m.pc))
+}

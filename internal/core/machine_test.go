@@ -1,0 +1,501 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/linker"
+	"repro/internal/mem"
+)
+
+// buildFib assembles a module with main(n) and a recursive fib.
+func fibModule() *image.Module {
+	fib := &image.Proc{Name: "fib", NumArgs: 1, NumLocals: 2}
+	{
+		var a image.Asm
+		base := a.NewLabel()
+		a.Emit(isa.LL0)
+		a.Emit(isa.LI2)
+		a.EmitJump(isa.JLB, base) // n < 2 -> return n
+		a.Emit(isa.LL0)
+		a.Emit(isa.LI1)
+		a.Emit(isa.SUB)
+		a.EmitCallLocal(1) // fib(n-1)
+		a.Emit(isa.SL1)
+		a.Emit(isa.LL0)
+		a.Emit(isa.LI2)
+		a.Emit(isa.SUB)
+		a.EmitCallLocal(1) // fib(n-2)
+		a.Emit(isa.LL1)
+		a.Emit(isa.ADD)
+		a.Emit(isa.RET)
+		a.Bind(base)
+		a.Emit(isa.LL0)
+		a.Emit(isa.RET)
+		fib.Body = a.Fragment()
+	}
+	main := &image.Proc{Name: "main", NumArgs: 1, NumLocals: 1}
+	{
+		var a image.Asm
+		a.Emit(isa.LL0)
+		a.EmitCallLocal(1)
+		a.Emit(isa.RET)
+		main.Body = a.Fragment()
+	}
+	return &image.Module{Name: "fib", Procs: []*image.Proc{main, fib}}
+}
+
+func linkOne(t *testing.T, m *image.Module, entry string, opts linker.Options) *image.Program {
+	t.Helper()
+	prog, _, err := linker.Link([]*image.Module{m}, m.Name, entry, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func allConfigs() map[string]Config {
+	return map[string]Config{
+		"mesa":      ConfigMesa,
+		"fastfetch": ConfigFastFetch,
+		"fastcalls": ConfigFastCalls,
+	}
+}
+
+func TestFibAllConfigs(t *testing.T) {
+	prog := linkOne(t, fibModule(), "main", linker.Options{})
+	want := []mem.Word{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for name, cfg := range allConfigs() {
+		cfg.HeapCheck = true
+		t.Run(name, func(t *testing.T) {
+			m, err := New(prog, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n, w := range want {
+				res, err := m.CallNamed("fib", "main", mem.Word(n))
+				if err != nil {
+					t.Fatalf("fib(%d): %v", n, err)
+				}
+				if len(res) != 1 || res[0] != w {
+					t.Fatalf("fib(%d) = %v, want %d", n, res, w)
+				}
+			}
+			if live := m.Heap().Stats().Live; int(live) != len(m.freeFrames) {
+				t.Fatalf("leaked frames: live=%d, free-stack=%d", live, len(m.freeFrames))
+			}
+			if err := m.Heap().CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFibWithEarlyBinding(t *testing.T) {
+	// §8: converting between the I2 and I3 linkage must not change
+	// behaviour, only space and speed.
+	mod := fibModule()
+	prog := linkOne(t, mod, "main", linker.Options{EarlyBind: true})
+	m, err := New(prog, ConfigFastCalls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.CallNamed("fib", "main", 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 610 {
+		t.Fatalf("fib(15) = %v", res)
+	}
+}
+
+func TestExternalCallBetweenModules(t *testing.T) {
+	mathMod := &image.Module{Name: "math"}
+	double := &image.Proc{Name: "double", NumArgs: 1, NumLocals: 1}
+	{
+		var a image.Asm
+		a.Emit(isa.LL0)
+		a.Emit(isa.LI2)
+		a.Emit(isa.MUL)
+		a.Emit(isa.RET)
+		double.Body = a.Fragment()
+	}
+	inc := &image.Proc{Name: "inc", NumArgs: 1, NumLocals: 1}
+	{
+		var a image.Asm
+		a.Emit(isa.LL0)
+		a.Emit(isa.LI1)
+		a.Emit(isa.ADD)
+		a.Emit(isa.RET)
+		inc.Body = a.Fragment()
+	}
+	mathMod.Procs = []*image.Proc{double, inc}
+
+	mainMod := &image.Module{Name: "main",
+		Imports: []image.Import{{Module: "math", Proc: "double"}, {Module: "math", Proc: "inc"}}}
+	mainP := &image.Proc{Name: "main", NumArgs: 1, NumLocals: 1}
+	{
+		var a image.Asm
+		a.Emit(isa.LL0)
+		a.EmitCallImport(0) // double(x)
+		a.EmitCallImport(1) // inc(..)
+		a.Emit(isa.RET)
+		mainP.Body = a.Fragment()
+	}
+	mainMod.Procs = []*image.Proc{mainP}
+
+	for _, early := range []bool{false, true} {
+		prog, _, err := linker.Link([]*image.Module{mainMod, mathMod}, "main", "main",
+			linker.Options{EarlyBind: early})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, cfg := range allConfigs() {
+			m, err := New(prog, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.CallNamed("main", "main", 20)
+			if err != nil {
+				t.Fatalf("early=%v %s: %v", early, name, err)
+			}
+			if res[0] != 41 {
+				t.Fatalf("early=%v %s: main(20) = %v, want 41", early, name, res)
+			}
+		}
+	}
+}
+
+func coroutineModule() *image.Module {
+	mod := &image.Module{Name: "co", Imports: []image.Import{{Module: "co", Proc: "gen"}}}
+	main := &image.Proc{Name: "main", NumArgs: 0, NumLocals: 1}
+	{
+		var a image.Asm
+		a.EmitLoadImportDesc(0)
+		a.Emit(isa.COCREATE)
+		a.Emit(isa.SL0) // c := new context for gen
+		a.Emit(isa.LI5)
+		a.Emit(isa.LL0)
+		a.Emit(isa.XFERO) // transfer(c, 5)
+		a.Emit(isa.OUT)   // gen sends back 6
+		a.Emit(isa.LI7)
+		a.Emit(isa.LL0)
+		a.Emit(isa.XFERO) // transfer(c, 7)
+		a.Emit(isa.OUT)   // gen sends back 14
+		a.Emit(isa.LL0)
+		a.Emit(isa.FREE) // explicitly free the suspended coroutine (F2)
+		a.Emit(isa.RET)
+		main.Body = a.Fragment()
+	}
+	gen := &image.Proc{Name: "gen", NumArgs: 1, NumLocals: 2}
+	{
+		var a image.Asm
+		a.Emit(isa.LRC)
+		a.Emit(isa.SL1) // who := returnContext
+		a.Emit(isa.LL0)
+		a.Emit(isa.LI1)
+		a.Emit(isa.ADD) // x+1
+		a.Emit(isa.LL1)
+		a.Emit(isa.XFERO) // yield x+1; resumes with [7]
+		a.Emit(isa.LI2)
+		a.Emit(isa.MUL) // 14
+		a.Emit(isa.LL1)
+		a.Emit(isa.XFERO) // yield 14; never resumed
+		a.Emit(isa.RET)
+		gen.Body = a.Fragment()
+	}
+	mod.Procs = []*image.Proc{main, gen}
+	return mod
+}
+
+func TestCoroutineTransfers(t *testing.T) {
+	prog := linkOne(t, coroutineModule(), "main", linker.Options{})
+	for name, cfg := range allConfigs() {
+		cfg.HeapCheck = true
+		t.Run(name, func(t *testing.T) {
+			m, err := New(prog, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.CallNamed("co", "main"); err != nil {
+				t.Fatal(err)
+			}
+			if len(m.Output) != 2 || m.Output[0] != 6 || m.Output[1] != 14 {
+				t.Fatalf("output = %v, want [6 14]", m.Output)
+			}
+			if m.Metrics().Creates != 1 {
+				t.Fatalf("Creates = %d", m.Metrics().Creates)
+			}
+			if m.Metrics().Transfers[KindXfer] < 4 {
+				t.Fatalf("Transfers[xfer] = %d", m.Metrics().Transfers[KindXfer])
+			}
+			if err := m.Heap().CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReturnStackHitRateOnRecursion(t *testing.T) {
+	prog := linkOne(t, fibModule(), "main", linker.Options{})
+	m, err := New(prog, Config{ReturnStackDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CallNamed("fib", "main", 15); err != nil {
+		t.Fatal(err)
+	}
+	mt := m.Metrics()
+	// fib(15)'s maximum call depth is 15 < 16, so after the first frames
+	// every return should hit.
+	if rate := mt.RSHitRate(); rate < 0.99 {
+		t.Fatalf("return-stack hit rate %.3f with ample depth", rate)
+	}
+	if mt.RSEvicted != 0 {
+		t.Fatalf("evictions %d with ample depth", mt.RSEvicted)
+	}
+}
+
+func TestReturnStackOverflowFallsBack(t *testing.T) {
+	prog := linkOne(t, fibModule(), "main", linker.Options{})
+	m, err := New(prog, Config{ReturnStackDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.CallNamed("fib", "main", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 144 {
+		t.Fatalf("fib(12) = %v", res)
+	}
+	mt := m.Metrics()
+	if mt.RSEvicted == 0 || mt.RSMisses == 0 {
+		t.Fatalf("expected evictions and misses with depth 2: %+v", mt)
+	}
+}
+
+func TestBankOverflowDeepRecursionStillCorrect(t *testing.T) {
+	prog := linkOne(t, fibModule(), "main", linker.Options{})
+	m, err := New(prog, Config{ReturnStackDepth: 4, RegBanks: 3, BankWords: 16, FreeFrameStack: 2, HeapCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.CallNamed("fib", "main", 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 377 {
+		t.Fatalf("fib(14) = %v", res)
+	}
+	mt := m.Metrics()
+	if mt.BankOverflows == 0 {
+		t.Fatal("expected bank overflows with 3 banks on deep recursion")
+	}
+	if err := m.Heap().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastCallsAreJumpSpeed(t *testing.T) {
+	// The headline: with I4 (direct calls + return stack + banks + free
+	// frames), calls and returns cost JumpCycles in the common case.
+	mod := fibModule()
+	prog := linkOne(t, mod, "main", linker.Options{EarlyBind: true})
+	m, err := New(prog, ConfigFastCalls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CallNamed("fib", "main", 10); err != nil {
+		t.Fatal(err)
+	}
+	mt := m.Metrics()
+	if f := mt.FastFraction(); f < 0.80 {
+		t.Fatalf("fast fraction %.3f; local calls should mostly run at jump speed", f)
+	}
+}
+
+func TestMetricsCostConsistency(t *testing.T) {
+	prog := linkOne(t, fibModule(), "main", linker.Options{})
+	m, err := New(prog, ConfigMesa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CallNamed("fib", "main", 10); err != nil {
+		t.Fatal(err)
+	}
+	mt := m.Metrics()
+	if mt.Cycles < mt.Instructions {
+		t.Fatalf("cycles %d < instructions %d", mt.Cycles, mt.Instructions)
+	}
+	if mt.ChargedRefs == 0 || mt.Cycles != m.cycles+CycMemRef*mt.ChargedRefs {
+		t.Fatalf("cost identity broken: %+v", mt)
+	}
+	// I2 external/local calls must not be jump-fast.
+	if mt.FastTransfers != 0 {
+		t.Fatalf("I2 recorded %d jump-fast transfers", mt.FastTransfers)
+	}
+}
+
+func TestStackOverflowDetected(t *testing.T) {
+	mod := &image.Module{Name: "ovf"}
+	p := &image.Proc{Name: "main", NumArgs: 0, NumLocals: 0}
+	var a image.Asm
+	for i := 0; i < EvalStackDepth+1; i++ {
+		a.Emit(isa.LI1)
+	}
+	a.Emit(isa.RET)
+	p.Body = a.Fragment()
+	mod.Procs = []*image.Proc{p}
+	prog := linkOne(t, mod, "main", linker.Options{})
+	m, err := New(prog, ConfigMesa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CallNamed("ovf", "main"); err == nil {
+		t.Fatal("stack overflow not detected")
+	}
+}
+
+func TestDivideByZeroTraps(t *testing.T) {
+	mod := &image.Module{Name: "dz"}
+	p := &image.Proc{Name: "main", NumArgs: 0, NumLocals: 0}
+	var a image.Asm
+	a.Emit(isa.LI1)
+	a.Emit(isa.LI0)
+	a.Emit(isa.DIV)
+	a.Emit(isa.RET)
+	p.Body = a.Fragment()
+	mod.Procs = []*image.Proc{p}
+	prog := linkOne(t, mod, "main", linker.Options{})
+
+	m, _ := New(prog, ConfigMesa)
+	if _, err := m.CallNamed("dz", "main"); err == nil {
+		t.Fatal("unhandled divide trap did not fail")
+	}
+
+	var got int
+	cfg := ConfigMesa
+	cfg.Trap = func(m *Machine, code int) error { got = code; return nil }
+	m2, _ := New(prog, cfg)
+	res, err := m2.CallNamed("dz", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != TrapDivZero {
+		t.Fatalf("trap code %d", got)
+	}
+	if len(res) != 1 || res[0] != 0 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestPointersToLocals(t *testing.T) {
+	// §7.4: LAB flushes and releases the frame's bank; the pointer then
+	// works through ordinary storage instructions.
+	mod := &image.Module{Name: "ptr"}
+	p := &image.Proc{Name: "main", NumArgs: 0, NumLocals: 2}
+	var a image.Asm
+	a.Emit(isa.LIB, 42)
+	a.Emit(isa.SL0)    // l0 := 42
+	a.Emit(isa.LAB, 0) // p := &l0
+	a.Emit(isa.SL1)
+	a.Emit(isa.LIB, 99)
+	a.Emit(isa.LL1)
+	a.Emit(isa.STIND) // *p := 99
+	a.Emit(isa.LL0)   // read l0 through the normal path
+	a.Emit(isa.RET)
+	p.Body = a.Fragment()
+	mod.Procs = []*image.Proc{p}
+	prog := linkOne(t, mod, "main", linker.Options{})
+	for name, cfg := range allConfigs() {
+		m, err := New(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.CallNamed("ptr", "main")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res[0] != 99 {
+			t.Fatalf("%s: got %v, want 99 (store through pointer lost)", name, res)
+		}
+		if cfg.RegBanks > 0 && m.Metrics().PointerFlushes == 0 {
+			t.Fatalf("%s: LAB did not flush the bank", name)
+		}
+	}
+}
+
+func TestRetainedFrame(t *testing.T) {
+	// A procedure retains its frame; the caller frees it explicitly.
+	mod := &image.Module{Name: "ret"}
+	keeper := &image.Proc{Name: "keeper", NumArgs: 0, NumLocals: 0}
+	{
+		var a image.Asm
+		a.Emit(isa.RETAIN)
+		a.Emit(isa.LLF) // return our own context
+		a.Emit(isa.RET)
+		keeper.Body = a.Fragment()
+	}
+	main := &image.Proc{Name: "main", NumArgs: 0, NumLocals: 1}
+	{
+		var a image.Asm
+		a.EmitCallLocal(1)
+		a.Emit(isa.SL0)
+		a.Emit(isa.LL0)
+		a.Emit(isa.FREE)
+		a.Emit(isa.LI1)
+		a.Emit(isa.RET)
+		main.Body = a.Fragment()
+	}
+	mod.Procs = []*image.Proc{main, keeper}
+	prog := linkOne(t, mod, "main", linker.Options{})
+	for name, cfg := range allConfigs() {
+		cfg.HeapCheck = true
+		m, err := New(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.CallNamed("ret", "main")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res[0] != 1 {
+			t.Fatalf("%s: res = %v", name, res)
+		}
+		if live := m.Heap().Stats().Live; int(live) != len(m.freeFrames) {
+			t.Fatalf("%s: retained frame leaked: live=%d free-stack=%d", name, live, len(m.freeFrames))
+		}
+	}
+}
+
+func TestGlobalsAndModuleState(t *testing.T) {
+	mod := &image.Module{Name: "g", NumGlobals: 2, GlobalInit: []uint16{100, 0}}
+	bump := &image.Proc{Name: "bump", NumArgs: 0, NumLocals: 0}
+	{
+		var a image.Asm
+		a.Emit(isa.LG0)
+		a.Emit(isa.LI1)
+		a.Emit(isa.ADD)
+		a.Emit(isa.SGB, 0)
+		a.Emit(isa.LG0)
+		a.Emit(isa.RET)
+		bump.Body = a.Fragment()
+	}
+	mod.Procs = []*image.Proc{bump}
+	prog := linkOne(t, mod, "bump", linker.Options{})
+	m, err := New(prog, ConfigMesa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := mem.Word(101); want <= 103; want++ {
+		res, err := m.CallNamed("g", "bump")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0] != want {
+			t.Fatalf("bump = %v, want %d", res, want)
+		}
+	}
+}

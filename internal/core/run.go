@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/regbank"
+)
+
+// Call transfers to a procedure descriptor from outside the machine (the
+// role the paper's creation context plays for the whole computation) and
+// runs until the computation returns to NIL or HALTs. The final argument
+// record — the entry procedure's results — is returned.
+func (m *Machine) Call(desc mem.Word, args ...mem.Word) ([]mem.Word, error) {
+	if m.prog == nil {
+		return nil, ErrNotBooted
+	}
+	if len(args) > EvalStackDepth {
+		return nil, fmt.Errorf("%w: %d arguments", ErrStack, len(args))
+	}
+	m.halted = false
+	m.sp = 0
+	for _, a := range args {
+		m.stack[m.sp] = a
+		m.sp++
+	}
+	m.lf, m.gf = 0, 0
+	m.cbValid = false
+	m.curFSI, m.curRet = -1, false
+	m.retCtx = 0
+	m.trapSaves = nil
+	if m.cfg.RegBanks > 0 && m.stackBank < 0 {
+		m.stackBank = m.acquireBank(regbank.OwnerStack)
+	}
+	m.snapshot()
+	if err := m.xferIn(desc, KindXfer); err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	return append([]mem.Word(nil), m.stack[:m.sp]...), nil
+}
+
+// CallNamed resolves "Module.proc" in the program and calls it.
+func (m *Machine) CallNamed(module, proc string, args ...mem.Word) ([]mem.Word, error) {
+	desc, err := m.prog.FindProc(module, proc)
+	if err != nil {
+		return nil, err
+	}
+	return m.Call(desc, args...)
+}
+
+// Run executes until the machine halts, fails, or exceeds the step limit.
+func (m *Machine) Run() error {
+	for !m.halted {
+		if m.metrics.Instructions >= m.cfg.MaxSteps {
+			return fmt.Errorf("%w: %d", ErrMaxSteps, m.cfg.MaxSteps)
+		}
+		if err := m.Step(); err != nil {
+			return fmt.Errorf("%s at pc %06x: %w", m.prog.ProcName(m.pc), m.pc, err)
+		}
+	}
+	return nil
+}
+
+// Halted reports whether the machine has stopped.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Results returns the current argument record (the evaluation stack) —
+// meaningful after a halt.
+func (m *Machine) Results() []mem.Word {
+	return append([]mem.Word(nil), m.stack[:m.sp]...)
+}
+
+// Entry returns the program's start descriptor.
+func (m *Machine) Entry() mem.Word { return m.prog.Entry }

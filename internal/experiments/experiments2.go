@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/linker"
+	"repro/internal/regbank"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// E5ReturnStack reproduces §6: with a small IFU return stack, returns are
+// handled as fast as calls as long as transfers follow a LIFO discipline;
+// the fallback (flushing) is rare. Measured both on synthetic traces and
+// on the real compiled corpus.
+func E5ReturnStack() (*Result, error) {
+	r := &Result{ID: "E5", Title: "IFU return stack (§6)", Values: map[string]float64{}}
+	tr := workload.Generate(workload.TraceConfig{Events: 300000, Seed: 11})
+	t := stats.NewTable("return-stack hit rate vs depth (synthetic trace + corpus)",
+		"depth", "trace hit rate", "corpus hit rate", "corpus evictions/call")
+	var hit8 float64
+	for _, depth := range []int{1, 2, 4, 8, 16} {
+		ts := workload.Replay(tr, depth, 0)
+		var hits, misses, evict, calls uint64
+		for _, p := range workload.Corpus() {
+			cfg := core.Config{ReturnStackDepth: depth}
+			m, _, err := runProgram(p, linker.Options{}, cfg)
+			if err != nil {
+				return nil, err
+			}
+			mt := m.Metrics()
+			hits += mt.RSHits
+			misses += mt.RSMisses
+			evict += mt.RSEvicted
+			calls += mt.Transfers[core.KindExternalCall] + mt.Transfers[core.KindLocalCall] + mt.Transfers[core.KindDirectCall]
+		}
+		corpus := stats.Ratio(hits, hits+misses)
+		if depth == 8 {
+			hit8 = corpus
+			r.Values["trace_hit8"] = ts.RSHitRate()
+		}
+		t.AddRow(depth, fmt.Sprintf("%.1f%%", 100*ts.RSHitRate()),
+			fmt.Sprintf("%.1f%%", 100*corpus),
+			fmt.Sprintf("%.3f", stats.Ratio(evict, calls)))
+	}
+	r.Table = t
+	r.Values["corpus_hit8"] = hit8
+	r.check(hit8 >= 0.90, "a small (8-entry) return stack serves nearly all returns", "%.1f%%", 100*hit8)
+	return r, nil
+}
+
+// E6CallSpace reproduces §6 D1: the static space tradeoff between the
+// link-vector scheme and direct calls. A procedure called once from a
+// module costs a one-byte call plus a two-byte LV entry; DIRECTCALL is
+// four bytes (~30% more); SHORTDIRECTCALL is three (break-even at one
+// call, 50% more at two).
+func E6CallSpace() (*Result, error) {
+	r := &Result{ID: "E6", Title: "Static call-linkage space (§6 D1)", Values: map[string]float64{}}
+	t := stats.NewTable("bytes to call one external procedure k times from a module",
+		"calls k", "LV scheme (call+entry)", "DIRECTCALL", "SHORTDIRECTCALL", "DCALL vs LV", "SDCALL vs LV")
+	for _, k := range []int{1, 2, 3, 4} {
+		lv := k*1 + 2 // k one-byte EFCn + one 2-byte LV entry
+		dc := k * 4
+		sd := k * 3
+		t.AddRow(k, lv, dc, sd,
+			fmt.Sprintf("%+.0f%%", 100*(float64(dc)/float64(lv)-1)),
+			fmt.Sprintf("%+.0f%%", 100*(float64(sd)/float64(lv)-1)))
+		if k == 1 {
+			r.Values["dcall_overhead_k1"] = float64(dc)/float64(lv) - 1
+			r.Values["sdcall_overhead_k1"] = float64(sd)/float64(lv) - 1
+		}
+		if k == 2 {
+			r.Values["sdcall_overhead_k2"] = float64(sd)/float64(lv) - 1
+		}
+	}
+	r.Table = t
+	r.check(r.Values["dcall_overhead_k1"] > 0.25 && r.Values["dcall_overhead_k1"] < 0.40,
+		"DIRECTCALL costs ~30% more space for a procedure called once", "%+.0f%%", 100*r.Values["dcall_overhead_k1"])
+	r.check(r.Values["sdcall_overhead_k1"] == 0,
+		"SHORTDIRECTCALL breaks even at one call", "%+.0f%%", 100*r.Values["sdcall_overhead_k1"])
+	r.check(r.Values["sdcall_overhead_k2"] == 0.5,
+		"SHORTDIRECTCALL costs 50% more at two calls (6 bytes vs 4)", "%+.0f%%", 100*r.Values["sdcall_overhead_k2"])
+
+	// Measured on the corpus: whole-program code + link-vector space under
+	// the three linkages.
+	mt := stats.NewTable("measured whole-program space by linkage",
+		"program", "LV scheme (B)", "DCALL only (B)", "DCALL+SDCALL (B)")
+	var lvB, dcB, sdB int
+	for _, p := range workload.Corpus() {
+		_, s1, err := p.Build(linker.Options{})
+		if err != nil {
+			return nil, err
+		}
+		_, s2, err := p.Build(linker.Options{EarlyBind: true, NoShortCalls: true})
+		if err != nil {
+			return nil, err
+		}
+		_, s3, err := p.Build(linker.Options{EarlyBind: true})
+		if err != nil {
+			return nil, err
+		}
+		b1 := s1.CodeBytes + 2*s1.LVWords
+		b2 := s2.CodeBytes + 2*s2.LVWords
+		b3 := s3.CodeBytes + 2*s3.LVWords
+		mt.AddRow(p.Name, b1, b2, b3)
+		lvB += b1
+		dcB += b2
+		sdB += b3
+	}
+	mt.AddRow("TOTAL", lvB, dcB, sdB)
+	r.Table2 = mt
+	r.Values["measured_dcall_ratio"] = float64(dcB) / float64(lvB)
+	r.check(dcB > lvB, "direct-call linkage trades space for speed (larger code)",
+		"%.2fx the LV scheme", float64(dcB)/float64(lvB))
+	r.check(sdB < dcB, "SDCALL narrowing recovers part of the space", "%d -> %d bytes", dcB, sdB)
+	return r, nil
+}
+
+// E7RegisterBanks reproduces §7.1: overflow+underflow happens on under 5%
+// of transfers with 4 banks and about 1% with 8; 95% of frames are under
+// 80 bytes; and with a fast path used 95% of the time and a 5x-cost slow
+// path, effective frame allocation runs at ~0.8x the fast speed.
+func E7RegisterBanks() (*Result, error) {
+	r := &Result{ID: "E7", Title: "Register banks: overflow/underflow and frame sizes (§7.1)", Values: map[string]float64{}}
+	tr := workload.Generate(workload.TraceConfig{Events: 300000, Seed: 13})
+	t := stats.NewTable("bank trouble rate vs frame banks (synthetic trace + corpus)",
+		"frame banks", "trace trouble", "corpus trouble")
+	var trace4, trace8, corpus4, corpus8 float64
+	for _, banks := range []int{2, 3, 4, 6, 8, 10} {
+		ts := workload.Replay(tr, 16, banks)
+		var over, under, xfers uint64
+		for _, p := range workload.Corpus() {
+			cfg := core.Config{ReturnStackDepth: 16, RegBanks: banks + 1, BankWords: 16}
+			m, _, err := runProgram(p, linker.Options{}, cfg)
+			if err != nil {
+				return nil, err
+			}
+			mt := m.Metrics()
+			over += mt.BankOverflows
+			under += mt.BankUnderflows
+			for _, n := range mt.Transfers {
+				xfers += n
+			}
+		}
+		corpus := stats.Ratio(over+under, xfers)
+		switch banks {
+		case 4:
+			trace4, corpus4 = ts.TroubleRate(), corpus
+		case 8:
+			trace8, corpus8 = ts.TroubleRate(), corpus
+		}
+		t.AddRow(banks, fmt.Sprintf("%.2f%%", 100*ts.TroubleRate()), fmt.Sprintf("%.2f%%", 100*corpus))
+	}
+	r.Table = t
+	r.Values["trace_trouble4"] = trace4
+	r.Values["trace_trouble8"] = trace8
+	r.Values["corpus_trouble4"] = corpus4
+	r.Values["corpus_trouble8"] = corpus8
+	r.check(trace4 < 0.05, "with 4 banks, overflow+underflow on <5% of XFERs", "%.2f%%", 100*trace4)
+	r.check(trace8 < 0.01, "with 8 banks, the rate is under 1% (Patterson's band)", "%.2f%%", 100*trace8)
+	r.check(corpus8 <= corpus4, "more banks never hurt on the corpus", "%.2f%% vs %.2f%%", 100*corpus8, 100*corpus4)
+
+	// Frame sizes: §7.1's "95% of all frames allocated are smaller than 80
+	// bytes" bound, measured over the compiled corpus.
+	var szHist stats.Histogram
+	for _, p := range workload.Corpus() {
+		_, lst, err := p.Build(linker.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for _, wds := range lst.FrameWordHst {
+			szHist.Observe(wds * 2) // bytes
+		}
+	}
+	under80 := szHist.FractionAtMost(79)
+	r.Values["frames_under_80B"] = under80
+	r.check(under80 >= 0.95, "95% of frames are smaller than 80 bytes", "%.0f%% (max %dB)",
+		100*under80, szHist.Max())
+
+	// Effective allocation speed: fast path (free-frame stack) vs the
+	// general path. The paper: "If the general scheme is five times more
+	// costly and it is used 5% of the time, the effective speed of frame
+	// allocation is .8 times the fast speed."
+	var ffHit, ffTotal uint64
+	for _, p := range workload.Corpus() {
+		m, _, err := runProgram(p, linker.Options{}, core.ConfigFastCalls)
+		if err != nil {
+			return nil, err
+		}
+		mt := m.Metrics()
+		ffHit += mt.FFHits
+		ffTotal += mt.FFHits + mt.FFMisses
+	}
+	hitRate := stats.Ratio(ffHit, ffTotal)
+	// fast path = 0 refs; general path = 3 refs (+2 cycles each) on top of
+	// one dispatch-equivalent unit; express effective speed on the paper's
+	// model: cost 1 fast, 5 slow.
+	eff := 1 / (hitRate*1 + (1-hitRate)*5)
+	r.Values["ff_hit_rate"] = hitRate
+	r.Values["effective_alloc_speed"] = eff
+	r.check(hitRate > 0.90, "the free-frame stack serves ~95% of allocations", "%.0f%%", 100*hitRate)
+	r.check(eff > 0.7, "effective allocation speed ~0.8x the fast path", "%.2fx", eff)
+	return r, nil
+}
+
+// E8ArgPassing reproduces §7.2 / Figure 3: renaming the stack bank to the
+// callee's frame makes argument passing free — no data words move at a
+// call — where the §5.2 scheme stores every argument into the frame.
+func E8ArgPassing() (*Result, error) {
+	r := &Result{ID: "E8", Title: "Argument passing: stack stores vs bank renaming (§5.2, §7.2, Fig 3)",
+		Values: map[string]float64{}}
+	t := stats.NewTable("argument words stored into frames per call",
+		"program", "I2/I3 (stores)", "I4 (renaming)", "renames")
+	var words23, words4, calls23, calls4 uint64
+	for _, p := range workload.Corpus() {
+		m2, _, err := runProgram(p, linker.Options{}, core.ConfigMesa)
+		if err != nil {
+			return nil, err
+		}
+		m4, _, err := runProgram(p, linker.Options{EarlyBind: true}, core.ConfigFastCalls)
+		if err != nil {
+			return nil, err
+		}
+		mt2, mt4 := m2.Metrics(), m4.Metrics()
+		c2 := mt2.CallsAndReturns() / 2
+		c4 := mt4.CallsAndReturns() / 2
+		t.AddRow(p.Name,
+			fmt.Sprintf("%.2f", stats.Ratio(mt2.ArgWordsMoved, c2)),
+			fmt.Sprintf("%.2f", stats.Ratio(mt4.ArgWordsMoved, c4)),
+			mt4.BankRenames)
+		words23 += mt2.ArgWordsMoved
+		calls23 += c2
+		words4 += mt4.ArgWordsMoved
+		calls4 += c4
+	}
+	r.Table = t
+	per23 := stats.Ratio(words23, calls23)
+	per4 := stats.Ratio(words4, calls4)
+	r.Values["arg_words_stack"] = per23
+	r.Values["arg_words_banks"] = per4
+	r.check(per23 > 0.5, "the stack scheme stores every argument word (wasteful, §5.2)", "%.2f words/call", per23)
+	r.check(per4 < 0.05*per23, "renaming passes arguments with essentially no data movement", "%.3f words/call", per4)
+
+	// Figure 3's bank-assignment trace, replayed literally: begin in X,
+	// call A, return, call B, B calls C, return, call D, return.
+	r.Table2 = figure3Trace()
+	return r, nil
+}
+
+// figure3Trace drives the bank file through Figure 3's sequence and
+// renders the assignment after each step.
+func figure3Trace() *stats.Table {
+	bf := regbank.New(4, 16)
+	names := map[int32]string{regbank.OwnerFree: "-", regbank.OwnerStack: "S"}
+	t := stats.NewTable("Figure 3: bank assignment (4 banks; S=stack, Fx=frame of x)",
+		"step", "bank1", "bank2", "bank3", "bank4")
+	var stack []int32
+	next := int32(0x1000)
+	frameName := map[int32]string{}
+	snapshot := func(step string) {
+		row := []interface{}{step}
+		for i := 0; i < 4; i++ {
+			o := bf.Get(i).Owner
+			if n, ok := names[o]; ok {
+				row = append(row, n)
+			} else if n, ok := frameName[o]; ok {
+				row = append(row, "L="+n)
+			} else {
+				row = append(row, "?")
+			}
+		}
+		t.AddRow(row...)
+	}
+	call := func(who string) {
+		lf := next
+		next += 64
+		frameName[lf] = "F" + who
+		sb := bf.StackBank()
+		bf.Rename(sb, lf)
+		bf.Acquire(regbank.OwnerStack)
+		stack = append(stack, lf)
+		snapshot("call " + who)
+	}
+	ret := func() {
+		lf := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b := bf.Lookup(uint16(lf)); b >= 0 {
+			bf.Release(b)
+		}
+		if len(stack) > 0 {
+			if bf.Lookup(uint16(stack[len(stack)-1])) < 0 {
+				bf.Acquire(stack[len(stack)-1])
+			}
+		}
+		snapshot("return")
+	}
+	bf.Acquire(regbank.OwnerStack)
+	call("X")
+	call("A")
+	ret()
+	call("B")
+	call("C")
+	ret()
+	call("D")
+	ret()
+	return t
+}

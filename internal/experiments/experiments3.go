@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/linker"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// E9Tradeoffs reproduces §8's conclusion — the three-way tradeoff between
+// simplicity, space and speed — and the headline claim: simple calls and
+// returns execute as fast as unconditional jumps at least 95% of the time
+// under the full optimization stack, while the general model is preserved.
+func E9Tradeoffs() (*Result, error) {
+	r := &Result{ID: "E9", Title: "The tradeoff triangle and the headline claim (§8)", Values: map[string]float64{}}
+	t := stats.NewTable("cycles per call+return by implementation (jump = fmt cycles)",
+		"program", "I2 cyc", "I3 cyc", "I4 cyc", "I4/I2 speedup", "I4 jump-fast %")
+
+	configs := []struct {
+		name string
+		opts linker.Options
+		cfg  core.Config
+	}{
+		{"I2", linker.Options{}, core.ConfigMesa},
+		{"I3", linker.Options{EarlyBind: true}, core.ConfigFastFetch},
+		{"I4", linker.Options{EarlyBind: true}, core.ConfigFastCalls},
+	}
+
+	var totFast, totCR uint64
+	var worstFast = 1.0
+	callHeavy := []*workload.Program{workload.Fib(16), workload.CallChain(150), workload.Interfaces(60), workload.Tak(10, 6, 3)}
+	for _, p := range callHeavy {
+		var cyc [3]float64
+		var fastFrac float64
+		for i, c := range configs {
+			m, _, err := runProgram(p, c.opts, c.cfg)
+			if err != nil {
+				return nil, err
+			}
+			mt := m.Metrics()
+			cr := mt.CallsAndReturns()
+			var transferCycles uint64
+			for _, k := range []core.TransferKind{core.KindExternalCall, core.KindLocalCall, core.KindDirectCall, core.KindReturn} {
+				transferCycles += uint64(mt.CyclesPer[k].Sum())
+			}
+			cyc[i] = float64(transferCycles) / float64(cr)
+			if c.name == "I4" {
+				fastFrac = mt.FastFraction()
+				totFast += mt.FastTransfers
+				totCR += cr
+				if fastFrac < worstFast {
+					worstFast = fastFrac
+				}
+			}
+		}
+		t.AddRow(p.Name,
+			fmt.Sprintf("%.1f", cyc[0]), fmt.Sprintf("%.1f", cyc[1]), fmt.Sprintf("%.1f", cyc[2]),
+			fmt.Sprintf("%.1fx", cyc[0]/cyc[2]),
+			fmt.Sprintf("%.1f%%", 100*fastFrac))
+		if p.Name == callHeavy[0].Name {
+			r.Values["i2_cyc"] = cyc[0]
+			r.Values["i3_cyc"] = cyc[1]
+			r.Values["i4_cyc"] = cyc[2]
+		}
+	}
+	r.Table = t
+	overall := stats.Ratio(totFast, totCR)
+	r.Values["jump_fast_fraction"] = overall
+	r.Values["worst_program_fast"] = worstFast
+	r.check(r.Values["i2_cyc"] > r.Values["i3_cyc"] && r.Values["i3_cyc"] > r.Values["i4_cyc"],
+		"each implementation level strictly speeds up transfers (I2 > I3 > I4 cycles)",
+		"%.1f > %.1f > %.1f", r.Values["i2_cyc"], r.Values["i3_cyc"], r.Values["i4_cyc"])
+	r.check(overall >= 0.95,
+		"HEADLINE: calls and returns as fast as unconditional jumps >=95% of the time",
+		"%.1f%% of %d calls+returns at jump speed (%d cycles)", 100*overall, totCR, core.JumpCycles)
+	r.check(r.Values["i4_cyc"] < float64(core.JumpCycles)*1.5,
+		"I4's mean call+return cost approaches the jump cost",
+		"%.1f cycles vs %d-cycle jump", r.Values["i4_cyc"], core.JumpCycles)
+	return r, nil
+}
+
+// E10EarlyBinding reproduces §8's closing point: the program behaves
+// identically under the general (I2) linkage and the early-bound (I3)
+// linkage — converting between them only moves the balance among space,
+// execution speed and relinking speed.
+func E10EarlyBinding() (*Result, error) {
+	r := &Result{ID: "E10", Title: "Automatic conversion between linkages (§6, §8)", Values: map[string]float64{}}
+	t := stats.NewTable("same program, two linkages, same machine (I4)",
+		"program", "identical output", "LV space (B)", "direct space (B)", "LV cycles", "direct cycles", "speedup")
+	var cycLV, cycD uint64
+	for _, p := range workload.Corpus() {
+		mLV, sLV, err := runProgram(p, linker.Options{}, core.ConfigFastCalls)
+		if err != nil {
+			return nil, err
+		}
+		mD, sD, err := runProgram(p, linker.Options{EarlyBind: true}, core.ConfigFastCalls)
+		if err != nil {
+			return nil, err
+		}
+		same := len(mLV.Output) == len(mD.Output)
+		if same {
+			for i := range mLV.Output {
+				if mLV.Output[i] != mD.Output[i] {
+					same = false
+					break
+				}
+			}
+		}
+		c1, c2 := mLV.Metrics().Cycles, mD.Metrics().Cycles
+		cycLV += c1
+		cycD += c2
+		t.AddRow(p.Name, same,
+			sLV.CodeBytes+2*sLV.LVWords, sD.CodeBytes+2*sD.LVWords,
+			c1, c2, fmt.Sprintf("%.2fx", float64(c1)/float64(c2)))
+		if !same {
+			r.check(false, "program behaves identically under both linkages", "output diverged on %s", p.Name)
+		}
+	}
+	r.Table = t
+	r.Values["speedup"] = float64(cycLV) / float64(cycD)
+	r.check(true, "program behaves identically under both linkages", "all corpus outputs equal")
+	r.check(cycD < cycLV, "early binding trades space for execution speed", "%.2fx faster overall",
+		float64(cycLV)/float64(cycD))
+	return r, nil
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/linker"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// E11CallDensity reproduces §1's motivating statistic: "one call or return
+// for every 10 instructions executed is not uncommon" in well-structured
+// programs — the reason transfer cost is a critical element of language
+// support.
+func E11CallDensity() (*Result, error) {
+	r := &Result{ID: "E11", Title: "Dynamic call density (§1)", Values: map[string]float64{}}
+	t := stats.NewTable("instructions per call-or-return, by program",
+		"program", "instructions", "calls+returns", "instrs per transfer")
+	var minRatio = 1e9
+	var sumI, sumCR uint64
+	for _, p := range workload.Corpus() {
+		m, _, err := runProgram(p, linker.Options{}, core.ConfigMesa)
+		if err != nil {
+			return nil, err
+		}
+		mt := m.Metrics()
+		cr := mt.CallsAndReturns()
+		ratio := float64(mt.Instructions) / float64(cr)
+		if ratio < minRatio {
+			minRatio = ratio
+		}
+		sumI += mt.Instructions
+		sumCR += cr
+		t.AddRow(p.Name, mt.Instructions, cr, fmt.Sprintf("%.1f", ratio))
+	}
+	overall := float64(sumI) / float64(sumCR)
+	t.AddRow("OVERALL", sumI, sumCR, fmt.Sprintf("%.1f", overall))
+	r.Table = t
+	r.Values["instrs_per_transfer"] = overall
+	r.Values["min_instrs_per_transfer"] = minRatio
+	r.check(minRatio <= 12,
+		"call-heavy programs approach one call or return per ~10 instructions",
+		"densest program: one per %.1f instructions", minRatio)
+	r.check(overall < 40,
+		"transfers are frequent enough across the corpus to dominate tuning",
+		"one per %.1f instructions overall", overall)
+	return r, nil
+}
+
+// E12LocalReferenceShare reproduces §7.3's argument for register banks
+// over a cache: "Half or more of all data memory references may be to
+// local variables. Removing this burden from the cache effectively
+// doubles its bandwidth."
+func E12LocalReferenceShare() (*Result, error) {
+	r := &Result{ID: "E12", Title: "Local variables dominate data references (§7.3)", Values: map[string]float64{}}
+	t := stats.NewTable("program data references by category, and what banks remove",
+		"program", "local", "global", "pointer", "local share", "storage refs I2", "storage refs I4", "removed")
+	var locals, globals, pointers, dataRefs, dataRefs4 uint64
+	for _, p := range workload.Corpus() {
+		m2, _, err := runProgram(p, linker.Options{}, core.ConfigMesa)
+		if err != nil {
+			return nil, err
+		}
+		m4, _, err := runProgram(p, linker.Options{EarlyBind: true}, core.ConfigFastCalls)
+		if err != nil {
+			return nil, err
+		}
+		mt2, mt4 := m2.Metrics(), m4.Metrics()
+		d2 := mt2.ChargedRefs
+		d4 := mt4.ChargedRefs
+		t.AddRow(p.Name, mt2.LocalVarRefs, mt2.GlobalVarRefs, mt2.PointerRefs,
+			fmt.Sprintf("%.0f%%", 100*mt2.LocalShare()), d2, d4,
+			fmt.Sprintf("%.0f%%", 100*(1-float64(d4)/float64(d2))))
+		locals += mt2.LocalVarRefs
+		globals += mt2.GlobalVarRefs
+		pointers += mt2.PointerRefs
+		dataRefs += d2
+		dataRefs4 += d4
+	}
+	share := stats.Ratio(locals, locals+globals+pointers)
+	removed := 1 - float64(dataRefs4)/float64(dataRefs)
+	t.AddRow("OVERALL", locals, globals, pointers,
+		fmt.Sprintf("%.0f%%", 100*share), dataRefs, dataRefs4,
+		fmt.Sprintf("%.0f%%", 100*removed))
+	r.Table = t
+	r.Values["local_share"] = share
+	r.Values["refs_removed"] = removed
+	r.check(share >= 0.5,
+		"half or more of all data references are to local variables",
+		"%.0f%%", 100*share)
+	r.check(removed >= 0.5,
+		"banks remove that burden from storage, ~doubling effective bandwidth",
+		"%.0f%% of storage references eliminated (%.1fx bandwidth)",
+		100*removed, 1/(1-removed))
+	return r, nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass is the reproduction gate: every quantitative
+// claim of the paper must hold, with the calibration noted in
+// EXPERIMENTS.md.
+func TestAllExperimentsPass(t *testing.T) {
+	results, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 {
+		t.Fatalf("%d experiments, want 12 (E1-E12)", len(results))
+	}
+	for _, r := range results {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			if len(r.Checks) == 0 {
+				t.Fatalf("%s has no checks", r.ID)
+			}
+			for _, c := range r.Checks {
+				if !c.Pass {
+					t.Errorf("%s: %s — measured %s", r.ID, c.Claim, c.Got)
+				}
+			}
+			out := r.String()
+			if !strings.Contains(out, r.ID) || !strings.Contains(out, "PASS") {
+				t.Errorf("%s renders oddly:\n%s", r.ID, out)
+			}
+		})
+	}
+}
+
+// TestAblationsRun checks the sensitivity sweeps complete and their
+// sanity checks hold.
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	results, err := Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("%d ablations, want 5", len(results))
+	}
+	for _, r := range results {
+		for _, c := range r.Checks {
+			if !c.Pass {
+				t.Errorf("%s: %s — measured %s", r.ID, c.Claim, c.Got)
+			}
+		}
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := &Result{ID: "EX", Title: "demo"}
+	r.check(true, "claim", "got %d", 42)
+	r.check(false, "bad claim", "oops")
+	if r.Passed() {
+		t.Fatal("failing check not detected")
+	}
+	if len(r.Checks) != 2 {
+		t.Fatal("checks lost")
+	}
+}

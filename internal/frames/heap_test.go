@@ -1,0 +1,282 @@
+package frames
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func newHeap(t *testing.T, check bool) (*mem.Memory, *Heap) {
+	t.Helper()
+	m := mem.New()
+	h, err := New(m, Config{
+		AVBase:    0x0100,
+		HeapBase:  0x0200,
+		HeapLimit: 0xf000,
+		Check:     check,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, h
+}
+
+func TestDefaultSizesShape(t *testing.T) {
+	sizes := DefaultSizes(20, 25)
+	if len(sizes) != 20 {
+		t.Fatalf("len = %d", len(sizes))
+	}
+	if sizes[0] != 8 {
+		t.Fatalf("min class = %d words, want 8 (16 bytes)", sizes[0])
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatalf("not ascending at %d: %v", i, sizes)
+		}
+		if sizes[i]%2 != 0 {
+			t.Fatalf("odd class size %d", sizes[i])
+		}
+		growth := float64(sizes[i]) / float64(sizes[i-1])
+		if growth > 1.45 {
+			t.Fatalf("step %d grows %.2fx, want ~20-25%%", i, growth)
+		}
+	}
+	// "less than 20 steps are needed to cover any size up to several
+	// thousand bytes": last class comfortably beyond 1000 bytes.
+	if last := sizes[len(sizes)-1] * 2; last < 1000 {
+		t.Fatalf("largest class only %d bytes", last)
+	}
+}
+
+func TestAllocCostsThreeRefsOnFastPath(t *testing.T) {
+	m, h := newHeap(t, true)
+	// Prime the free list so the next alloc is a pure fast path.
+	lf, err := h.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(lf); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetStats()
+	if _, err := h.Alloc(0); err != nil {
+		t.Fatal(err)
+	}
+	if refs := m.Stats().Refs(); refs != 3 {
+		t.Fatalf("fast-path alloc took %d refs, paper says 3", refs)
+	}
+}
+
+func TestFreeCostsFourRefs(t *testing.T) {
+	m, h := newHeap(t, true)
+	lf, err := h.Alloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ResetStats()
+	if err := h.Free(lf); err != nil {
+		t.Fatal(err)
+	}
+	if refs := m.Stats().Refs(); refs != 4 {
+		t.Fatalf("free took %d refs, paper says 4", refs)
+	}
+}
+
+func TestAllocFreeReuse(t *testing.T) {
+	_, h := newHeap(t, true)
+	a, err := h.Alloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Alloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("free frame not reused: %04x then %04x", a, b)
+	}
+	st := h.Stats()
+	if st.TrapAllocs != 1 {
+		t.Fatalf("TrapAllocs = %d, want 1 (first alloc only)", st.TrapAllocs)
+	}
+	if st.FastAllocs != 1 {
+		t.Fatalf("FastAllocs = %d, want 1 (the reuse)", st.FastAllocs)
+	}
+}
+
+func TestFrameBodiesEvenAligned(t *testing.T) {
+	_, h := newHeap(t, true)
+	for fsi := 0; fsi < h.Classes(); fsi += 3 {
+		lf, err := h.Alloc(fsi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lf%2 != 0 {
+			t.Fatalf("frame body %04x odd: tag bit would be corrupted", lf)
+		}
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocWordsPicksSmallestClass(t *testing.T) {
+	_, h := newHeap(t, true)
+	lf, fsi, err := h.AllocWords(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SizeOf(fsi) < 9 {
+		t.Fatalf("class %d holds %d < 9 words", fsi, h.SizeOf(fsi))
+	}
+	if fsi > 0 && h.SizeOf(fsi-1) >= 9 {
+		t.Fatalf("class %d not smallest for 9 words", fsi)
+	}
+	_ = lf
+}
+
+func TestFragmentationBounded(t *testing.T) {
+	_, h := newHeap(t, false)
+	rng := rand.New(rand.NewSource(42))
+	var frames []mem.Addr
+	for i := 0; i < 300; i++ {
+		n := 6 + rng.Intn(60)
+		lf, _, err := h.AllocWords(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, lf)
+		if len(frames) > 20 {
+			k := rng.Intn(len(frames))
+			if err := h.Free(frames[k]); err != nil {
+				t.Fatal(err)
+			}
+			frames[k] = frames[len(frames)-1]
+			frames = frames[:len(frames)-1]
+		}
+	}
+	frag := h.Stats().InternalFragmentation()
+	if frag > 0.15 {
+		t.Fatalf("fragmentation %.1f%% exceeds the paper's ~10%% band", 100*frag)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	_, h := newHeap(t, true)
+	lf, err := h.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(lf); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(lf); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("double free not detected: %v", err)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	m := mem.New()
+	h, err := New(m, Config{AVBase: 0x10, HeapBase: 0x40, HeapLimit: 0x60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got error
+	for i := 0; i < 100; i++ {
+		if _, got = h.Alloc(0); got != nil {
+			break
+		}
+	}
+	if !errors.Is(got, ErrExhausted) {
+		t.Fatalf("expected exhaustion, got %v", got)
+	}
+}
+
+func TestFlags(t *testing.T) {
+	_, h := newHeap(t, true)
+	lf, err := h.Alloc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.HasFlag(lf, FlagRetained) {
+		t.Fatal("fresh frame marked retained")
+	}
+	h.SetFlag(lf, FlagRetained)
+	if !h.HasFlag(lf, FlagRetained) {
+		t.Fatal("retained flag lost")
+	}
+	if h.FSIOf(lf) != 3 {
+		t.Fatalf("FSIOf = %d after flag set", h.FSIOf(lf))
+	}
+}
+
+func TestNoSizeClassLargeEnough(t *testing.T) {
+	_, h := newHeap(t, false)
+	if _, _, err := h.AllocWords(100000); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("want ErrBadSize, got %v", err)
+	}
+}
+
+func TestRandomWorkloadInvariants(t *testing.T) {
+	_, h := newHeap(t, true)
+	rng := rand.New(rand.NewSource(1))
+	live := []mem.Addr{}
+	for i := 0; i < 2000; i++ {
+		if len(live) == 0 || rng.Intn(2) == 0 {
+			lf, _, err := h.AllocWords(4 + rng.Intn(100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, lf)
+		} else {
+			k := rng.Intn(len(live))
+			if err := h.Free(live[k]); err != nil {
+				t.Fatal(err)
+			}
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if i%251 == 0 {
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if int(h.Stats().Live) != len(live) {
+		t.Fatalf("Live = %d, model says %d", h.Stats().Live, len(live))
+	}
+}
+
+func TestNonLIFOFreeOrder(t *testing.T) {
+	// §5.3: "It requires no special cases to handle the frames of multiple
+	// processes or coroutines, retained frames, or argument records, since
+	// it does not depend on a last-in first-out discipline."
+	_, h := newHeap(t, true)
+	var fs []mem.Addr
+	for i := 0; i < 10; i++ {
+		lf, err := h.Alloc(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs = append(fs, lf)
+	}
+	for _, i := range []int{0, 5, 2, 9, 1, 7, 3, 8, 4, 6} { // arbitrary order
+		if err := h.Free(fs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats().Live != 0 {
+		t.Fatalf("Live = %d", h.Stats().Live)
+	}
+}

@@ -1,0 +1,85 @@
+// Package ifu models the instruction-fetch-unit state of §6: a small
+// hardware return stack holding (frame pointer, global frame pointer, PC)
+// for each suspended caller, so that returns can be handled as fast as
+// calls — and calls as fast as unconditional jumps — as long as transfers
+// follow a LIFO discipline.
+//
+// When anything unusual happens (an XFER other than a simple call or
+// return, or the stack overflowing), the machine falls back to the general
+// scheme by flushing entries: the frame pointer goes into the returnLink
+// component of the next higher frame, and the PC into the PC component of
+// the entry's own frame. The package only keeps the state; the processor
+// performs the memory writes, so the cost accounting stays in one place.
+package ifu
+
+// Entry records one suspended caller: the processor-register state that
+// would otherwise have to be written to storage. FSI and Retained cache
+// the caller's frame-header fields so the eventual fast return need not
+// re-read the header; FSI is -1 when unknown (the caller was entered via
+// the general path).
+type Entry struct {
+	LF       uint16 // caller's local frame pointer
+	GF       uint16 // caller's global frame pointer
+	PC       uint32 // caller's resumption PC (absolute code byte address)
+	FSI      int16  // caller's frame size class, -1 unknown
+	Retained bool   // caller's frame is retained
+	// CalleeLF is the frame entered by this call: flushing the entry
+	// writes LF into that frame's returnLink (already done at call time in
+	// this implementation; kept for diagnostics).
+	CalleeLF uint16
+}
+
+// Stack is the IFU return stack. The zero value is unusable; call New.
+type Stack struct {
+	entries []Entry
+	depth   int
+}
+
+// New returns a return stack holding up to depth entries; depth 0 disables
+// the optimization (every operation misses).
+func New(depth int) *Stack {
+	return &Stack{entries: make([]Entry, 0, depth), depth: depth}
+}
+
+// Depth reports the configured capacity.
+func (s *Stack) Depth() int { return s.depth }
+
+// Len reports the number of live entries.
+func (s *Stack) Len() int { return len(s.entries) }
+
+// Push records a suspended caller. If the stack is full the oldest entry
+// is evicted and returned with evicted=true: the machine must flush it to
+// storage.
+func (s *Stack) Push(e Entry) (old Entry, evicted bool) {
+	if s.depth == 0 {
+		return e, true
+	}
+	if len(s.entries) == s.depth {
+		old = s.entries[0]
+		copy(s.entries, s.entries[1:])
+		s.entries[len(s.entries)-1] = e
+		return old, true
+	}
+	s.entries = append(s.entries, e)
+	return Entry{}, false
+}
+
+// Pop removes and returns the most recent entry. ok is false when the
+// stack is empty (the return must take the general path).
+func (s *Stack) Pop() (Entry, bool) {
+	if len(s.entries) == 0 {
+		return Entry{}, false
+	}
+	e := s.entries[len(s.entries)-1]
+	s.entries = s.entries[:len(s.entries)-1]
+	return e, true
+}
+
+// Flush empties the stack, returning the entries oldest-first so the
+// machine can write each to storage.
+func (s *Stack) Flush() []Entry {
+	out := make([]Entry, len(s.entries))
+	copy(out, s.entries)
+	s.entries = s.entries[:0]
+	return out
+}

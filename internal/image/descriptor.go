@@ -1,0 +1,96 @@
+// Package image defines the representation of compiled programs: packed
+// procedure descriptors, the global frame table, modules with their entry
+// and link vectors, relocatable instruction fragments, and the final loaded
+// Program consumed by the processor.
+//
+// The encoding follows §5.1 of the paper. A context word is either a frame
+// pointer (even — bit 0 clear) or a procedure descriptor packed into 16
+// bits: a one-bit tag, a ten-bit gfi naming a global-frame-table entry, and
+// a five-bit ev naming an entry-vector slot. A GFT entry holds the 14-bit
+// quad-aligned address of the instance's global frame plus a two-bit bias;
+// the bias, in multiples of 32, extends a module to 128 entry points by
+// letting one instance own up to four GFT entries.
+package image
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Descriptor field widths.
+const (
+	GFIBits = 10
+	EVBits  = 5
+	MaxGFI  = 1<<GFIBits - 1 // 1023
+	MaxEV   = 1<<EVBits - 1  // 31
+	// BiasStep is the entry-point bias granularity: each GFT bias unit
+	// shifts the entry vector window by 32 slots.
+	BiasStep = 32
+	// MaxProcs is the most entry points one module instance can expose
+	// (four biased GFT entries × 32 slots).
+	MaxProcs = 4 * BiasStep
+)
+
+// Context-word tag.
+const procTag mem.Word = 1
+
+// ErrDescriptor reports an unencodable descriptor.
+var ErrDescriptor = errors.New("image: descriptor field out of range")
+
+// PackProc builds the 16-bit procedure descriptor for (gfi, ev).
+func PackProc(gfi, ev int) (mem.Word, error) {
+	if gfi < 0 || gfi > MaxGFI || ev < 0 || ev > MaxEV {
+		return 0, fmt.Errorf("%w: gfi=%d ev=%d", ErrDescriptor, gfi, ev)
+	}
+	return procTag | mem.Word(gfi)<<1 | mem.Word(ev)<<(1+GFIBits), nil
+}
+
+// IsProc reports whether context word w carries the procedure tag.
+func IsProc(w mem.Word) bool { return w&procTag != 0 }
+
+// UnpackProc splits a procedure descriptor into its gfi and ev fields.
+// The caller must have checked IsProc.
+func UnpackProc(w mem.Word) (gfi, ev int) {
+	return int(w>>1) & MaxGFI, int(w>>(1+GFIBits)) & MaxEV
+}
+
+// FramePtr converts a frame address to a context word. Frame bodies are
+// even-aligned so the tag bit is naturally clear.
+func FramePtr(lf mem.Addr) mem.Word {
+	if lf&1 != 0 {
+		panic(fmt.Sprintf("image: odd frame pointer %04x", lf))
+	}
+	return lf
+}
+
+// GFT entries: 14-bit quad address | 2-bit bias.
+
+// PackGFTEntry builds a GFT entry for a global frame at gf with the given
+// entry-point bias. gf must be quad-aligned.
+func PackGFTEntry(gf mem.Addr, bias int) (mem.Word, error) {
+	if gf&3 != 0 {
+		return 0, fmt.Errorf("%w: global frame %04x not quad-aligned", ErrDescriptor, gf)
+	}
+	if bias < 0 || bias > 3 {
+		return 0, fmt.Errorf("%w: bias %d", ErrDescriptor, bias)
+	}
+	return mem.Word(gf) | mem.Word(bias), nil
+}
+
+// UnpackGFTEntry splits a GFT entry into the global frame address and the
+// bias (already scaled to entry-vector slots).
+func UnpackGFTEntry(e mem.Word) (gf mem.Addr, biasSlots int) {
+	return e &^ 3, int(e&3) * BiasStep
+}
+
+// DescriptorFor computes the descriptor for entry point ev of an instance
+// whose first GFT slot is gfiBase: entry points beyond 32 use the biased
+// GFT entries.
+func DescriptorFor(gfiBase, evIndex int) (mem.Word, error) {
+	if evIndex < 0 || evIndex >= MaxProcs {
+		return 0, fmt.Errorf("%w: entry index %d", ErrDescriptor, evIndex)
+	}
+	return PackProc(gfiBase+evIndex/BiasStep, evIndex%BiasStep)
+}

@@ -1,0 +1,314 @@
+package image
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func TestPackProcRoundTrip(t *testing.T) {
+	f := func(gfi, ev uint16) bool {
+		g := int(gfi) % (MaxGFI + 1)
+		e := int(ev) % (MaxEV + 1)
+		w, err := PackProc(g, e)
+		if err != nil {
+			return false
+		}
+		if !IsProc(w) {
+			return false
+		}
+		g2, e2 := UnpackProc(w)
+		return g2 == g && e2 == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackProcRejectsOutOfRange(t *testing.T) {
+	if _, err := PackProc(MaxGFI+1, 0); err == nil {
+		t.Error("gfi out of range accepted")
+	}
+	if _, err := PackProc(0, MaxEV+1); err == nil {
+		t.Error("ev out of range accepted")
+	}
+	if _, err := PackProc(-1, 0); err == nil {
+		t.Error("negative gfi accepted")
+	}
+}
+
+func TestFramePointersAreNotProcs(t *testing.T) {
+	// Frame bodies are even-aligned, so the tag bit distinguishes them
+	// from procedure descriptors.
+	for _, a := range []mem.Addr{0x0600, 0x1000, 0xFFFE} {
+		if IsProc(FramePtr(a)) {
+			t.Errorf("frame %04x tagged as proc", a)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd frame pointer accepted")
+		}
+	}()
+	FramePtr(0x0601)
+}
+
+func TestGFTEntryBias(t *testing.T) {
+	e, err := PackGFTEntry(0x0640, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, bias := UnpackGFTEntry(e)
+	if gf != 0x0640 || bias != 3*BiasStep {
+		t.Fatalf("gf=%04x bias=%d", gf, bias)
+	}
+	if _, err := PackGFTEntry(0x0641, 0); err == nil {
+		t.Error("unaligned GF accepted")
+	}
+	if _, err := PackGFTEntry(0x0640, 4); err == nil {
+		t.Error("bias 4 accepted")
+	}
+}
+
+func TestDescriptorForBias(t *testing.T) {
+	// Entry point 40 of an instance at gfiBase 7 must use GFT slot 8
+	// (bias 1) with ev 8: the §5.1 escape hatch for large modules.
+	d, err := DescriptorFor(7, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gfi, ev := UnpackProc(d)
+	if gfi != 8 || ev != 8 {
+		t.Fatalf("gfi=%d ev=%d, want 8/8", gfi, ev)
+	}
+	if _, err := DescriptorFor(0, MaxProcs); err == nil {
+		t.Error("entry beyond 128 accepted")
+	}
+}
+
+func TestAsmAndResolveShortJump(t *testing.T) {
+	var a Asm
+	l := a.NewLabel()
+	a.Emit(isa.LI1)
+	a.EmitJump(isa.JZB, l)
+	a.Emit(isa.LI2)
+	a.Bind(l)
+	a.Emit(isa.RET)
+	frag := a.Fragment()
+	out, imap, err := ResolveJumps(frag.Ins, frag.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("resolved %d instrs", len(out))
+	}
+	// LI1 at 0, JZB at 1 (offset 1), LI2 at 3, RET at 4: jump rel = 4-1 = 3.
+	if out[1].Op != isa.JZB || out[1].Arg != 3 {
+		t.Fatalf("jump = %v", out[1])
+	}
+	if imap[1] != 1 || imap[3] != 3 {
+		t.Fatalf("index map %v", imap)
+	}
+}
+
+func TestResolveWidensLongConditional(t *testing.T) {
+	var a Asm
+	l := a.NewLabel()
+	a.EmitJump(isa.JLB, l)
+	for i := 0; i < 100; i++ {
+		a.Emit(isa.LIW, 0x1234) // 3 bytes each
+		a.Emit(isa.POP)
+	}
+	a.Bind(l)
+	a.Emit(isa.RET)
+	frag := a.Fragment()
+	out, imap, err := ResolveJumps(frag.Ins, frag.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The conditional must have widened into an inverted hop over a JW.
+	if out[0].Op != isa.JGEB || out[0].Arg != 5 {
+		t.Fatalf("first = %v, want JGEB +5", out[0])
+	}
+	if out[1].Op != isa.JW {
+		t.Fatalf("second = %v, want JW", out[1])
+	}
+	// Verify the JW lands on RET by walking the encoding.
+	code := isa.EncodeAll(out)
+	target := 2 + int(out[1].Arg)
+	in, _, err := isa.Decode(code, target)
+	if err != nil || in.Op != isa.RET {
+		t.Fatalf("JW target decodes to %v (%v)", in, err)
+	}
+	// The RET's mapped index is the last instruction.
+	if imap[len(frag.Ins)-1] != len(out)-1 {
+		t.Fatalf("index map end: %d vs %d", imap[len(frag.Ins)-1], len(out)-1)
+	}
+}
+
+func TestResolveBackwardJump(t *testing.T) {
+	var a Asm
+	top := a.NewLabel()
+	a.Bind(top)
+	a.Emit(isa.LI1)
+	a.Emit(isa.POP)
+	a.EmitJump(isa.JB, top)
+	frag := a.Fragment()
+	out, _, err := ResolveJumps(frag.Ins, frag.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[2].Arg != -2 {
+		t.Fatalf("backward jump arg = %d, want -2", out[2].Arg)
+	}
+}
+
+func TestResolveUnboundLabel(t *testing.T) {
+	var a Asm
+	l := a.NewLabel()
+	a.EmitJump(isa.JB, l)
+	frag := a.Fragment()
+	if _, _, err := ResolveJumps(frag.Ins, frag.Labels); err == nil {
+		t.Fatal("unbound label resolved")
+	}
+}
+
+func TestModuleValidate(t *testing.T) {
+	good := &Module{Name: "m", Procs: []*Proc{{Name: "p"}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Module{Name: "m", Procs: []*Proc{{
+		Name: "p",
+		Body: Fragment{Ins: []RInstr{{Op: isa.EFCB, Arg: 0, Kind: ArgImport}}},
+	}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("import out of range accepted")
+	}
+	tooMany := &Module{Name: "m"}
+	for i := 0; i < MaxProcs+1; i++ {
+		tooMany.Procs = append(tooMany.Procs, &Proc{Name: "p"})
+	}
+	if err := tooMany.Validate(); err == nil {
+		t.Fatal("too many entry points accepted")
+	}
+}
+
+func TestFrameWords(t *testing.T) {
+	p := &Proc{NumArgs: 2, NumLocals: 5}
+	if p.FrameWords() != FrameHeaderWords+5 {
+		t.Fatalf("FrameWords = %d", p.FrameWords())
+	}
+}
+
+func TestRandomFragmentsResolve(t *testing.T) {
+	// Property: any fragment of straight-line code with forward and
+	// backward jumps resolves, encodes, and every jump lands on an
+	// instruction boundary.
+	seed := int64(0)
+	for trial := 0; trial < 200; trial++ {
+		seed++
+		var a Asm
+		rng := newRand(seed)
+		n := 5 + int(rng()%60)
+		var labels []int
+		for i := 0; i < 4; i++ {
+			labels = append(labels, a.NewLabel())
+		}
+		bound := map[int]bool{}
+		for i := 0; i < n; i++ {
+			switch rng() % 6 {
+			case 0:
+				a.Emit(isa.LI1)
+			case 1:
+				a.Emit(isa.LIW, int32(rng()%65536))
+			case 2:
+				a.Emit(isa.POP)
+			case 3:
+				l := labels[rng()%4]
+				a.EmitJump(isa.JB, l)
+			case 4:
+				l := labels[rng()%4]
+				a.EmitJump([]isa.Op{isa.JZB, isa.JNZB, isa.JLB, isa.JGEB}[rng()%4], l)
+			case 5:
+				l := labels[rng()%4]
+				if !bound[l] {
+					a.Bind(l)
+					bound[l] = true
+				}
+			}
+		}
+		for _, l := range labels {
+			if !bound[l] {
+				a.Bind(l) // bind to end
+			}
+		}
+		a.Emit(isa.RET)
+		frag := a.Fragment()
+		out, _, err := ResolveJumps(frag.Ins, frag.Labels)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		code := isa.EncodeAll(out)
+		// Every decoded jump must land on an instruction boundary.
+		boundaries := map[int]bool{}
+		for pc := 0; pc < len(code); {
+			boundaries[pc] = true
+			_, sz, err := isa.Decode(code, pc)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			pc += sz
+		}
+		boundaries[len(code)] = true
+		for pc := 0; pc < len(code); {
+			in, sz, _ := isa.Decode(code, pc)
+			if in.Op.IsJump() {
+				if !boundaries[pc+int(in.Arg)] {
+					t.Fatalf("trial %d: jump at %d to %d off boundary", trial, pc, pc+int(in.Arg))
+				}
+			}
+			pc += sz
+		}
+	}
+}
+
+func newRand(seed int64) func() uint32 {
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	return func() uint32 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return uint32(s >> 16)
+	}
+}
+
+func TestDisassembleContainsSymbols(t *testing.T) {
+	var a Asm
+	a.Emit(isa.LL0)
+	a.Emit(isa.RET)
+	m := &Module{Name: "demo", Procs: []*Proc{{Name: "p", NumArgs: 1, NumLocals: 1, Body: a.Fragment()}}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A minimal hand-built program around the module.
+	prog := &Program{
+		Code:       append(make([]byte, 0x10), 0, 0, 0, 0),
+		FrameSizes: []int{8},
+		Symbols:    map[uint32]string{},
+	}
+	inst := &Instance{Module: m, GFIBase: 0, GF: 0x0640, CodeBase: 0x10,
+		EVOffsets: []uint16{4}, FSI: []int{0}}
+	prog.Instances = []*Instance{inst}
+	// header (2B GF + fsi) + body
+	body := isa.EncodeAll([]isa.Instr{{Op: isa.LL0}, {Op: isa.RET}})
+	prog.Code = append(prog.Code, 0x40, 0x06, 0) // ev table placeholder is at base; keep simple
+	prog.Code = append(prog.Code, body...)
+	out := prog.Disassemble()
+	if !strings.Contains(out, "module demo") || !strings.Contains(out, "proc p") {
+		t.Fatalf("disassembly missing names: %q", out)
+	}
+}

@@ -1,0 +1,202 @@
+package image
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// ArgKind says how to interpret the Arg of a relocatable instruction.
+type ArgKind byte
+
+const (
+	// ArgNone: the instruction has no operand, or Arg is already final.
+	ArgNone ArgKind = iota
+	// ArgLit: Arg is a literal operand value, final.
+	ArgLit
+	// ArgLabel: Arg is a label id within the fragment (jumps).
+	ArgLabel
+	// ArgImport: Arg indexes the module's import table (external calls).
+	ArgImport
+	// ArgLocalProc: Arg is a procedure index within the same module
+	// (local calls).
+	ArgLocalProc
+	// ArgImportDesc: Arg indexes the import table; the instruction wants
+	// the packed descriptor of the import as a 16-bit literal (LIW), used
+	// to create coroutine contexts for external procedures.
+	ArgImportDesc
+	// ArgLocalProcDesc: like ArgImportDesc but Arg is a procedure index in
+	// the same module.
+	ArgLocalProcDesc
+	// ArgFrameWords: Arg is a payload size in words; the linker rewrites
+	// it to the matching frame-size index (AFB).
+	ArgFrameWords
+)
+
+// RInstr is a relocatable instruction: an opcode plus an argument whose
+// meaning depends on Kind. The linker rewrites calls, resolves jumps, and
+// only then fixes the encoding.
+type RInstr struct {
+	Op   isa.Op
+	Arg  int32
+	Kind ArgKind
+}
+
+// Fragment is the relocatable body of one procedure: instructions plus
+// label bindings (label id -> instruction index).
+type Fragment struct {
+	Ins    []RInstr
+	Labels []int
+}
+
+// Import names an external procedure: module and procedure by name,
+// resolved by the linker.
+type Import struct {
+	Module string
+	Proc   string
+}
+
+// Proc is one compiled procedure.
+type Proc struct {
+	Name string
+	// NumArgs and NumLocals describe the frame: the first NumArgs locals
+	// are the arguments (the XFER delivers them there — §7.2's convention).
+	NumArgs   int
+	NumLocals int
+	// NumResults is the procedure's result arity (compiler metadata; the
+	// machine does not need it).
+	NumResults int
+	// Body is the relocatable code.
+	Body Fragment
+}
+
+// FrameWords reports the local-frame words the procedure needs: the three
+// header slots (return link, global frame, saved PC) plus its locals.
+func (p *Proc) FrameWords() int { return FrameHeaderWords + p.NumLocals }
+
+// FrameHeaderWords is the number of bookkeeping words at the bottom of
+// every local frame: word 0 return link, word 1 global frame, word 2 saved
+// PC. Locals start at word 3.
+const FrameHeaderWords = 3
+
+// Module is a compiled module: an abstraction's procedures sharing a
+// global frame (§5).
+type Module struct {
+	Name       string
+	NumGlobals int
+	// GlobalInit seeds the first len(GlobalInit) global variables.
+	GlobalInit []uint16
+	Procs      []*Proc
+	Imports    []Import
+}
+
+// ProcIndex returns the entry-vector index of the named procedure.
+func (m *Module) ProcIndex(name string) (int, bool) {
+	for i, p := range m.Procs {
+		if p.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Validate checks structural limits: entry-point count, import args, label
+// references.
+func (m *Module) Validate() error {
+	if len(m.Procs) > MaxProcs {
+		return fmt.Errorf("image: module %s has %d entry points; the biased GFT allows %d",
+			m.Name, len(m.Procs), MaxProcs)
+	}
+	for _, p := range m.Procs {
+		for i, in := range p.Body.Ins {
+			switch in.Kind {
+			case ArgImport, ArgImportDesc:
+				if int(in.Arg) >= len(m.Imports) || in.Arg < 0 {
+					return fmt.Errorf("image: %s.%s instr %d: import %d out of range", m.Name, p.Name, i, in.Arg)
+				}
+			case ArgLocalProc, ArgLocalProcDesc:
+				if int(in.Arg) >= len(m.Procs) || in.Arg < 0 {
+					return fmt.Errorf("image: %s.%s instr %d: local proc %d out of range", m.Name, p.Name, i, in.Arg)
+				}
+			case ArgLabel:
+				if int(in.Arg) >= len(p.Body.Labels) || in.Arg < 0 {
+					return fmt.Errorf("image: %s.%s instr %d: label %d out of range", m.Name, p.Name, i, in.Arg)
+				}
+				if idx := p.Body.Labels[in.Arg]; idx < 0 || idx > len(p.Body.Ins) {
+					return fmt.Errorf("image: %s.%s: label %d unbound", m.Name, p.Name, in.Arg)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Asm builds a Fragment instruction by instruction; the compiler's code
+// generator drives it.
+type Asm struct {
+	frag Fragment
+}
+
+// Emit appends an instruction with a final literal operand (or none).
+func (a *Asm) Emit(op isa.Op, arg ...int32) {
+	var v int32
+	kind := ArgNone
+	if len(arg) > 0 {
+		v = arg[0]
+		kind = ArgLit
+	}
+	a.frag.Ins = append(a.frag.Ins, RInstr{Op: op, Arg: v, Kind: kind})
+}
+
+// EmitCallImport appends an external call of import slot i; the linker
+// picks the form (EFCn/EFCB or DCALL/SDCALL).
+func (a *Asm) EmitCallImport(i int) {
+	a.frag.Ins = append(a.frag.Ins, RInstr{Op: isa.EFCB, Arg: int32(i), Kind: ArgImport})
+}
+
+// EmitCallLocal appends a local call of procedure index i.
+func (a *Asm) EmitCallLocal(i int) {
+	a.frag.Ins = append(a.frag.Ins, RInstr{Op: isa.LFCB, Arg: int32(i), Kind: ArgLocalProc})
+}
+
+// EmitLoadImportDesc appends a load of the packed descriptor of import i
+// (for COCREATE and first-class procedure values).
+func (a *Asm) EmitLoadImportDesc(i int) {
+	a.frag.Ins = append(a.frag.Ins, RInstr{Op: isa.LIW, Arg: int32(i), Kind: ArgImportDesc})
+}
+
+// EmitLoadLocalDesc appends a load of the packed descriptor of procedure i
+// of the same module.
+func (a *Asm) EmitLoadLocalDesc(i int) {
+	a.frag.Ins = append(a.frag.Ins, RInstr{Op: isa.LIW, Arg: int32(i), Kind: ArgLocalProcDesc})
+}
+
+// EmitAllocWords appends a frame allocation of at least n payload words;
+// the linker chooses the size class.
+func (a *Asm) EmitAllocWords(n int) {
+	a.frag.Ins = append(a.frag.Ins, RInstr{Op: isa.AFB, Arg: int32(n), Kind: ArgFrameWords})
+}
+
+// NewLabel allocates an unbound label.
+func (a *Asm) NewLabel() int {
+	a.frag.Labels = append(a.frag.Labels, -1)
+	return len(a.frag.Labels) - 1
+}
+
+// Bind attaches label l to the next instruction emitted.
+func (a *Asm) Bind(l int) { a.frag.Labels[l] = len(a.frag.Ins) }
+
+// EmitJump appends a jump to label l. op must be a jump opcode in its byte
+// form; the resolver widens as needed.
+func (a *Asm) EmitJump(op isa.Op, l int) {
+	if !op.IsJump() {
+		panic("image: EmitJump with non-jump " + op.String())
+	}
+	a.frag.Ins = append(a.frag.Ins, RInstr{Op: op, Arg: int32(l), Kind: ArgLabel})
+}
+
+// Fragment returns the accumulated fragment.
+func (a *Asm) Fragment() Fragment { return a.frag }
+
+// Len reports the number of instructions emitted so far.
+func (a *Asm) Len() int { return len(a.frag.Ins) }

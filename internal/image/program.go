@@ -1,0 +1,156 @@
+package image
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Standard main-data-space map. Address 0 is the NIL context.
+const (
+	GFTBase     mem.Addr = 0x0100 // 1024 words of global frame table
+	AVBase      mem.Addr = 0x0500 // allocation vector (≤256 size classes)
+	GlobalsBase mem.Addr = 0x0600 // linker places global frames and link vectors here
+	HeapLimit   mem.Addr = 0xFFE0 // frame heap runs from end of globals to here
+)
+
+// DataWord is one initialized word of the main data space.
+type DataWord struct {
+	Addr mem.Addr
+	Val  mem.Word
+}
+
+// Instance is one placed module instance: where its global frame, link
+// vector and code segment landed.
+type Instance struct {
+	Module  *Module
+	GFIBase int      // first GFT slot (one per 32 entry points)
+	GF      mem.Addr // global frame address (word 0,1 = code base; globals follow)
+	// LV entry i lives at GF-1-i: the link vector hangs below the global
+	// frame so one register (GF) addresses both.
+	CodeBase uint32
+	// EVOffsets[i] is the byte offset from CodeBase of procedure i's first
+	// byte (its frame-size index); its inline direct-call header (the
+	// global frame address, §6) occupies the two bytes before it.
+	EVOffsets []uint16
+	FSI       []int // frame size index per procedure
+}
+
+// HeaderBytes is the per-procedure inline header: two bytes of global frame
+// address followed by the one-byte frame size index (which the entry vector
+// points at). A DIRECTCALL operand addresses the first header byte.
+const HeaderBytes = 3
+
+// ProcHeaderAddr returns the code address of procedure i's inline header.
+func (in *Instance) ProcHeaderAddr(i int) uint32 {
+	return in.CodeBase + uint32(in.EVOffsets[i]) - 2
+}
+
+// ProcEntryPC returns the code address of procedure i's first instruction.
+func (in *Instance) ProcEntryPC(i int) uint32 {
+	return in.CodeBase + uint32(in.EVOffsets[i]) + 1
+}
+
+// Descriptor returns the packed procedure descriptor for procedure i of
+// this instance.
+func (in *Instance) Descriptor(i int) (mem.Word, error) {
+	return DescriptorFor(in.GFIBase, i)
+}
+
+// Program is a fully linked, loadable image.
+type Program struct {
+	Code       []byte     // the code space
+	Data       []DataWord // GFT entries, code bases, link vectors, global initializers
+	FrameSizes []int      // the frame-heap size-class table (part of the ABI: fsi bytes index it)
+	HeapBase   mem.Addr   // first word available to the frame heap
+	Entry      mem.Word   // packed descriptor of the start procedure
+	Instances  []*Instance
+
+	// Symbols maps a procedure's entry PC to "Module.proc" for diagnostics.
+	Symbols map[uint32]string
+}
+
+// Load pokes the initialized data words into m (uncharged: loading is not
+// program execution).
+func (p *Program) Load(m *mem.Memory) {
+	for _, dw := range p.Data {
+		m.Poke(dw.Addr, dw.Val)
+	}
+}
+
+// FindProc locates a procedure descriptor by "Module" and "proc" name in
+// the first matching instance.
+func (p *Program) FindProc(module, proc string) (mem.Word, error) {
+	for _, in := range p.Instances {
+		if in.Module.Name != module {
+			continue
+		}
+		if i, ok := in.Module.ProcIndex(proc); ok {
+			return in.Descriptor(i)
+		}
+		return 0, fmt.Errorf("image: module %s has no procedure %s", module, proc)
+	}
+	return 0, fmt.Errorf("image: no module %s", module)
+}
+
+// ProcName resolves an entry PC to a symbolic name.
+func (p *Program) ProcName(pc uint32) string {
+	if s, ok := p.Symbols[pc]; ok {
+		return s
+	}
+	return fmt.Sprintf("pc_%06x", pc)
+}
+
+// CodeBytes reports the size of the code space actually used.
+func (p *Program) CodeBytes() int { return len(p.Code) }
+
+// Disassemble renders every procedure of every instance.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for _, in := range p.Instances {
+		fmt.Fprintf(&b, "module %s  (gfi %d, GF %04x, code base %06x)\n",
+			in.Module.Name, in.GFIBase, in.GF, in.CodeBase)
+		for i, proc := range in.Module.Procs {
+			entry := in.ProcEntryPC(i)
+			end := uint32(len(p.Code))
+			// The procedure's code runs until the next header in this
+			// segment (or the segment end).
+			var nexts []uint32
+			for j := range in.Module.Procs {
+				if h := in.ProcHeaderAddr(j); h > entry {
+					nexts = append(nexts, h)
+				}
+			}
+			sort.Slice(nexts, func(a, c int) bool { return nexts[a] < nexts[c] })
+			if len(nexts) > 0 {
+				end = nexts[0]
+			} else if segEnd := p.segmentEnd(in); segEnd > entry {
+				end = segEnd
+			}
+			fmt.Fprintf(&b, "  proc %s (ev %d, fsi %d):\n", proc.Name, i, in.FSI[i])
+			for pc := entry; pc < end; {
+				instr, n, err := isa.Decode(p.Code, int(pc))
+				if err != nil {
+					fmt.Fprintf(&b, "    %06x: <%v>\n", pc, err)
+					break
+				}
+				fmt.Fprintf(&b, "    %06x: %s\n", pc, instr)
+				pc += uint32(n)
+			}
+		}
+	}
+	return b.String()
+}
+
+func (p *Program) segmentEnd(in *Instance) uint32 {
+	end := uint32(len(p.Code))
+	for _, other := range p.Instances {
+		if other.CodeBase > in.CodeBase && other.CodeBase < end {
+			end = other.CodeBase
+		}
+	}
+	return end
+}

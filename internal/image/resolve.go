@@ -1,0 +1,133 @@
+package image
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// invert maps each conditional jump to its negation, used when a byte-range
+// conditional must be widened into a short jump over a word jump.
+var invert = map[isa.Op]isa.Op{
+	isa.JZB:  isa.JNZB,
+	isa.JNZB: isa.JZB,
+	isa.JEB:  isa.JNEB,
+	isa.JNEB: isa.JEB,
+	isa.JLB:  isa.JGEB,
+	isa.JGEB: isa.JLB,
+	isa.JLEB: isa.JGB,
+	isa.JGB:  isa.JLEB,
+}
+
+// ResolveJumps turns a fragment whose call forms have already been chosen
+// into a final instruction list: label references become byte offsets
+// relative to the address of the jump opcode. Byte-form jumps that cannot
+// reach their target are widened — JB to JW, conditionals to an inverted
+// conditional hop over a JW (the classic relaxation). The returned index
+// map gives, for each source instruction, its position in the output (a
+// widened conditional maps to its first half).
+func ResolveJumps(ins []RInstr, labels []int) ([]isa.Instr, []int, error) {
+	type node struct {
+		RInstr
+		long bool
+	}
+	nodes := make([]node, len(ins))
+	for i, in := range ins {
+		nodes[i] = node{RInstr: in}
+		if in.Kind == ArgLabel {
+			if in.Op == isa.JW {
+				nodes[i].long = true
+			}
+		}
+	}
+	size := func(n node) int {
+		if n.Kind != ArgLabel {
+			return isa.Instr{Op: n.Op}.Len()
+		}
+		if !n.long {
+			return 2 // byte-form jump
+		}
+		if n.Op == isa.JB || n.Op == isa.JW {
+			return 3 // JW
+		}
+		return 5 // inverted conditional (2) + JW (3)
+	}
+
+	offsets := make([]int, len(nodes)+1)
+	labelOff := func(l int32) (int, error) {
+		if int(l) >= len(labels) || labels[l] < 0 || labels[l] > len(nodes) {
+			return 0, fmt.Errorf("image: unbound label %d", l)
+		}
+		return offsets[labels[l]], nil
+	}
+
+	for pass := 0; ; pass++ {
+		if pass > len(nodes)+2 {
+			return nil, nil, fmt.Errorf("image: jump relaxation did not converge")
+		}
+		off := 0
+		for i := range nodes {
+			offsets[i] = off
+			off += size(nodes[i])
+		}
+		offsets[len(nodes)] = off
+		changed := false
+		for i := range nodes {
+			n := &nodes[i]
+			if n.Kind != ArgLabel || n.long {
+				continue
+			}
+			to, err := labelOff(n.Arg)
+			if err != nil {
+				return nil, nil, err
+			}
+			rel := to - offsets[i]
+			if rel < -128 || rel > 127 {
+				n.long = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	var out []isa.Instr
+	indexMap := make([]int, len(nodes))
+	for i, n := range nodes {
+		indexMap[i] = len(out)
+		if n.Kind != ArgLabel {
+			out = append(out, isa.Instr{Op: n.Op, Arg: n.Arg})
+			continue
+		}
+		to, err := labelOff(n.Arg)
+		if err != nil {
+			return nil, nil, err
+		}
+		rel := to - offsets[i]
+		switch {
+		case !n.long:
+			out = append(out, isa.Instr{Op: n.Op, Arg: int32(rel)})
+		case n.Op == isa.JB || n.Op == isa.JW:
+			out = append(out, isa.Instr{Op: isa.JW, Arg: int32(rel)})
+		default:
+			inv, ok := invert[n.Op]
+			if !ok {
+				return nil, nil, fmt.Errorf("image: cannot widen %s", n.Op)
+			}
+			// [inv +5][JW rel-2]: the inverted jump hops over the JW;
+			// the JW sits 2 bytes past the original jump address.
+			out = append(out, isa.Instr{Op: inv, Arg: 5})
+			out = append(out, isa.Instr{Op: isa.JW, Arg: int32(rel - 2)})
+		}
+	}
+	// Sanity: emitted bytes match the final layout.
+	total := 0
+	for _, in := range out {
+		total += in.Len()
+	}
+	if total != offsets[len(nodes)] {
+		return nil, nil, fmt.Errorf("image: layout mismatch: %d vs %d bytes", total, offsets[len(nodes)])
+	}
+	return out, indexMap, nil
+}

@@ -1,0 +1,751 @@
+// Package interp is the reference implementation I1 (§4): it executes
+// programs in the source language directly over the abstract control
+// transfer model of internal/xfer, with contexts as first-class heap
+// objects. It defines the semantics the costed machine configurations
+// must reproduce — differential tests run every workload on both and
+// compare outputs word for word.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/lang"
+	"repro/internal/xfer"
+)
+
+// Word is the 16-bit machine word, matching the costed simulator.
+type Word = uint16
+
+// memSize is the interpreter's addressable data space for alloc/load/store
+// and for frame locals (so &local yields a real address).
+const memSize = 1 << 16
+
+// Interp runs analyzed programs.
+type Interp struct {
+	prog *lang.Program
+	sys  *xfer.System
+
+	mem   []Word
+	bump  int
+	freed map[int]int // addr -> size, crude free list for reuse
+
+	globals map[string][]Word
+	consts  map[string]map[string]Word
+
+	ctxTab  map[Word]xfer.Context
+	ctxRev  map[xfer.Context]Word
+	nextCtx Word
+
+	// trapModule/trapProc name the installed trap handler (settrap); a
+	// trap calls it with the code and the handler's result substitutes
+	// for the trapping operation's result.
+	trapModule string
+	trapProc   *lang.ProcDecl
+
+	// Output is the out() record.
+	Output []Word
+
+	steps    uint64
+	maxSteps uint64
+}
+
+// Errors.
+var (
+	ErrRuntime = errors.New("interp: runtime error")
+)
+
+// New prepares an interpreter for prog.
+func New(prog *lang.Program) *Interp {
+	ip := &Interp{
+		prog:     prog,
+		sys:      xfer.NewSystem(),
+		mem:      make([]Word, memSize),
+		bump:     0x100,
+		freed:    map[int]int{},
+		globals:  map[string][]Word{},
+		consts:   map[string]map[string]Word{},
+		ctxTab:   map[Word]xfer.Context{},
+		ctxRev:   map[xfer.Context]Word{},
+		nextCtx:  0x10,
+		maxSteps: 500_000_000,
+	}
+	for _, f := range prog.Files {
+		g := make([]Word, len(f.Globals))
+		cm := map[string]Word{}
+		for _, c := range f.Consts {
+			cm[c.Name] = c.Val
+		}
+		ip.consts[f.Name] = cm
+		for i, v := range f.Globals {
+			if v.Init != nil {
+				val, err := ip.constEval(f.Name, v.Init)
+				if err == nil {
+					g[i] = val
+				}
+			}
+		}
+		ip.globals[f.Name] = g
+		_ = i1Marker
+	}
+	return ip
+}
+
+// i1Marker exists so the package documents itself as I1 in godoc examples.
+const i1Marker = "I1"
+
+func (ip *Interp) constEval(module string, e lang.Expr) (Word, error) {
+	switch x := e.(type) {
+	case *lang.NumLit:
+		return x.Val, nil
+	case *lang.VarRef:
+		if v, ok := ip.consts[module][x.Name]; ok {
+			return v, nil
+		}
+	case *lang.UnaryExpr:
+		v, err := ip.constEval(module, x.X)
+		if err == nil {
+			switch x.Op {
+			case lang.MINUS:
+				return -v, nil
+			case lang.TILDE:
+				return ^v, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("%w: not a constant", ErrRuntime)
+}
+
+// Close releases the underlying transfer system (suspended coroutines).
+func (ip *Interp) Close() { ip.sys.Shutdown() }
+
+// activation is one procedure instance's evaluation state.
+type activation struct {
+	ip     *Interp
+	module string
+	proc   *lang.ProcDecl
+	fr     *xfer.Frame
+	base   int // locals base address in ip.mem
+	slots  map[string]int
+	nSlots int
+}
+
+// alloc blocks from the interpreter's data space.
+func (ip *Interp) allocWords(n int) (int, error) {
+	if n <= 0 {
+		n = 1
+	}
+	for a, sz := range ip.freed {
+		if sz >= n {
+			delete(ip.freed, a)
+			return a, nil
+		}
+	}
+	if ip.bump+n >= memSize {
+		return 0, fmt.Errorf("%w: data space exhausted", ErrRuntime)
+	}
+	a := ip.bump
+	ip.bump += n
+	return a, nil
+}
+
+func (ip *Interp) freeWords(a, n int) { ip.freed[a] = n }
+
+// ctxHandle interns a context as a word value.
+func (ip *Interp) ctxHandle(c xfer.Context) Word {
+	if c == nil {
+		return 0
+	}
+	if h, ok := ip.ctxRev[c]; ok {
+		return h
+	}
+	h := ip.nextCtx
+	ip.nextCtx += 2
+	ip.ctxTab[h] = c
+	ip.ctxRev[c] = h
+	return h
+}
+
+func (ip *Interp) ctxOf(h Word) (xfer.Context, error) {
+	if c, ok := ip.ctxTab[h]; ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("%w: %04x is not a context", ErrRuntime, h)
+}
+
+// descFor builds the creation context (procedure descriptor) for a
+// procedure: its Code runs the body over a fresh activation.
+func (ip *Interp) descFor(module string, proc *lang.ProcDecl) *xfer.ProcDesc {
+	return &xfer.ProcDesc{
+		Name: module + "." + proc.Name,
+		Env:  module,
+		Code: func(fr *xfer.Frame, args []xfer.Value) []xfer.Value {
+			act := &activation{ip: ip, module: module, proc: proc, fr: fr,
+				slots: map[string]int{}}
+			// Allocate addressable locals; parameters are the first slots
+			// (the argument record lands in them — F4).
+			nWords := countLocals(proc)
+			base, err := ip.allocWords(nWords)
+			if err != nil {
+				panic(err)
+			}
+			act.base = base
+			for i := range ip.mem[base : base+nWords] {
+				ip.mem[base+i] = 0
+			}
+			for i, p := range proc.Params {
+				act.slots[p] = base + i
+				if i < len(args) {
+					ip.mem[base+i] = args[i]
+				}
+			}
+			act.nSlots = len(proc.Params)
+			ctl, err := act.execBlock(proc.Body)
+			if err != nil {
+				panic(err)
+			}
+			if !fr.Retained {
+				ip.freeWords(base, nWords)
+			}
+			if ctl.kind == ctlReturn {
+				return ctl.vals
+			}
+			return nil
+		},
+	}
+}
+
+// countLocals computes the addressable slots a procedure needs: params
+// plus every var declaration in the body.
+func countLocals(proc *lang.ProcDecl) int {
+	n := len(proc.Params)
+	var walk func(b *lang.Block)
+	walk = func(b *lang.Block) {
+		for _, s := range b.Stmts {
+			switch st := s.(type) {
+			case *lang.DeclStmt:
+				n += len(st.Vars)
+			case *lang.IfStmt:
+				walk(st.Then)
+				if st.Else != nil {
+					walk(st.Else)
+				}
+			case *lang.WhileStmt:
+				walk(st.Body)
+			}
+		}
+	}
+	walk(proc.Body)
+	return n + 1 // at least one word so zero-local frames are addressable
+}
+
+// Run calls module.proc with args and returns its results and the output
+// record.
+func (ip *Interp) Run(module, proc string, args ...Word) ([]Word, error) {
+	f := ip.prog.File(module)
+	if f == nil {
+		return nil, fmt.Errorf("%w: no module %s", ErrRuntime, module)
+	}
+	var pd *lang.ProcDecl
+	for _, p := range f.Procs {
+		if p.Name == proc {
+			pd = p
+			break
+		}
+	}
+	if pd == nil {
+		return nil, fmt.Errorf("%w: no procedure %s.%s", ErrRuntime, module, proc)
+	}
+	vals := make([]xfer.Value, len(args))
+	copy(vals, args)
+	res, err := ip.sys.Call(ip.descFor(module, pd), vals...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Word, len(res))
+	copy(out, res)
+	return out, nil
+}
+
+// control flow results
+
+type ctlKind int
+
+const (
+	ctlNormal ctlKind = iota
+	ctlReturn
+)
+
+type ctl struct {
+	kind ctlKind
+	vals []Word
+}
+
+func (a *activation) err(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s.%s:%d: %s", ErrRuntime, a.module, a.proc.Name, line, fmt.Sprintf(format, args...))
+}
+
+func (a *activation) execBlock(b *lang.Block) (ctl, error) {
+	for _, s := range b.Stmts {
+		c, err := a.execStmt(s)
+		if err != nil || c.kind != ctlNormal {
+			return c, err
+		}
+	}
+	return ctl{}, nil
+}
+
+func (a *activation) execStmt(s lang.Stmt) (ctl, error) {
+	a.ip.steps++
+	if a.ip.steps > a.ip.maxSteps {
+		return ctl{}, fmt.Errorf("%w: step limit", ErrRuntime)
+	}
+	switch st := s.(type) {
+	case *lang.DeclStmt:
+		for _, v := range st.Vars {
+			// A declaration inside a loop re-executes; the slot is bound
+			// once per activation (names are unique per procedure).
+			addr, ok := a.slots[v.Name]
+			if !ok {
+				addr = a.base + a.nSlots
+				a.nSlots++
+				a.slots[v.Name] = addr
+			}
+			if v.Init != nil {
+				val, err := a.eval(v.Init)
+				if err != nil {
+					return ctl{}, err
+				}
+				a.ip.mem[addr] = val
+			} else {
+				a.ip.mem[addr] = 0
+			}
+		}
+		return ctl{}, nil
+	case *lang.AssignStmt:
+		if len(st.Targets) == 1 {
+			v, err := a.eval(st.Value)
+			if err != nil {
+				return ctl{}, err
+			}
+			return ctl{}, a.store(st.Targets[0], v, st.Line)
+		}
+		call, ok := st.Value.(*lang.CallExpr)
+		if !ok {
+			return ctl{}, a.err(st.Line, "multiple assignment requires a call")
+		}
+		vals, err := a.evalCall(call, len(st.Targets))
+		if err != nil {
+			return ctl{}, err
+		}
+		if len(vals) != len(st.Targets) {
+			return ctl{}, a.err(st.Line, "call yields %d results, %d wanted", len(vals), len(st.Targets))
+		}
+		for i, t := range st.Targets {
+			if err := a.store(t, vals[i], st.Line); err != nil {
+				return ctl{}, err
+			}
+		}
+		return ctl{}, nil
+	case *lang.ExprStmt:
+		if call, ok := st.X.(*lang.CallExpr); ok {
+			_, err := a.evalCall(call, -1)
+			return ctl{}, err
+		}
+		_, err := a.eval(st.X)
+		return ctl{}, err
+	case *lang.IfStmt:
+		c, err := a.eval(st.Cond)
+		if err != nil {
+			return ctl{}, err
+		}
+		if c != 0 {
+			return a.execBlock(st.Then)
+		}
+		if st.Else != nil {
+			return a.execBlock(st.Else)
+		}
+		return ctl{}, nil
+	case *lang.WhileStmt:
+		for {
+			c, err := a.eval(st.Cond)
+			if err != nil {
+				return ctl{}, err
+			}
+			if c == 0 {
+				return ctl{}, nil
+			}
+			r, err := a.execBlock(st.Body)
+			if err != nil || r.kind != ctlNormal {
+				return r, err
+			}
+			a.ip.steps++
+			if a.ip.steps > a.ip.maxSteps {
+				return ctl{}, fmt.Errorf("%w: step limit", ErrRuntime)
+			}
+		}
+	case *lang.ReturnStmt:
+		vals := make([]Word, 0, len(st.Values))
+		for _, e := range st.Values {
+			v, err := a.eval(e)
+			if err != nil {
+				return ctl{}, err
+			}
+			vals = append(vals, v)
+		}
+		return ctl{kind: ctlReturn, vals: vals}, nil
+	}
+	return ctl{}, fmt.Errorf("%w: unknown statement %T", ErrRuntime, s)
+}
+
+func (a *activation) store(name string, v Word, line int) error {
+	if addr, ok := a.slots[name]; ok {
+		a.ip.mem[addr] = v
+		return nil
+	}
+	f := a.ip.prog.File(a.module)
+	for i, g := range f.Globals {
+		if g.Name == name {
+			a.ip.globals[a.module][i] = v
+			return nil
+		}
+	}
+	if _, isConst := a.ip.consts[a.module][name]; isConst {
+		return a.err(line, "cannot assign to constant %s", name)
+	}
+	return a.err(line, "undefined variable %s", name)
+}
+
+func (a *activation) eval(e lang.Expr) (Word, error) {
+	switch x := e.(type) {
+	case *lang.NumLit:
+		return x.Val, nil
+	case *lang.VarRef:
+		if addr, ok := a.slots[x.Name]; ok {
+			return a.ip.mem[addr], nil
+		}
+		if v, ok := a.ip.consts[a.module][x.Name]; ok {
+			return v, nil
+		}
+		f := a.ip.prog.File(a.module)
+		for i, g := range f.Globals {
+			if g.Name == x.Name {
+				return a.ip.globals[a.module][i], nil
+			}
+		}
+		return 0, a.err(x.Line, "undefined variable %s", x.Name)
+	case *lang.AddrOf:
+		addr, ok := a.slots[x.Name]
+		if !ok {
+			return 0, a.err(x.Line, "&%s: not a local", x.Name)
+		}
+		return Word(addr), nil
+	case *lang.UnaryExpr:
+		v, err := a.eval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case lang.MINUS:
+			return isa.Neg(v), nil
+		case lang.TILDE:
+			return ^v, nil
+		case lang.BANG:
+			return isa.Bool(v == 0), nil
+		}
+		return 0, a.err(x.Line, "bad unary")
+	case *lang.BinExpr:
+		return a.evalBin(x)
+	case *lang.CallExpr:
+		vals, err := a.evalCall(x, 1)
+		if err != nil {
+			return 0, err
+		}
+		if len(vals) != 1 {
+			return 0, a.err(x.Line, "%s yields %d results in value context", x.Proc, len(vals))
+		}
+		return vals[0], nil
+	case *lang.ProcRef:
+		return 0, a.err(x.Line, "procedure reference outside cocreate")
+	}
+	return 0, fmt.Errorf("%w: unknown expression %T", ErrRuntime, e)
+}
+
+func (a *activation) evalBin(x *lang.BinExpr) (Word, error) {
+	// Short-circuit forms first.
+	if x.Op == lang.ANDAND || x.Op == lang.OROR {
+		l, err := a.eval(x.L)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op == lang.ANDAND && l == 0 {
+			return 0, nil
+		}
+		if x.Op == lang.OROR && l != 0 {
+			return 1, nil
+		}
+		r, err := a.eval(x.R)
+		if err != nil {
+			return 0, err
+		}
+		return isa.Bool(r != 0), nil
+	}
+	l, err := a.eval(x.L)
+	if err != nil {
+		return 0, err
+	}
+	r, err := a.eval(x.R)
+	if err != nil {
+		return 0, err
+	}
+	switch x.Op {
+	case lang.PLUS:
+		return isa.Add(l, r), nil
+	case lang.MINUS:
+		return isa.Sub(l, r), nil
+	case lang.STAR:
+		return isa.Mul(l, r), nil
+	case lang.SLASH:
+		v, ok := isa.Div(l, r)
+		if !ok {
+			return a.trap(trapDivZero, x.Line, "division by zero")
+		}
+		return v, nil
+	case lang.PERCENT:
+		v, ok := isa.Mod(l, r)
+		if !ok {
+			return a.trap(trapDivZero, x.Line, "division by zero")
+		}
+		return v, nil
+	case lang.AMP:
+		return l & r, nil
+	case lang.PIPE:
+		return l | r, nil
+	case lang.CARET:
+		return l ^ r, nil
+	case lang.LSHIFT:
+		return isa.Shl(l, r), nil
+	case lang.RSHIFT:
+		return isa.Shr(l, r), nil
+	case lang.EQ:
+		return isa.Bool(l == r), nil
+	case lang.NE:
+		return isa.Bool(l != r), nil
+	case lang.LT:
+		return isa.Bool(isa.LessSigned(l, r)), nil
+	case lang.LE:
+		return isa.Bool(!isa.LessSigned(r, l)), nil
+	case lang.GT:
+		return isa.Bool(isa.LessSigned(r, l)), nil
+	case lang.GE:
+		return isa.Bool(!isa.LessSigned(l, r)), nil
+	}
+	return 0, a.err(x.Line, "bad operator")
+}
+
+func (a *activation) evalCall(x *lang.CallExpr, wantResults int) ([]Word, error) {
+	if x.Module == "" && lang.IsBuiltin(x.Proc) {
+		return a.evalBuiltin(x, wantResults)
+	}
+	module := x.Module
+	if module == "" {
+		module = a.module
+	}
+	f := a.ip.prog.File(module)
+	if f == nil {
+		return nil, a.err(x.Line, "unknown module %s", module)
+	}
+	var pd *lang.ProcDecl
+	for _, p := range f.Procs {
+		if p.Name == x.Proc {
+			pd = p
+			break
+		}
+	}
+	if pd == nil {
+		return nil, a.err(x.Line, "no procedure %s.%s", module, x.Proc)
+	}
+	if len(x.Args) != len(pd.Params) {
+		return nil, a.err(x.Line, "%s takes %d arguments, %d given", x.Proc, len(pd.Params), len(x.Args))
+	}
+	args := make([]xfer.Value, 0, len(x.Args))
+	for _, ae := range x.Args {
+		v, err := a.eval(ae)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	res := a.fr.Call(a.ip.descFor(module, pd), args...)
+	out := make([]Word, len(res))
+	copy(out, res)
+	return out, nil
+}
+
+func (a *activation) evalBuiltin(x *lang.CallExpr, wantResults int) ([]Word, error) {
+	evalArgs := func(from int) ([]Word, error) {
+		var out []Word
+		for _, ae := range x.Args[from:] {
+			v, err := a.eval(ae)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	switch x.Proc {
+	case "out":
+		vs, err := evalArgs(0)
+		if err != nil {
+			return nil, err
+		}
+		a.ip.Output = append(a.ip.Output, vs[0])
+		return nil, nil
+	case "load":
+		vs, err := evalArgs(0)
+		if err != nil {
+			return nil, err
+		}
+		return []Word{a.ip.mem[vs[0]]}, nil
+	case "store":
+		vs, err := evalArgs(0)
+		if err != nil {
+			return nil, err
+		}
+		a.ip.mem[vs[0]] = vs[1]
+		return nil, nil
+	case "alloc":
+		vs, err := evalArgs(0)
+		if err != nil {
+			return nil, err
+		}
+		addr, err := a.ip.allocWords(int(vs[0]))
+		if err != nil {
+			return nil, err
+		}
+		return []Word{Word(addr)}, nil
+	case "dealloc":
+		vs, err := evalArgs(0)
+		if err != nil {
+			return nil, err
+		}
+		a.ip.freeWords(int(vs[0]), 1)
+		return nil, nil
+	case "cocreate":
+		ref := x.Args[0].(*lang.ProcRef)
+		module := ref.Module
+		if module == "" {
+			module = a.module
+		}
+		f := a.ip.prog.File(module)
+		if f == nil {
+			return nil, a.err(x.Line, "unknown module %s", module)
+		}
+		for _, p := range f.Procs {
+			if p.Name == ref.Proc {
+				fr := a.ip.sys.NewFrame(a.ip.descFor(module, p))
+				return []Word{a.ip.ctxHandle(fr)}, nil
+			}
+		}
+		return nil, a.err(x.Line, "no procedure %s.%s", module, ref.Proc)
+	case "transfer":
+		args, err := evalArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		ctxv, err := a.eval(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		dest, err := a.ip.ctxOf(ctxv)
+		if err != nil {
+			return nil, a.err(x.Line, "%v", err)
+		}
+		rec := make([]xfer.Value, len(args))
+		copy(rec, args)
+		res := a.fr.Transfer(dest, rec...)
+		want := 1
+		if wantResults >= 0 {
+			want = wantResults
+		}
+		out := make([]Word, want)
+		copy(out, res)
+		return out, nil
+	case "retctx":
+		return []Word{a.ip.ctxHandle(a.ip.sys.ReturnContext())}, nil
+	case "myctx":
+		return []Word{a.ip.ctxHandle(a.fr)}, nil
+	case "retain":
+		a.fr.Retained = true
+		return nil, nil
+	case "free":
+		vs, err := evalArgs(0)
+		if err != nil {
+			return nil, err
+		}
+		c, err := a.ip.ctxOf(vs[0])
+		if err != nil {
+			return nil, a.err(x.Line, "%v", err)
+		}
+		if fr, ok := c.(*xfer.Frame); ok {
+			if !fr.Freed() {
+				if err := fr.Free(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return nil, nil
+	case "halt":
+		// Return straight to the root with the current (empty) record.
+		a.fr.Return()
+		return nil, nil
+	case "trap":
+		vs, err := evalArgs(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.trap(vs[0], x.Line, fmt.Sprintf("trap %d", vs[0]))
+		if err != nil {
+			return nil, err
+		}
+		return []Word{v}, nil
+	case "settrap":
+		ref := x.Args[0].(*lang.ProcRef)
+		module := ref.Module
+		if module == "" {
+			module = a.module
+		}
+		f := a.ip.prog.File(module)
+		if f == nil {
+			return nil, a.err(x.Line, "unknown module %s", module)
+		}
+		for _, p := range f.Procs {
+			if p.Name == ref.Proc {
+				a.ip.trapModule, a.ip.trapProc = module, p
+				return nil, nil
+			}
+		}
+		return nil, a.err(x.Line, "no procedure %s.%s", module, ref.Proc)
+	}
+	return nil, a.err(x.Line, "unknown builtin %s", x.Proc)
+}
+
+// trapDivZero mirrors core.TrapDivZero so handlers see the same code on
+// both implementations.
+const trapDivZero = 128
+
+// trap routes a trap to the installed handler, whose single result
+// substitutes for the trapping operation's result; without a handler the
+// trap is fatal.
+func (a *activation) trap(code Word, line int, msg string) (Word, error) {
+	if a.ip.trapProc == nil {
+		return 0, a.err(line, "%s", msg)
+	}
+	res := a.fr.Call(a.ip.descFor(a.ip.trapModule, a.ip.trapProc), code)
+	if len(res) == 0 {
+		return 0, nil
+	}
+	return res[0], nil
+}

@@ -1,0 +1,239 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func runSrc(t *testing.T, src, module, proc string, args ...Word) ([]Word, []Word, error) {
+	t.Helper()
+	prog, err := lang.ParseAll(map[string]string{module: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := New(prog)
+	defer ip.Close()
+	res, err := ip.Run(module, proc, args...)
+	return res, ip.Output, err
+}
+
+func TestBasicArithmetic(t *testing.T) {
+	res, _, err := runSrc(t, `
+module m;
+proc main(a, b) { return (a + b) * (a - b); }
+`, "m", "main", 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 40 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestRecursionAndGlobals(t *testing.T) {
+	res, _, err := runSrc(t, `
+module m;
+var depth = 0, maxdepth = 0;
+proc down(n) {
+  depth = depth + 1;
+  if (depth > maxdepth) { maxdepth = depth; }
+  if (n > 0) { down(n - 1); }
+  depth = depth - 1;
+  return 0;
+}
+proc main() { down(9); return maxdepth; }
+`, "m", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 10 {
+		t.Fatalf("maxdepth = %v", res)
+	}
+}
+
+func TestLoopDeclarationsDoNotLeakSlots(t *testing.T) {
+	// Regression: a var declared inside a while body must reuse its slot
+	// on every iteration instead of growing the activation.
+	res, _, err := runSrc(t, `
+module m;
+proc inner(x) { return x + 1; }
+proc main() {
+  var i = 0;
+  var total = 0;
+  while (i < 50) {
+    var v = inner(i);
+    total = total + v - i;
+    i = i + 1;
+  }
+  return total;
+}
+`, "m", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 50 {
+		t.Fatalf("total = %v", res)
+	}
+}
+
+func TestPointersToLocals(t *testing.T) {
+	res, _, err := runSrc(t, `
+module m;
+proc poke(p, v) { store(p, v); return 0; }
+proc main() {
+  var x = 1;
+  poke(&x, 77);
+  return x;
+}
+`, "m", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 77 {
+		t.Fatalf("x = %v; store through pointer to caller's local lost", res)
+	}
+}
+
+func TestHeapRecords(t *testing.T) {
+	res, _, err := runSrc(t, `
+module m;
+proc main() {
+  var r = alloc(4);
+  store(r, 10); store(r + 3, 40);
+  var s = load(r) + load(r + 3);
+  dealloc(r);
+  return s;
+}
+`, "m", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 50 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestCoroutineHandles(t *testing.T) {
+	res, out, err := runSrc(t, `
+module m;
+proc gen(start) {
+  var who = retctx();
+  var v = start;
+  while (1) { transfer(who, v); v = v + 10; }
+}
+proc main() {
+  var c = cocreate(gen);
+  out(transfer(c, 5));
+  out(transfer(c, 0));
+  free(c);
+  return 0;
+}
+`, "m", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != 5 || out[1] != 15 {
+		t.Fatalf("out = %v", out)
+	}
+	_ = res
+}
+
+func TestDivisionByZeroFails(t *testing.T) {
+	_, _, err := runSrc(t, `
+module m;
+proc main(n) { return 10 / n; }
+`, "m", "main", 0)
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTrapBuiltinFails(t *testing.T) {
+	_, _, err := runSrc(t, `
+module m;
+proc main() { trap(9); return 0; }
+`, "m", "main")
+	if err == nil || !strings.Contains(err.Error(), "trap 9") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	prog, err := lang.ParseAll(map[string]string{"m": `
+module m;
+proc main() { while (1) { } return 0; }
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := New(prog)
+	defer ip.Close()
+	ip.maxSteps = 10000
+	if _, err := ip.Run("m", "main"); err == nil {
+		t.Fatal("infinite loop not stopped")
+	}
+}
+
+func TestUnknownEntry(t *testing.T) {
+	prog, err := lang.ParseAll(map[string]string{"m": `module m; proc main() {}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := New(prog)
+	defer ip.Close()
+	if _, err := ip.Run("m", "nope"); err == nil {
+		t.Error("unknown proc accepted")
+	}
+	if _, err := ip.Run("ghost", "main"); err == nil {
+		t.Error("unknown module accepted")
+	}
+}
+
+func TestMultipleResultsAcrossModules(t *testing.T) {
+	prog, err := lang.ParseAll(map[string]string{
+		"mathm": `
+module mathm;
+proc divmod(a, b) { return a / b, a % b; }
+`,
+		"m": `
+module m;
+import mathm;
+proc main() {
+  var q, r;
+  q, r = mathm.divmod(17, 5);
+  return q * 10 + r;
+}
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := New(prog)
+	defer ip.Close()
+	res, err := ip.Run("m", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 32 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestRetainedFrames(t *testing.T) {
+	res, _, err := runSrc(t, `
+module m;
+proc keeper() { retain(); return myctx(); }
+proc main() {
+  var c = keeper();
+  free(c);
+  return 5;
+}
+`, "m", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 5 {
+		t.Fatalf("res = %v", res)
+	}
+}

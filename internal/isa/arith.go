@@ -1,0 +1,108 @@
+package isa
+
+// 16-bit arithmetic semantics shared by the costed machine and the I1
+// reference interpreter, so differential tests agree bit-for-bit. Words are
+// unsigned 16-bit; DIV, MOD, SHR and the ordered comparisons treat their
+// operands as two's-complement signed values, as the Mesa encoding does.
+
+// Word mirrors mem.Word without importing it (isa is leaf-level).
+type Word = uint16
+
+// Add returns a+b mod 2^16.
+func Add(a, b Word) Word { return a + b }
+
+// Sub returns a-b mod 2^16.
+func Sub(a, b Word) Word { return a - b }
+
+// Mul returns a*b mod 2^16.
+func Mul(a, b Word) Word { return a * b }
+
+// Div returns the signed quotient a/b. ok is false when b is zero.
+func Div(a, b Word) (Word, bool) {
+	if b == 0 {
+		return 0, false
+	}
+	return Word(int16(a) / int16(b)), true
+}
+
+// Mod returns the signed remainder a%b. ok is false when b is zero.
+func Mod(a, b Word) (Word, bool) {
+	if b == 0 {
+		return 0, false
+	}
+	return Word(int16(a) % int16(b)), true
+}
+
+// Neg returns -a mod 2^16.
+func Neg(a Word) Word { return -a }
+
+// Shl shifts left by b (mod 16).
+func Shl(a, b Word) Word { return a << (b & 15) }
+
+// Shr arithmetically shifts right by b (mod 16).
+func Shr(a, b Word) Word { return Word(int16(a) >> (b & 15)) }
+
+// LessSigned reports int16(a) < int16(b).
+func LessSigned(a, b Word) bool { return int16(a) < int16(b) }
+
+// Bool converts a Go bool to the machine's 1/0.
+func Bool(b bool) Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Compare evaluates the comparison selected by a conditional-jump opcode
+// (JEB..JGEB) on operands a, b. It panics on non-comparison opcodes.
+func Compare(op Op, a, b Word) bool {
+	switch op {
+	case JEB:
+		return a == b
+	case JNEB:
+		return a != b
+	case JLB:
+		return LessSigned(a, b)
+	case JLEB:
+		return !LessSigned(b, a)
+	case JGB:
+		return LessSigned(b, a)
+	case JGEB:
+		return !LessSigned(a, b)
+	}
+	panic("isa: Compare on non-comparison opcode " + op.String())
+}
+
+// LengthStats summarizes the static encoded-length distribution of an
+// instruction sequence — experiment E3's statistic (§5: "about two-thirds
+// of the instructions compiled for a large sample of source programs occupy
+// a single byte").
+type LengthStats struct {
+	ByLen [5]int // index = encoded length in bytes (1..4)
+	Total int
+}
+
+// Count accumulates the lengths of instrs.
+func (s *LengthStats) Count(instrs []Instr) {
+	for _, i := range instrs {
+		s.ByLen[i.Len()]++
+		s.Total++
+	}
+}
+
+// Fraction reports the share of instructions with the given encoded length.
+func (s *LengthStats) Fraction(length int) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.ByLen[length]) / float64(s.Total)
+}
+
+// Bytes reports the total encoded size.
+func (s *LengthStats) Bytes() int {
+	n := 0
+	for l, c := range s.ByLen {
+		n += l * c
+	}
+	return n
+}

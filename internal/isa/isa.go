@@ -1,0 +1,345 @@
+// Package isa defines the byte-coded instruction set of the simulated
+// Mesa-like processor (§5 of the paper).
+//
+// The encoding's design criterion is economy of space: instructions are one,
+// two, three or four bytes long, the most frequent operations (loads and
+// stores of the first few locals, small literals, calls of a module's most
+// frequently called external procedures) have one-byte forms, and a stack is
+// used for working storage to save address bits. The paper reports that
+// about two-thirds of compiled instructions occupy a single byte; experiment
+// E3 measures the same statistic over our compiled corpus.
+//
+// Call instructions:
+//
+//   - EFC0..EFC7 / EFCB: external call through the link vector (I2, §5.1) —
+//     the four-level LV → GFT → global frame → EV indirection.
+//   - LFC0..LFC3 / LFCB: call within the module (one level: EV only).
+//   - DCALL: the §6 DIRECTCALL — a 24-bit code address whose target holds
+//     the callee's global frame and frame-size index inline, so the IFU can
+//     treat the call like an unconditional jump.
+//   - SDCALL: the §6 SHORTDIRECTCALL — PC-relative, three bytes.
+//   - RET: free the frame, XFER[returnLink].
+//   - XFERO: the general transfer — pops a context word; uniform support
+//     for coroutines, processes and anything else (§3).
+package isa
+
+import "fmt"
+
+// Op is a one-byte opcode.
+type Op byte
+
+// Opcodes. Order is part of the encoding; do not reorder.
+const (
+	NOOP Op = iota
+	HALT    // stop the processor (end of the root context)
+	OUT     // pop a word, append it to the machine's output record
+
+	// Loads and stores of local variables. LL0..LL7/SL0..SL7 are the
+	// one-byte fast forms; LLB/SLB take a byte index.
+	LL0
+	LL1
+	LL2
+	LL3
+	LL4
+	LL5
+	LL6
+	LL7
+	SL0
+	SL1
+	SL2
+	SL3
+	SL4
+	SL5
+	SL6
+	SL7
+	LLB // arg: local index
+	SLB // arg: local index
+	LAB // arg: local index; push the ADDRESS of a local (§7.4 pointers to locals)
+
+	// Globals (module variables in the global frame).
+	LG0
+	LG1
+	LG2
+	LG3
+	LGB // arg: global index
+	SGB // arg: global index
+
+	// Literals.
+	LIN1 // push 0xffff (-1)
+	LI0
+	LI1
+	LI2
+	LI3
+	LI4
+	LI5
+	LI6
+	LI7
+	LIB // arg: unsigned byte literal
+	LIW // arg: 16-bit literal
+
+	// Arithmetic and logic (16-bit; DIV/MOD are signed and trap on zero).
+	ADD
+	SUB
+	MUL
+	DIV
+	MOD
+	NEG
+	AND
+	OR
+	XOR
+	NOT
+	SHL
+	SHR
+
+	// Stack manipulation.
+	DUP
+	POP
+	EXCH
+
+	// Memory through pointers.
+	LDIND // pop addr, push mem[addr]
+	STIND // pop addr, pop value, mem[addr] = value
+	RFB   // arg: field offset; pop ptr, push mem[ptr+n] (the paper's READFIELD)
+	WFB   // arg: field offset; pop ptr, pop value, mem[ptr+n] = value
+
+	// Jumps. Offsets are relative to the address of the jump opcode.
+	JB   // arg: signed byte offset, unconditional
+	JW   // arg: signed 16-bit offset, unconditional
+	JZB  // arg: signed byte; pop, jump if zero
+	JNZB // arg: signed byte; pop, jump if nonzero
+	JEB  // arg: signed byte; pop b, pop a, jump if a = b
+	JNEB
+	JLB // signed comparison a < b
+	JLEB
+	JGB
+	JGEB
+
+	// Control transfers.
+	EFC0 // external calls through link vector entries 0..7, one byte
+	EFC1
+	EFC2
+	EFC3
+	EFC4
+	EFC5
+	EFC6
+	EFC7
+	EFCB // arg: link vector index
+	LFC0 // local calls of entry-vector slots 0..3, one byte
+	LFC1
+	LFC2
+	LFC3
+	LFCB   // arg: entry vector index
+	DCALL  // arg: 24-bit code address of the callee's inline header (§6)
+	SDCALL // arg: signed 16-bit PC-relative address of the header (§6)
+	RET
+	XFERO    // pop a context word and XFER to it (§3)
+	COCREATE // pop a procedure descriptor, push a fresh unstarted context for it
+	LRC      // push returnContext (who transferred to us)
+	LLF      // push the current frame pointer as a context word
+	RETAIN   // mark the current frame retained (§4): RETURN will not free it
+	FREE     // pop a context word, free its frame
+
+	// Frame heap access for long argument records and retained storage.
+	AFB   // arg: frame size index; allocate, push the frame pointer
+	FFREE // pop a frame pointer allocated with AFB, free it
+
+	TRAPB // arg: trap code; transfer to the software trap handler
+	STRAP // pop a context word: it becomes the machine's trap handler
+
+	NumOps // number of defined opcodes
+)
+
+// OperandKind says how to decode an instruction's operand bytes.
+type OperandKind byte
+
+const (
+	OpdNone OperandKind = iota // one byte total
+	OpdU8                      // unsigned byte operand
+	OpdS8                      // signed byte operand (jumps)
+	OpdU16                     // unsigned 16-bit operand, little-endian
+	OpdS16                     // signed 16-bit operand (JW, SDCALL)
+	OpdU24                     // 24-bit code address (DCALL)
+)
+
+// Size reports the operand size in bytes.
+func (k OperandKind) Size() int {
+	switch k {
+	case OpdNone:
+		return 0
+	case OpdU8, OpdS8:
+		return 1
+	case OpdU16, OpdS16:
+		return 2
+	case OpdU24:
+		return 3
+	}
+	return 0
+}
+
+// Info describes one opcode.
+type Info struct {
+	Name    string
+	Operand OperandKind
+}
+
+// Len reports the total encoded length in bytes.
+func (i Info) Len() int { return 1 + i.Operand.Size() }
+
+var infos = [NumOps]Info{
+	NOOP: {"NOOP", OpdNone},
+	HALT: {"HALT", OpdNone},
+	OUT:  {"OUT", OpdNone},
+	LL0:  {"LL0", OpdNone}, LL1: {"LL1", OpdNone}, LL2: {"LL2", OpdNone}, LL3: {"LL3", OpdNone},
+	LL4: {"LL4", OpdNone}, LL5: {"LL5", OpdNone}, LL6: {"LL6", OpdNone}, LL7: {"LL7", OpdNone},
+	SL0: {"SL0", OpdNone}, SL1: {"SL1", OpdNone}, SL2: {"SL2", OpdNone}, SL3: {"SL3", OpdNone},
+	SL4: {"SL4", OpdNone}, SL5: {"SL5", OpdNone}, SL6: {"SL6", OpdNone}, SL7: {"SL7", OpdNone},
+	LLB: {"LLB", OpdU8},
+	SLB: {"SLB", OpdU8},
+	LAB: {"LAB", OpdU8},
+	LG0: {"LG0", OpdNone}, LG1: {"LG1", OpdNone}, LG2: {"LG2", OpdNone}, LG3: {"LG3", OpdNone},
+	LGB:  {"LGB", OpdU8},
+	SGB:  {"SGB", OpdU8},
+	LIN1: {"LIN1", OpdNone},
+	LI0:  {"LI0", OpdNone}, LI1: {"LI1", OpdNone}, LI2: {"LI2", OpdNone}, LI3: {"LI3", OpdNone},
+	LI4: {"LI4", OpdNone}, LI5: {"LI5", OpdNone}, LI6: {"LI6", OpdNone}, LI7: {"LI7", OpdNone},
+	LIB: {"LIB", OpdU8},
+	LIW: {"LIW", OpdU16},
+	ADD: {"ADD", OpdNone}, SUB: {"SUB", OpdNone}, MUL: {"MUL", OpdNone},
+	DIV: {"DIV", OpdNone}, MOD: {"MOD", OpdNone}, NEG: {"NEG", OpdNone},
+	AND: {"AND", OpdNone}, OR: {"OR", OpdNone}, XOR: {"XOR", OpdNone},
+	NOT: {"NOT", OpdNone}, SHL: {"SHL", OpdNone}, SHR: {"SHR", OpdNone},
+	DUP: {"DUP", OpdNone}, POP: {"POP", OpdNone}, EXCH: {"EXCH", OpdNone},
+	LDIND: {"LDIND", OpdNone},
+	STIND: {"STIND", OpdNone},
+	RFB:   {"RFB", OpdU8},
+	WFB:   {"WFB", OpdU8},
+	JB:    {"JB", OpdS8},
+	JW:    {"JW", OpdS16},
+	JZB:   {"JZB", OpdS8},
+	JNZB:  {"JNZB", OpdS8},
+	JEB:   {"JEB", OpdS8},
+	JNEB:  {"JNEB", OpdS8},
+	JLB:   {"JLB", OpdS8},
+	JLEB:  {"JLEB", OpdS8},
+	JGB:   {"JGB", OpdS8},
+	JGEB:  {"JGEB", OpdS8},
+	EFC0:  {"EFC0", OpdNone}, EFC1: {"EFC1", OpdNone}, EFC2: {"EFC2", OpdNone}, EFC3: {"EFC3", OpdNone},
+	EFC4: {"EFC4", OpdNone}, EFC5: {"EFC5", OpdNone}, EFC6: {"EFC6", OpdNone}, EFC7: {"EFC7", OpdNone},
+	EFCB: {"EFCB", OpdU8},
+	LFC0: {"LFC0", OpdNone}, LFC1: {"LFC1", OpdNone}, LFC2: {"LFC2", OpdNone}, LFC3: {"LFC3", OpdNone},
+	LFCB:     {"LFCB", OpdU8},
+	DCALL:    {"DCALL", OpdU24},
+	SDCALL:   {"SDCALL", OpdS16},
+	RET:      {"RET", OpdNone},
+	XFERO:    {"XFERO", OpdNone},
+	COCREATE: {"COCREATE", OpdNone},
+	LRC:      {"LRC", OpdNone},
+	LLF:      {"LLF", OpdNone},
+	RETAIN:   {"RETAIN", OpdNone},
+	FREE:     {"FREE", OpdNone},
+	AFB:      {"AFB", OpdU8},
+	FFREE:    {"FFREE", OpdNone},
+	TRAPB:    {"TRAPB", OpdU8},
+	STRAP:    {"STRAP", OpdNone},
+}
+
+// InfoOf returns the metadata for op.
+func InfoOf(op Op) Info {
+	if op >= NumOps {
+		return Info{Name: fmt.Sprintf("BAD(%d)", byte(op)), Operand: OpdNone}
+	}
+	return infos[op]
+}
+
+// String implements fmt.Stringer.
+func (op Op) String() string { return InfoOf(op).Name }
+
+// IsCall reports whether op transfers control to a procedure.
+func (op Op) IsCall() bool {
+	return (op >= EFC0 && op <= LFCB) || op == DCALL || op == SDCALL
+}
+
+// IsExternalCall reports whether op goes through the link vector.
+func (op Op) IsExternalCall() bool { return op >= EFC0 && op <= EFCB }
+
+// IsLocalCall reports whether op calls within the module.
+func (op Op) IsLocalCall() bool { return op >= LFC0 && op <= LFCB }
+
+// IsJump reports whether op is a branch within the procedure.
+func (op Op) IsJump() bool { return op >= JB && op <= JGEB }
+
+// Instr is a decoded (or not-yet-encoded) instruction. Before layout, Arg
+// of a jump holds a label id and Arg of a call holds a symbol id; after
+// layout it holds the encoded operand value.
+type Instr struct {
+	Op  Op
+	Arg int32
+}
+
+// Len reports the encoded length of the instruction in bytes.
+func (i Instr) Len() int { return InfoOf(i.Op).Len() }
+
+// String renders the instruction for disassembly listings.
+func (i Instr) String() string {
+	info := InfoOf(i.Op)
+	if info.Operand == OpdNone {
+		return info.Name
+	}
+	return fmt.Sprintf("%s %d", info.Name, i.Arg)
+}
+
+// Append encodes i onto buf.
+func Append(buf []byte, i Instr) []byte {
+	buf = append(buf, byte(i.Op))
+	switch InfoOf(i.Op).Operand {
+	case OpdU8:
+		buf = append(buf, byte(i.Arg))
+	case OpdS8:
+		buf = append(buf, byte(int8(i.Arg)))
+	case OpdU16, OpdS16:
+		buf = append(buf, byte(i.Arg), byte(i.Arg>>8))
+	case OpdU24:
+		buf = append(buf, byte(i.Arg), byte(i.Arg>>8), byte(i.Arg>>16))
+	}
+	return buf
+}
+
+// Decode reads the instruction at code[pc:]. It returns the instruction
+// with its operand sign-extended as appropriate, and the encoded size.
+func Decode(code []byte, pc int) (Instr, int, error) {
+	if pc < 0 || pc >= len(code) {
+		return Instr{}, 0, fmt.Errorf("isa: pc %d outside code of %d bytes", pc, len(code))
+	}
+	op := Op(code[pc])
+	if op >= NumOps {
+		return Instr{}, 0, fmt.Errorf("isa: bad opcode %#02x at %d", code[pc], pc)
+	}
+	info := infos[op]
+	n := info.Len()
+	if pc+n > len(code) {
+		return Instr{}, 0, fmt.Errorf("isa: truncated %s at %d", info.Name, pc)
+	}
+	var arg int32
+	switch info.Operand {
+	case OpdU8:
+		arg = int32(code[pc+1])
+	case OpdS8:
+		arg = int32(int8(code[pc+1]))
+	case OpdU16:
+		arg = int32(code[pc+1]) | int32(code[pc+2])<<8
+	case OpdS16:
+		arg = int32(int16(uint16(code[pc+1]) | uint16(code[pc+2])<<8))
+	case OpdU24:
+		arg = int32(code[pc+1]) | int32(code[pc+2])<<8 | int32(code[pc+3])<<16
+	}
+	return Instr{Op: op, Arg: arg}, n, nil
+}
+
+// EncodeAll lays a sequence of finalized instructions into bytes.
+func EncodeAll(instrs []Instr) []byte {
+	var buf []byte
+	for _, i := range instrs {
+		buf = Append(buf, i)
+	}
+	return buf
+}

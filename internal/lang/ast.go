@@ -1,0 +1,210 @@
+package lang
+
+// The abstract syntax tree. Nodes carry the line of their defining token
+// for error reporting; the reference interpreter (internal/interp) walks
+// this same tree, so it is the shared semantic definition.
+
+// File is one parsed module.
+type File struct {
+	Name    string
+	Imports []string // imported module names
+	Consts  []*ConstDecl
+	Globals []*VarDecl
+	Procs   []*ProcDecl
+}
+
+// ConstDecl is a module-level named constant.
+type ConstDecl struct {
+	Name string
+	Val  uint16
+	Line int
+}
+
+// VarDecl declares one variable, optionally initialized (globals only may
+// carry an initializer used at load time; proc-local initializers become
+// assignments).
+type VarDecl struct {
+	Name string
+	Init Expr // nil when absent
+	Line int
+}
+
+// ProcDecl is one procedure.
+type ProcDecl struct {
+	Name       string
+	Params     []string
+	Body       *Block
+	Line       int
+	NumResults int // fixed by sema from the return statements
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+}
+
+// Stmt is implemented by all statements.
+type Stmt interface{ stmtLine() int }
+
+// DeclStmt declares proc-local variables.
+type DeclStmt struct {
+	Vars []*VarDecl
+	Line int
+}
+
+// AssignStmt assigns call results (possibly several) or one expression to
+// targets. Targets are variables; a single target with a Deref receives a
+// store through a pointer.
+type AssignStmt struct {
+	Targets []string
+	Value   Expr
+	Line    int
+}
+
+// ExprStmt evaluates an expression for effect, discarding results.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // nil when absent
+	Line int
+}
+
+// WhileStmt is the loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Line int
+}
+
+// ReturnStmt returns zero or more results.
+type ReturnStmt struct {
+	Values []Expr
+	Line   int
+}
+
+func (s *DeclStmt) stmtLine() int   { return s.Line }
+func (s *AssignStmt) stmtLine() int { return s.Line }
+func (s *ExprStmt) stmtLine() int   { return s.Line }
+func (s *IfStmt) stmtLine() int     { return s.Line }
+func (s *WhileStmt) stmtLine() int  { return s.Line }
+func (s *ReturnStmt) stmtLine() int { return s.Line }
+
+// Expr is implemented by all expressions.
+type Expr interface{ exprLine() int }
+
+// NumLit is a literal word.
+type NumLit struct {
+	Val  uint16
+	Line int
+}
+
+// VarRef names a local, global, or constant.
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// AddrOf is &x for a local variable (§7.4 pointers to locals).
+type AddrOf struct {
+	Name string
+	Line int
+}
+
+// UnaryExpr is -x, !x or ~x.
+type UnaryExpr struct {
+	Op   Kind
+	X    Expr
+	Line int
+}
+
+// BinExpr is a binary operation, including comparisons and the
+// short-circuit && and ||.
+type BinExpr struct {
+	Op   Kind
+	L, R Expr
+	Line int
+}
+
+// CallExpr calls a procedure: local (Module empty), imported
+// (Module.Proc), or a builtin.
+type CallExpr struct {
+	Module string
+	Proc   string
+	Args   []Expr
+	Line   int
+}
+
+// ProcRef is a procedure named as a value — the argument of cocreate. It
+// compiles to the procedure's packed descriptor.
+type ProcRef struct {
+	Module string // empty for a procedure of this module
+	Proc   string
+	Line   int
+}
+
+func (e *ProcRef) exprLine() int { return e.Line }
+
+func (e *NumLit) exprLine() int    { return e.Line }
+func (e *VarRef) exprLine() int    { return e.Line }
+func (e *AddrOf) exprLine() int    { return e.Line }
+func (e *UnaryExpr) exprLine() int { return e.Line }
+func (e *BinExpr) exprLine() int   { return e.Line }
+func (e *CallExpr) exprLine() int  { return e.Line }
+
+// Builtin names. A CallExpr whose Module is empty and whose Proc matches
+// one of these is a primitive of the machine rather than a procedure call.
+var builtinArity = map[string]struct{ in, out int }{
+	"out":      {1, 0},  // emit a word to the output record
+	"load":     {1, 1},  // read a word through a pointer
+	"store":    {2, 0},  // store(p, v): write through a pointer
+	"alloc":    {1, 1},  // alloc(constWords): frame-heap record
+	"dealloc":  {1, 0},  // free an alloc'd record
+	"cocreate": {1, 1},  // cocreate(procref): new suspended context (§3)
+	"transfer": {-1, 1}, // transfer(ctx, args...): general XFER
+	"retctx":   {0, 1},  // the returnContext global
+	"myctx":    {0, 1},  // the running frame as a context word
+	"retain":   {0, 0},  // mark the current frame retained (§4)
+	"free":     {1, 0},  // free a context explicitly
+	"halt":     {0, 0},
+	"trap":     {1, 1}, // trap(constCode): transfer to the trap handler; its result comes back
+	"settrap":  {1, 0}, // settrap(procref): install the trap handler context
+}
+
+// IsBuiltin reports whether name is a language builtin.
+func IsBuiltin(name string) bool {
+	_, ok := builtinArity[name]
+	return ok
+}
+
+// containsCall reports whether evaluating e can transfer control (a call
+// or a transfer builtin) — the trigger for the §5.2 spill discipline.
+func containsCall(e Expr) bool {
+	switch x := e.(type) {
+	case *NumLit, *VarRef, *AddrOf:
+		return false
+	case *UnaryExpr:
+		return containsCall(x.X)
+	case *BinExpr:
+		return containsCall(x.L) || containsCall(x.R)
+	case *CallExpr:
+		// Builtins other than transfer execute inline without disturbing
+		// the words below them on the stack; real procedure calls and
+		// transfer make the whole stack the argument record.
+		if x.Module == "" && IsBuiltin(x.Proc) && x.Proc != "transfer" {
+			for _, a := range x.Args {
+				if containsCall(a) {
+					return true
+				}
+			}
+			return false
+		}
+		return true
+	}
+	return true
+}

@@ -1,0 +1,907 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/image"
+	"repro/internal/isa"
+)
+
+// sig is a procedure signature: argument and result arity plus its
+// entry-vector index.
+type sig struct {
+	args, results, index int
+}
+
+// MaxStackArgs is the largest argument record passed on the evaluation
+// stack. Beyond it the record "can be so large that it will not fit" (§4):
+// the caller allocates a heap record, stores the arguments into it, and
+// passes the pointer; the receiver unpacks it into its locals and frees it
+// at once — long argument records are treated like local frames for
+// allocation.
+const MaxStackArgs = 8
+
+// Program is a set of analyzed modules ready for code generation.
+type Program struct {
+	Files []*File
+	sigs  map[string]map[string]sig
+}
+
+// Analyze resolves signatures across a set of parsed files: every
+// procedure's result arity is inferred from its return statements (all
+// returns in a procedure must agree).
+func Analyze(files []*File) (*Program, error) {
+	p := &Program{Files: files, sigs: map[string]map[string]sig{}}
+	for _, f := range files {
+		if _, dup := p.sigs[f.Name]; dup {
+			return nil, fmt.Errorf("lang: duplicate module %s", f.Name)
+		}
+		mod := map[string]sig{}
+		for i, proc := range f.Procs {
+			if _, dup := mod[proc.Name]; dup {
+				return nil, &Error{Module: f.Name, Line: proc.Line, Msg: "duplicate procedure " + proc.Name}
+			}
+			nres, err := inferResults(f.Name, proc)
+			if err != nil {
+				return nil, err
+			}
+			proc.NumResults = nres
+			mod[proc.Name] = sig{args: len(proc.Params), results: nres, index: i}
+		}
+		p.sigs[f.Name] = mod
+	}
+	return p, nil
+}
+
+func inferResults(module string, proc *ProcDecl) (int, error) {
+	n := -1
+	var walkBlock func(b *Block) error
+	var walkStmt func(s Stmt) error
+	walkBlock = func(b *Block) error {
+		for _, s := range b.Stmts {
+			if err := walkStmt(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	walkStmt = func(s Stmt) error {
+		switch st := s.(type) {
+		case *ReturnStmt:
+			if n >= 0 && n != len(st.Values) {
+				return &Error{Module: module, Line: st.Line,
+					Msg: fmt.Sprintf("proc %s returns %d values here but %d elsewhere", proc.Name, len(st.Values), n)}
+			}
+			n = len(st.Values)
+		case *IfStmt:
+			if err := walkBlock(st.Then); err != nil {
+				return err
+			}
+			if st.Else != nil {
+				return walkBlock(st.Else)
+			}
+		case *WhileStmt:
+			return walkBlock(st.Body)
+		}
+		return nil
+	}
+	if err := walkBlock(proc.Body); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n, nil
+}
+
+// Generate compiles one analyzed file to an image.Module.
+func (p *Program) Generate(f *File) (*image.Module, error) {
+	g := &cg{prog: p, file: f,
+		mod:     &image.Module{Name: f.Name},
+		imports: map[[2]string]int{},
+		consts:  map[string]uint16{},
+		globals: map[string]int{},
+	}
+	for _, c := range f.Consts {
+		if _, dup := g.consts[c.Name]; dup {
+			return nil, g.errf(c.Line, "duplicate const %s", c.Name)
+		}
+		g.consts[c.Name] = c.Val
+	}
+	for _, v := range f.Globals {
+		if _, dup := g.globals[v.Name]; dup {
+			return nil, g.errf(v.Line, "duplicate global %s", v.Name)
+		}
+		g.globals[v.Name] = len(g.mod.GlobalInit)
+		var init uint16
+		if v.Init != nil {
+			lit, ok := constValue(g, v.Init)
+			if !ok {
+				return nil, g.errf(v.Line, "global initializer for %s must be constant", v.Name)
+			}
+			init = lit
+		}
+		g.mod.GlobalInit = append(g.mod.GlobalInit, init)
+	}
+	g.mod.NumGlobals = len(g.mod.GlobalInit)
+	for _, proc := range f.Procs {
+		ip, err := g.genProc(proc)
+		if err != nil {
+			return nil, err
+		}
+		g.mod.Procs = append(g.mod.Procs, ip)
+	}
+	return g.mod, nil
+}
+
+// constValue folds a constant expression (literals, consts, unary minus).
+func constValue(g *cg, e Expr) (uint16, bool) {
+	switch x := e.(type) {
+	case *NumLit:
+		return x.Val, true
+	case *VarRef:
+		v, ok := g.consts[x.Name]
+		return v, ok
+	case *UnaryExpr:
+		if v, ok := constValue(g, x.X); ok {
+			switch x.Op {
+			case MINUS:
+				return -v, true
+			case TILDE:
+				return ^v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+type cg struct {
+	prog    *Program
+	file    *File
+	mod     *image.Module
+	imports map[[2]string]int
+	consts  map[string]uint16
+	globals map[string]int
+
+	// per-procedure state
+	proc      *ProcDecl
+	asm       *image.Asm
+	locals    map[string]int
+	nextLocal int
+	maxLocal  int
+	freeTemps []int
+	depth     int
+}
+
+func (g *cg) errf(line int, format string, args ...interface{}) error {
+	return &Error{Module: g.file.Name, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (g *cg) importIndex(module, proc string) (int, error) {
+	found := false
+	for _, im := range g.file.Imports {
+		if im == module {
+			found = true
+			break
+		}
+	}
+	if !found && module != g.file.Name {
+		return 0, fmt.Errorf("lang: %s calls %s.%s without importing %s", g.file.Name, module, proc, module)
+	}
+	key := [2]string{module, proc}
+	if i, ok := g.imports[key]; ok {
+		return i, nil
+	}
+	i := len(g.mod.Imports)
+	g.mod.Imports = append(g.mod.Imports, image.Import{Module: module, Proc: proc})
+	g.imports[key] = i
+	return i, nil
+}
+
+func (g *cg) lookupSig(module, proc string, line int) (sig, error) {
+	m := module
+	if m == "" {
+		m = g.file.Name
+	}
+	mod, ok := g.prog.sigs[m]
+	if !ok {
+		return sig{}, g.errf(line, "unknown module %s", m)
+	}
+	s, ok := mod[proc]
+	if !ok {
+		return sig{}, g.errf(line, "module %s has no procedure %s", m, proc)
+	}
+	return s, nil
+}
+
+func (g *cg) newTemp() int {
+	if n := len(g.freeTemps); n > 0 {
+		t := g.freeTemps[n-1]
+		g.freeTemps = g.freeTemps[:n-1]
+		return t
+	}
+	t := g.nextLocal
+	g.nextLocal++
+	if g.nextLocal > g.maxLocal {
+		g.maxLocal = g.nextLocal
+	}
+	return t
+}
+
+func (g *cg) freeTemp(t int) { g.freeTemps = append(g.freeTemps, t) }
+
+func (g *cg) genProc(proc *ProcDecl) (*image.Proc, error) {
+	g.proc = proc
+	g.asm = &image.Asm{}
+	g.locals = map[string]int{}
+	g.freeTemps = nil
+	g.depth = 0
+	for i, p := range proc.Params {
+		if _, dup := g.locals[p]; dup {
+			return nil, g.errf(proc.Line, "duplicate parameter %s", p)
+		}
+		g.locals[p] = i
+	}
+	g.nextLocal = len(proc.Params)
+	g.maxLocal = g.nextLocal
+	if len(proc.Params) > MaxStackArgs {
+		// Long-argument prologue: the XFER delivered the record pointer
+		// as local 0; unpack the record into the parameter slots and free
+		// it immediately (the receiver holds the only reference, §4).
+		scratch := g.newTemp()
+		g.loadLocal(0)
+		g.storeLocal(scratch)
+		for i := range proc.Params {
+			g.loadLocal(scratch)
+			g.emit(isa.RFB, int32(i)) // replaces the pointer with the field
+			g.storeLocal(i)
+		}
+		g.loadLocal(scratch)
+		g.emit(isa.FFREE)
+		g.depth--
+		g.freeTemp(scratch)
+	}
+	if err := g.genBlock(proc.Body); err != nil {
+		return nil, err
+	}
+	// Implicit plain return for procedures that fall off the end.
+	g.emit(isa.RET)
+	if g.maxLocal > 250 {
+		return nil, g.errf(proc.Line, "procedure %s needs %d locals; the byte encoding allows 250", proc.Name, g.maxLocal)
+	}
+	return &image.Proc{
+		Name:       proc.Name,
+		NumArgs:    len(proc.Params),
+		NumLocals:  g.maxLocal,
+		NumResults: proc.NumResults,
+		Body:       g.asm.Fragment(),
+	}, nil
+}
+
+func (g *cg) emit(op isa.Op, arg ...int32) { g.asm.Emit(op, arg...) }
+
+// loadLocal/storeLocal pick the one-byte forms when possible.
+func (g *cg) loadLocal(slot int) {
+	if slot < 8 {
+		g.emit(isa.LL0 + isa.Op(slot))
+	} else {
+		g.emit(isa.LLB, int32(slot))
+	}
+	g.depth++
+}
+
+func (g *cg) storeLocal(slot int) {
+	if slot < 8 {
+		g.emit(isa.SL0 + isa.Op(slot))
+	} else {
+		g.emit(isa.SLB, int32(slot))
+	}
+	g.depth--
+}
+
+func (g *cg) loadGlobal(slot int) {
+	if slot < 4 {
+		g.emit(isa.LG0 + isa.Op(slot))
+	} else {
+		g.emit(isa.LGB, int32(slot))
+	}
+	g.depth++
+}
+
+func (g *cg) literal(v uint16) {
+	switch {
+	case v <= 7:
+		g.emit(isa.LI0 + isa.Op(v))
+	case v == 0xFFFF:
+		g.emit(isa.LIN1)
+	case v <= 255:
+		g.emit(isa.LIB, int32(v))
+	default:
+		g.emit(isa.LIW, int32(v))
+	}
+	g.depth++
+}
+
+func (g *cg) genBlock(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *cg) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *DeclStmt:
+		for _, v := range st.Vars {
+			if _, dup := g.locals[v.Name]; dup {
+				return g.errf(v.Line, "duplicate local %s", v.Name)
+			}
+			if _, isConst := g.consts[v.Name]; isConst {
+				return g.errf(v.Line, "local %s shadows a constant", v.Name)
+			}
+			slot := g.nextLocal
+			g.nextLocal++
+			if g.nextLocal > g.maxLocal {
+				g.maxLocal = g.nextLocal
+			}
+			g.locals[v.Name] = slot
+			if v.Init != nil {
+				if err := g.genExpr(v.Init); err != nil {
+					return err
+				}
+				g.storeLocal(slot)
+			}
+		}
+		return nil
+
+	case *AssignStmt:
+		if len(st.Targets) == 1 {
+			if err := g.genExpr(st.Value); err != nil {
+				return err
+			}
+			return g.storeVar(st.Targets[0], st.Line)
+		}
+		call, ok := st.Value.(*CallExpr)
+		if !ok {
+			return g.errf(st.Line, "multiple assignment requires a call on the right")
+		}
+		if err := g.genCall(call, len(st.Targets)); err != nil {
+			return err
+		}
+		for i := len(st.Targets) - 1; i >= 0; i-- {
+			if err := g.storeVar(st.Targets[i], st.Line); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *ExprStmt:
+		if call, ok := st.X.(*CallExpr); ok {
+			n, err := g.genCallAnyResults(call)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				g.emit(isa.POP)
+				g.depth--
+			}
+			return nil
+		}
+		if err := g.genExpr(st.X); err != nil {
+			return err
+		}
+		g.emit(isa.POP)
+		g.depth--
+		return nil
+
+	case *IfStmt:
+		lElse := g.asm.NewLabel()
+		if err := g.genBranch(st.Cond, lElse, false); err != nil {
+			return err
+		}
+		if err := g.genBlock(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			lEnd := g.asm.NewLabel()
+			g.asm.EmitJump(isa.JB, lEnd)
+			g.asm.Bind(lElse)
+			if err := g.genBlock(st.Else); err != nil {
+				return err
+			}
+			g.asm.Bind(lEnd)
+		} else {
+			g.asm.Bind(lElse)
+		}
+		return nil
+
+	case *WhileStmt:
+		lLoop := g.asm.NewLabel()
+		lEnd := g.asm.NewLabel()
+		g.asm.Bind(lLoop)
+		if err := g.genBranch(st.Cond, lEnd, false); err != nil {
+			return err
+		}
+		if err := g.genBlock(st.Body); err != nil {
+			return err
+		}
+		g.asm.EmitJump(isa.JB, lLoop)
+		g.asm.Bind(lEnd)
+		return nil
+
+	case *ReturnStmt:
+		for _, v := range st.Values {
+			if err := g.genExpr(v); err != nil {
+				return err
+			}
+		}
+		g.emit(isa.RET)
+		g.depth = 0
+		return nil
+	}
+	return fmt.Errorf("lang: unknown statement %T", s)
+}
+
+func (g *cg) storeVar(name string, line int) error {
+	if slot, ok := g.locals[name]; ok {
+		g.storeLocal(slot)
+		return nil
+	}
+	if slot, ok := g.globals[name]; ok {
+		g.emit(isa.SGB, int32(slot))
+		g.depth--
+		return nil
+	}
+	if _, isConst := g.consts[name]; isConst {
+		return g.errf(line, "cannot assign to constant %s", name)
+	}
+	return g.errf(line, "undefined variable %s", name)
+}
+
+func (g *cg) genExpr(e Expr) error {
+	switch x := e.(type) {
+	case *NumLit:
+		g.literal(x.Val)
+		return nil
+	case *VarRef:
+		if slot, ok := g.locals[x.Name]; ok {
+			g.loadLocal(slot)
+			return nil
+		}
+		if v, ok := g.consts[x.Name]; ok {
+			g.literal(v)
+			return nil
+		}
+		if slot, ok := g.globals[x.Name]; ok {
+			g.loadGlobal(slot)
+			return nil
+		}
+		return g.errf(x.Line, "undefined variable %s", x.Name)
+	case *AddrOf:
+		slot, ok := g.locals[x.Name]
+		if !ok {
+			return g.errf(x.Line, "&%s: pointers may only be taken to locals", x.Name)
+		}
+		g.emit(isa.LAB, int32(slot))
+		g.depth++
+		return nil
+	case *UnaryExpr:
+		switch x.Op {
+		case MINUS:
+			if err := g.genExpr(x.X); err != nil {
+				return err
+			}
+			g.emit(isa.NEG)
+			return nil
+		case TILDE:
+			if err := g.genExpr(x.X); err != nil {
+				return err
+			}
+			g.emit(isa.NOT)
+			return nil
+		case BANG:
+			return g.genBool(e)
+		}
+		return g.errf(x.Line, "bad unary operator")
+	case *BinExpr:
+		switch x.Op {
+		case EQ, NE, LT, LE, GT, GE, ANDAND, OROR:
+			return g.genBool(e)
+		}
+		if err := g.genExpr(x.L); err != nil {
+			return err
+		}
+		if err := g.genExpr(x.R); err != nil {
+			return err
+		}
+		var op isa.Op
+		switch x.Op {
+		case PLUS:
+			op = isa.ADD
+		case MINUS:
+			op = isa.SUB
+		case STAR:
+			op = isa.MUL
+		case SLASH:
+			op = isa.DIV
+		case PERCENT:
+			op = isa.MOD
+		case AMP:
+			op = isa.AND
+		case PIPE:
+			op = isa.OR
+		case CARET:
+			op = isa.XOR
+		case LSHIFT:
+			op = isa.SHL
+		case RSHIFT:
+			op = isa.SHR
+		default:
+			return g.errf(x.Line, "bad binary operator")
+		}
+		g.emit(op)
+		g.depth--
+		return nil
+	case *CallExpr:
+		return g.genCall(x, 1)
+	case *ProcRef:
+		return g.errf(x.Line, "procedure reference only allowed in cocreate")
+	}
+	return fmt.Errorf("lang: unknown expression %T", e)
+}
+
+// genBool materializes a condition as 0/1.
+func (g *cg) genBool(e Expr) error {
+	lTrue := g.asm.NewLabel()
+	lEnd := g.asm.NewLabel()
+	if err := g.genBranch(e, lTrue, true); err != nil {
+		return err
+	}
+	g.emit(isa.LI0)
+	g.asm.EmitJump(isa.JB, lEnd)
+	g.asm.Bind(lTrue)
+	g.emit(isa.LI1)
+	g.asm.Bind(lEnd)
+	g.depth++
+	return nil
+}
+
+// branch opcode selection: (comparison, sense) -> jump.
+var branchOps = map[Kind][2]isa.Op{
+	EQ: {isa.JNEB, isa.JEB},
+	NE: {isa.JEB, isa.JNEB},
+	LT: {isa.JGEB, isa.JLB},
+	LE: {isa.JGB, isa.JLEB},
+	GT: {isa.JLEB, isa.JGB},
+	GE: {isa.JLB, isa.JGEB},
+}
+
+// genBranch emits a conditional jump to target when e evaluates to
+// whenTrue, falling through otherwise.
+func (g *cg) genBranch(e Expr, target int, whenTrue bool) error {
+	switch x := e.(type) {
+	case *BinExpr:
+		if ops, isCmp := branchOps[x.Op]; isCmp {
+			if err := g.genExpr(x.L); err != nil {
+				return err
+			}
+			if err := g.genExpr(x.R); err != nil {
+				return err
+			}
+			op := ops[0]
+			if whenTrue {
+				op = ops[1]
+			}
+			g.asm.EmitJump(op, target)
+			g.depth -= 2
+			return nil
+		}
+		if x.Op == ANDAND {
+			if whenTrue {
+				skip := g.asm.NewLabel()
+				if err := g.genBranch(x.L, skip, false); err != nil {
+					return err
+				}
+				if err := g.genBranch(x.R, target, true); err != nil {
+					return err
+				}
+				g.asm.Bind(skip)
+				return nil
+			}
+			if err := g.genBranch(x.L, target, false); err != nil {
+				return err
+			}
+			return g.genBranch(x.R, target, false)
+		}
+		if x.Op == OROR {
+			if whenTrue {
+				if err := g.genBranch(x.L, target, true); err != nil {
+					return err
+				}
+				return g.genBranch(x.R, target, true)
+			}
+			skip := g.asm.NewLabel()
+			if err := g.genBranch(x.L, skip, true); err != nil {
+				return err
+			}
+			if err := g.genBranch(x.R, target, false); err != nil {
+				return err
+			}
+			g.asm.Bind(skip)
+			return nil
+		}
+	case *UnaryExpr:
+		if x.Op == BANG {
+			return g.genBranch(x.X, target, !whenTrue)
+		}
+	}
+	if err := g.genExpr(e); err != nil {
+		return err
+	}
+	if whenTrue {
+		g.asm.EmitJump(isa.JNZB, target)
+	} else {
+		g.asm.EmitJump(isa.JZB, target)
+	}
+	g.depth--
+	return nil
+}
+
+// genCall compiles a procedure call or builtin, requiring wantResults
+// results on the stack afterwards.
+func (g *cg) genCall(x *CallExpr, wantResults int) error {
+	n, err := g.genCallN(x, wantResults)
+	if err != nil {
+		return err
+	}
+	if n != wantResults {
+		return g.errf(x.Line, "%s yields %d results, %d wanted", x.Proc, n, wantResults)
+	}
+	return nil
+}
+
+// genCallAnyResults compiles a call for effect, reporting how many results
+// it left on the stack.
+func (g *cg) genCallAnyResults(x *CallExpr) (int, error) {
+	return g.genCallN(x, -1)
+}
+
+func (g *cg) genCallN(x *CallExpr, wantResults int) (int, error) {
+	if x.Module == "" && IsBuiltin(x.Proc) {
+		return g.genBuiltin(x, wantResults)
+	}
+	s, err := g.lookupSig(x.Module, x.Proc, x.Line)
+	if err != nil {
+		return 0, err
+	}
+	if len(x.Args) != s.args {
+		return 0, g.errf(x.Line, "%s takes %d arguments, %d given", x.Proc, s.args, len(x.Args))
+	}
+	restore, err := g.spillForCall()
+	if err != nil {
+		return 0, err
+	}
+	if len(x.Args) > MaxStackArgs {
+		// Long argument record (§4): build it on the frame heap and pass
+		// the single pointer.
+		g.asm.EmitAllocWords(len(x.Args))
+		g.depth++
+		ptr := g.newTemp()
+		g.storeLocal(ptr)
+		for i, a := range x.Args {
+			if err := g.genExpr(a); err != nil {
+				return 0, err
+			}
+			g.loadLocal(ptr)
+			g.emit(isa.WFB, int32(i))
+			g.depth -= 2
+		}
+		g.loadLocal(ptr)
+		g.freeTemp(ptr)
+	} else {
+		for _, a := range x.Args {
+			if err := g.genExpr(a); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if x.Module == "" || x.Module == g.file.Name {
+		g.asm.EmitCallLocal(s.index)
+	} else {
+		idx, err := g.importIndex(x.Module, x.Proc)
+		if err != nil {
+			return 0, err
+		}
+		g.asm.EmitCallImport(idx)
+	}
+	stackArgs := len(x.Args)
+	if stackArgs > MaxStackArgs {
+		stackArgs = 1 // just the record pointer
+	}
+	g.depth = g.depth - stackArgs + s.results
+	restore(s.results)
+	return s.results, nil
+}
+
+// spillForCall implements the §5.2 discipline: the evaluation stack must
+// hold exactly the argument record at a call, so any live operands are
+// saved to temporaries and retrieved afterwards. The returned closure
+// restores them beneath the call's results.
+func (g *cg) spillForCall() (func(results int), error) {
+	d := g.depth
+	if d == 0 {
+		return func(int) {}, nil
+	}
+	saved := make([]int, d)
+	for i := d - 1; i >= 0; i-- { // store top first
+		saved[i] = g.newTemp()
+		g.storeLocal(saved[i])
+	}
+	return func(results int) {
+		// Move the results aside, restore the operands, put the results
+		// back on top.
+		res := make([]int, results)
+		for i := results - 1; i >= 0; i-- {
+			res[i] = g.newTemp()
+			g.storeLocal(res[i])
+		}
+		for _, t := range saved {
+			g.loadLocal(t)
+			g.freeTemp(t)
+		}
+		for _, t := range res {
+			g.loadLocal(t)
+			g.freeTemp(t)
+		}
+	}, nil
+}
+
+func (g *cg) genBuiltin(x *CallExpr, wantResults int) (int, error) {
+	ar := builtinArity[x.Proc]
+	if ar.in >= 0 && len(x.Args) != ar.in {
+		return 0, g.errf(x.Line, "%s takes %d arguments, %d given", x.Proc, ar.in, len(x.Args))
+	}
+	switch x.Proc {
+	case "out":
+		if err := g.genExpr(x.Args[0]); err != nil {
+			return 0, err
+		}
+		g.emit(isa.OUT)
+		g.depth--
+		return 0, nil
+	case "load":
+		if err := g.genExpr(x.Args[0]); err != nil {
+			return 0, err
+		}
+		g.emit(isa.LDIND)
+		return 1, nil
+	case "store":
+		if err := g.genExpr(x.Args[1]); err != nil { // value first
+			return 0, err
+		}
+		if err := g.genExpr(x.Args[0]); err != nil { // then address
+			return 0, err
+		}
+		g.emit(isa.STIND)
+		g.depth -= 2
+		return 0, nil
+	case "alloc":
+		words, ok := constValue(g, x.Args[0])
+		if !ok {
+			return 0, g.errf(x.Line, "alloc requires a constant size")
+		}
+		g.asm.EmitAllocWords(int(words))
+		g.depth++
+		return 1, nil
+	case "dealloc":
+		if err := g.genExpr(x.Args[0]); err != nil {
+			return 0, err
+		}
+		g.emit(isa.FFREE)
+		g.depth--
+		return 0, nil
+	case "cocreate":
+		ref, ok := x.Args[0].(*ProcRef)
+		if !ok {
+			return 0, g.errf(x.Line, "cocreate requires a procedure name")
+		}
+		if err := g.loadProcDesc(ref); err != nil {
+			return 0, err
+		}
+		g.emit(isa.COCREATE)
+		// COCREATE replaces the descriptor with the new context word.
+		return 1, nil
+	case "transfer":
+		if len(x.Args) < 1 {
+			return 0, g.errf(x.Line, "transfer requires a destination context")
+		}
+		restore, err := g.spillForCall()
+		if err != nil {
+			return 0, err
+		}
+		for _, a := range x.Args[1:] {
+			if err := g.genExpr(a); err != nil {
+				return 0, err
+			}
+		}
+		if err := g.genExpr(x.Args[0]); err != nil {
+			return 0, err
+		}
+		g.emit(isa.XFERO)
+		results := 1
+		if wantResults >= 0 {
+			results = wantResults
+		}
+		g.depth = g.depth - len(x.Args) + results
+		restore(results)
+		return results, nil
+	case "retctx":
+		g.emit(isa.LRC)
+		g.depth++
+		return 1, nil
+	case "myctx":
+		g.emit(isa.LLF)
+		g.depth++
+		return 1, nil
+	case "retain":
+		g.emit(isa.RETAIN)
+		return 0, nil
+	case "free":
+		if err := g.genExpr(x.Args[0]); err != nil {
+			return 0, err
+		}
+		g.emit(isa.FREE)
+		g.depth--
+		return 0, nil
+	case "halt":
+		g.emit(isa.HALT)
+		return 0, nil
+	case "trap":
+		code, ok := constValue(g, x.Args[0])
+		if !ok {
+			return 0, g.errf(x.Line, "trap requires a constant code")
+		}
+		if code > 255 {
+			return 0, g.errf(x.Line, "trap code %d exceeds a byte", code)
+		}
+		g.emit(isa.TRAPB, int32(code))
+		g.depth++ // the handler's result (or the software default)
+		return 1, nil
+	case "settrap":
+		ref, ok := x.Args[0].(*ProcRef)
+		if !ok {
+			return 0, g.errf(x.Line, "settrap requires a procedure name")
+		}
+		if err := g.loadProcDesc(ref); err != nil {
+			return 0, err
+		}
+		g.emit(isa.STRAP)
+		g.depth--
+		return 0, nil
+	}
+	return 0, g.errf(x.Line, "unknown builtin %s", x.Proc)
+}
+
+// loadProcDesc pushes the packed descriptor of a named procedure.
+func (g *cg) loadProcDesc(ref *ProcRef) error {
+	if ref.Module == "" || ref.Module == g.file.Name {
+		s, err := g.lookupSig("", ref.Proc, ref.Line)
+		if err != nil {
+			return err
+		}
+		g.asm.EmitLoadLocalDesc(s.index)
+	} else {
+		if _, err := g.lookupSig(ref.Module, ref.Proc, ref.Line); err != nil {
+			return err
+		}
+		idx, err := g.importIndex(ref.Module, ref.Proc)
+		if err != nil {
+			return err
+		}
+		g.asm.EmitLoadImportDesc(idx)
+	}
+	g.depth++
+	return nil
+}

@@ -1,0 +1,168 @@
+package lang_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/linker"
+	"repro/internal/mem"
+)
+
+// TestExpressionSemanticsAgainstGo is a third-party oracle: expression
+// values computed by Go's own int16 arithmetic must match what the
+// compiled program computes on the machine — checking precedence,
+// signedness and 16-bit wraparound in one shot.
+func TestExpressionSemanticsAgainstGo(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int16
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 3 - 2", 5},
+		{"2 * 3 + 4 * 5", 26},
+		{"1 << 4 | 3", 19},
+		{"0xFF & 0x0F0 >> 4", 0xF},
+		{"7 % 3 + 10 / 4", 1 + 2},
+		{"-5 * -5", 25},
+		{"~0 & 0xFF", 0xFF},
+		{"1000 * 1000", int16(uint16(1000 * 1000 & 0xFFFF))}, // wraparound
+		{"(2 < 3) + (3 < 2)", 1},
+		{"(5 == 5) * 10 + (5 != 5)", 10},
+		{"-1 < 1", 1},   // signed comparison
+		{"-10 / 3", -3}, // truncating signed division
+		{"-10 % 3", -1},
+		{"(-8 >> 1)", -4}, // arithmetic shift
+		{"1 && 2", 1},     // booleans normalize
+		{"0 || 5", 1},
+		{"!7", 0},
+		{"!0", 1},
+		{"(1 < 2) && (3 < 4) || 0", 1},
+		{"32767 + 1", -32768}, // two's-complement overflow
+	}
+	for i, c := range cases {
+		src := fmt.Sprintf("module e%d;\nproc main() { return %s; }\n", i, c.src)
+		mods, err := lang.CompileAll(map[string]string{fmt.Sprintf("e%d", i): src})
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		prog, _, err := linker.Link(mods, fmt.Sprintf("e%d", i), "main", linker.Options{})
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		m, err := core.New(prog, core.ConfigMesa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Call(prog.Entry)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if got := int16(res[0]); got != c.want {
+			t.Errorf("%q = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+// TestSpillCountMatchesDrawback measures the §5.2 drawback directly: the
+// nested-call form forces extra stores and loads that the flat form does
+// not need.
+func TestSpillCountMatchesDrawback(t *testing.T) {
+	flat := `
+module flat;
+proc g(x) { return x + 1; }
+proc h(x) { return x * 2; }
+proc f(a, b) { return a + b; }
+proc main() {
+  var t1 = g(1);
+  var t2 = h(2);
+  return f(t1, t2);
+}
+`
+	nested := `
+module nested;
+proc g(x) { return x + 1; }
+proc h(x) { return x * 2; }
+proc f(a, b) { return a + b; }
+proc main() { return f(g(1), h(2)); }
+`
+	run := func(name, src string) (mem.Word, uint64) {
+		mods, err := lang.CompileAll(map[string]string{name: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, _, err := linker.Link(mods, name, "main", linker.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := core.New(prog, core.ConfigMesa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Call(prog.Entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0], m.Metrics().Instructions
+	}
+	rFlat, _ := run("flat", flat)
+	rNested, _ := run("nested", nested)
+	if rFlat != rNested || rFlat != 6 {
+		t.Fatalf("flat %d vs nested %d, want 6", rFlat, rNested)
+	}
+	// Both compile and agree; the nested form spills g's result to a
+	// temporary and retrieves it (§5.2: "requires the results of g to be
+	// saved before h is called, and then retrieved").
+}
+
+func TestCommentsAndLiterals(t *testing.T) {
+	src := `
+module lits;
+// line comment
+/* block
+   comment */
+const HEX = 0xBEEF;
+proc main() {
+  var a = HEX & 0xFF;   // 0xEF
+  var b = 0x10;
+  return a + b;
+}
+`
+	mods, err := lang.CompileAll(map[string]string{"lits": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := linker.Link(mods, "lits", "main", linker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := core.New(prog, core.ConfigMesa)
+	res, err := m.Call(prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 0xEF+0x10 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestWhileWithComplexConditions(t *testing.T) {
+	src := `
+module cond;
+proc main(n) {
+  var i = 0;
+  var steps = 0;
+  while (i < n && steps < 100 || i == 0) {
+    i = i + 2;
+    steps = steps + 1;
+  }
+  return steps;
+}
+`
+	res, _ := one(t, src, "cond", "main", 10)
+	if res[0] != 5 {
+		t.Fatalf("steps = %v, want 5", res)
+	}
+}

@@ -1,0 +1,322 @@
+package linker
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/lang"
+	"repro/internal/mem"
+)
+
+func compile(t *testing.T, sources map[string]string) []*image.Module {
+	t.Helper()
+	mods, err := lang.CompileAll(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mods
+}
+
+func TestMultiInstanceModules(t *testing.T) {
+	// §5.1: multiple instances of a module share one code segment but have
+	// separate global frames — the GFT level of indirection makes this
+	// possible. Two counter instances must not share state.
+	mods := compile(t, map[string]string{
+		"counter": `
+module counter;
+var n = 0;
+proc bump() { n = n + 1; return n; }
+`,
+		"drv": `
+module drv;
+import counter;
+proc main() { return counter.bump(); }
+`,
+	})
+	prog, _, err := Link(mods, "drv", "main", Options{Instances: map[string]int{"counter": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find both instances and call bump on each directly.
+	var descs []mem.Word
+	for _, in := range prog.Instances {
+		if in.Module.Name == "counter" {
+			d, err := in.Descriptor(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			descs = append(descs, d)
+		}
+	}
+	if len(descs) != 2 {
+		t.Fatalf("%d instances", len(descs))
+	}
+	m, err := core.New(prog, core.ConfigMesa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		res, err := m.Call(descs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(res[0]) != i {
+			t.Fatalf("instance0 bump %d = %d", i, res[0])
+		}
+	}
+	res, err := m.Call(descs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 1 {
+		t.Fatalf("instance1 first bump = %d; global frames are shared!", res[0])
+	}
+}
+
+func TestEarlyBindingSkipsMultiInstanceTargets(t *testing.T) {
+	// §6 D2: multiple instances are impossible with DIRECTCALL since the
+	// environment is bound into the code; the linker must fall back.
+	mods := compile(t, map[string]string{
+		"multi": `
+module multi;
+var g = 5;
+proc get() { return g; }
+`,
+		"drv": `
+module drv;
+import multi;
+proc main() { return multi.get(); }
+`,
+	})
+	_, st, err := Link(mods, "drv", "main",
+		Options{EarlyBind: true, Instances: map[string]int{"multi": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DirectCalls+st.ShortCalls != 0 && st.ExternCalls == 0 {
+		t.Fatalf("early binding bound a multi-instance target: %+v", st)
+	}
+	if st.ExternCalls == 0 {
+		t.Fatalf("expected an LV-path call: %+v", st)
+	}
+}
+
+func TestGFTBiasBeyond32Procs(t *testing.T) {
+	// §5.1: the five-bit code field allows 32 entry points; the two spare
+	// GFT bits extend a module to 128 via biased entries.
+	var b strings.Builder
+	b.WriteString("module big;\n")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&b, "proc p%d() { return %d; }\n", i, i)
+	}
+	b.WriteString("proc main() { return p39() + p5(); }\n")
+	mods := compile(t, map[string]string{"big": b.String()})
+	prog, _, err := Link(mods, "big", "main", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(prog, core.ConfigMesa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Call(prog.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 44 {
+		t.Fatalf("main = %v, want 44", res)
+	}
+	// Calling an entry point beyond 32 through its descriptor exercises
+	// the biased GFT slot directly.
+	d, err := prog.FindProc("big", "p39")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gfi, ev := image.UnpackProc(d)
+	if ev != 39%32 || gfi != prog.Instances[0].GFIBase+1 {
+		t.Fatalf("descriptor gfi=%d ev=%d", gfi, ev)
+	}
+	res, err = m.Call(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 39 {
+		t.Fatalf("p39 = %v", res)
+	}
+}
+
+func TestHotImportsGetOneByteCalls(t *testing.T) {
+	// §5.1: the statically most frequently called procedures get the
+	// one-byte opcodes. Module imports ten procedures; nine are called
+	// once, one is called many times — the hot one must land in EFC0..7.
+	var lib, drv strings.Builder
+	lib.WriteString("module lib;\n")
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&lib, "proc f%d(x) { return x + %d; }\n", i, i)
+	}
+	drv.WriteString("module drv;\nimport lib;\nproc main() {\n  var a = 0;\n")
+	// f9 called 12 times; declared last so declaration order would give it
+	// slot 9 (the two-byte EFCB form).
+	for i := 0; i < 9; i++ {
+		fmt.Fprintf(&drv, "  a = a + lib.f%d(1);\n", i)
+	}
+	for i := 0; i < 12; i++ {
+		drv.WriteString("  a = a + lib.f9(1);\n")
+	}
+	drv.WriteString("  return a;\n}\n")
+	mods := compile(t, map[string]string{"lib": lib.String(), "drv": drv.String()})
+
+	count := func(opts Options) (efcb int, result mem.Word) {
+		prog, _, err := Link(mods, "drv", "main", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count EFCB instructions in the drv code segment.
+		for _, in := range prog.Instances {
+			if in.Module.Name != "drv" {
+				continue
+			}
+			pc := int(in.ProcEntryPC(0))
+			for pc < len(prog.Code) {
+				instr, n, err := isa.Decode(prog.Code, pc)
+				if err != nil {
+					break
+				}
+				if instr.Op == isa.EFCB {
+					efcb++
+				}
+				if instr.Op == isa.RET {
+					break
+				}
+				pc += n
+			}
+		}
+		m, err := core.New(prog, core.ConfigMesa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Call(prog.Entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return efcb, res[0]
+	}
+
+	sortedEFCB, sortedRes := count(Options{})
+	unsortedEFCB, unsortedRes := count(Options{NoImportSort: true})
+	if sortedRes != unsortedRes {
+		t.Fatalf("slot sorting changed behaviour: %d vs %d", sortedRes, unsortedRes)
+	}
+	if sortedEFCB >= unsortedEFCB {
+		t.Fatalf("frequency sorting should reduce two-byte calls: %d vs %d", sortedEFCB, unsortedEFCB)
+	}
+}
+
+func TestSDCALLNarrowing(t *testing.T) {
+	mods := compile(t, map[string]string{
+		"a": `
+module a;
+import b;
+proc main() {
+  // five sites: the 1-byte-per-site saving must outrun segment alignment
+  return b.f(1) + b.f(2) + b.f(3) + b.f(4) + b.f(5);
+}
+`,
+		"b": `
+module b;
+proc f(x) { return x * 7; }
+`,
+	})
+	_, stShort, err := Link(mods, "a", "main", Options{EarlyBind: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stLong, err := Link(mods, "a", "main", Options{EarlyBind: true, NoShortCalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stShort.ShortCalls == 0 {
+		t.Fatalf("nearby target not narrowed to SDCALL: %+v", stShort)
+	}
+	if stLong.ShortCalls != 0 || stLong.DirectCalls == 0 {
+		t.Fatalf("NoShortCalls violated: %+v", stLong)
+	}
+	if stShort.CodeBytes >= stLong.CodeBytes {
+		t.Fatalf("narrowing did not shrink code: %d vs %d", stShort.CodeBytes, stLong.CodeBytes)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	mods := compile(t, map[string]string{"m": `module m; proc main() { return 0; }`})
+	if _, _, err := Link(mods, "m", "nope", Options{}); err == nil {
+		t.Error("missing entry proc accepted")
+	}
+	if _, _, err := Link(mods, "ghost", "main", Options{}); err == nil {
+		t.Error("missing entry module accepted")
+	}
+	dup := []*image.Module{mods[0], mods[0]}
+	if _, _, err := Link(dup, "m", "main", Options{}); err == nil {
+		t.Error("duplicate module accepted")
+	}
+	// Unresolved import (hand-built: the compiler would reject it earlier).
+	bad := &image.Module{Name: "x", Imports: []image.Import{{Module: "nowhere", Proc: "f"}},
+		Procs: []*image.Proc{{Name: "main"}}}
+	if _, _, err := Link([]*image.Module{bad}, "x", "main", Options{}); !errors.Is(err, ErrUnresolved) {
+		t.Errorf("unresolved import: %v", err)
+	}
+}
+
+func TestLinkStatsShape(t *testing.T) {
+	mods := compile(t, map[string]string{"m": `
+module m;
+proc helper(x) { return x + 1; }
+proc main() { return helper(1) + helper(2); }
+`})
+	_, st, err := Link(mods, "m", "main", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ProcCount != 2 || st.LocalCalls != 2 || st.CodeBytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(st.FrameWordHst) != 2 {
+		t.Fatalf("frame histogram %v", st.FrameWordHst)
+	}
+	if st.Lengths.Total == 0 || st.Lengths.ByLen[1] == 0 {
+		t.Fatalf("length stats empty: %+v", st.Lengths)
+	}
+}
+
+func TestDataImageDeterministic(t *testing.T) {
+	mods := compile(t, map[string]string{"m": `
+module m;
+var a = 3, b = 4;
+proc main() { return a + b; }
+`})
+	p1, _, err := Link(mods, "m", "main", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := Link(mods, "m", "main", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Code) != len(p2.Code) || len(p1.Data) != len(p2.Data) {
+		t.Fatal("link output not deterministic")
+	}
+	for i := range p1.Code {
+		if p1.Code[i] != p2.Code[i] {
+			t.Fatal("code differs between links")
+		}
+	}
+	for i := range p1.Data {
+		if p1.Data[i] != p2.Data[i] {
+			t.Fatal("data differs between links")
+		}
+	}
+}

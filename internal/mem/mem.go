@@ -1,0 +1,81 @@
+// Package mem simulates the 16-bit word-addressed main data space (MDS) of
+// the Mesa-like processor, with per-reference accounting.
+//
+// The paper's cost arguments are counting arguments — memory references per
+// call (§5.1), per frame allocation (§5.3), cache vs register cycles (§7.3) —
+// so the store counts every read and write it services. The processor charges
+// cycles for those references using the constants in internal/core.
+package mem
+
+import "fmt"
+
+// Word is the machine word: 16 bits, as on the Alto/Dorado Mesa machines.
+type Word = uint16
+
+// Addr is a word address within the 64K-word main data space.
+type Addr = uint16
+
+// Size is the number of words in the main data space.
+const Size = 1 << 16
+
+// Stats counts the references the store has serviced.
+type Stats struct {
+	Reads  uint64 // word reads
+	Writes uint64 // word writes
+}
+
+// Refs reports total references (reads + writes).
+func (s Stats) Refs() uint64 { return s.Reads + s.Writes }
+
+// Memory is a simulated main data space. The zero value is not usable;
+// call New.
+type Memory struct {
+	words []Word
+	stats Stats
+}
+
+// New returns a zeroed 64K-word store.
+func New() *Memory {
+	return &Memory{words: make([]Word, Size)}
+}
+
+// Read fetches the word at a, counting one read reference.
+func (m *Memory) Read(a Addr) Word {
+	m.stats.Reads++
+	return m.words[a]
+}
+
+// Write stores v at a, counting one write reference.
+func (m *Memory) Write(a Addr, v Word) {
+	m.stats.Writes++
+	m.words[a] = v
+}
+
+// Peek reads without charging a reference (debugger/test access).
+func (m *Memory) Peek(a Addr) Word { return m.words[a] }
+
+// Poke writes without charging a reference (loader/test access).
+func (m *Memory) Poke(a Addr, v Word) { m.words[a] = v }
+
+// Stats returns the reference counts accumulated so far.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the reference counts without touching contents.
+func (m *Memory) ResetStats() { m.stats = Stats{} }
+
+// Clear zeroes the whole store and the counters.
+func (m *Memory) Clear() {
+	for i := range m.words {
+		m.words[i] = 0
+	}
+	m.stats = Stats{}
+}
+
+// Dump formats words [a, a+n) for debugging.
+func (m *Memory) Dump(a Addr, n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s += fmt.Sprintf("%04x: %04x\n", int(a)+i, m.words[(int(a)+i)&(Size-1)])
+	}
+	return s
+}

@@ -1,0 +1,69 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteAndStats(t *testing.T) {
+	m := New()
+	m.Write(100, 0xbeef)
+	if got := m.Read(100); got != 0xbeef {
+		t.Fatalf("Read = %04x", got)
+	}
+	s := m.Stats()
+	if s.Reads != 1 || s.Writes != 1 || s.Refs() != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPeekPokeUncharged(t *testing.T) {
+	m := New()
+	m.Poke(5, 42)
+	if m.Peek(5) != 42 {
+		t.Fatal("poke/peek mismatch")
+	}
+	if m.Stats().Refs() != 0 {
+		t.Fatalf("peek/poke charged refs: %+v", m.Stats())
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	m := New()
+	m.Write(7, 9)
+	m.ResetStats()
+	if m.Stats().Refs() != 0 {
+		t.Fatal("stats not reset")
+	}
+	if m.Peek(7) != 9 {
+		t.Fatal("contents lost on ResetStats")
+	}
+}
+
+func TestClear(t *testing.T) {
+	m := New()
+	m.Write(3, 1)
+	m.Clear()
+	if m.Peek(3) != 0 || m.Stats().Refs() != 0 {
+		t.Fatal("Clear incomplete")
+	}
+}
+
+func TestWholeAddressSpaceProperty(t *testing.T) {
+	m := New()
+	f := func(a Addr, v Word) bool {
+		m.Write(a, v)
+		return m.Read(a) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDump(t *testing.T) {
+	m := New()
+	m.Poke(0, 0x1234)
+	if got := m.Dump(0, 1); got != "0000: 1234\n" {
+		t.Fatalf("Dump = %q", got)
+	}
+}

@@ -1,0 +1,235 @@
+// Package stats provides the small measurement substrate shared by the
+// simulator and the benchmark harness: counters, histograms and table
+// rendering. Everything is deterministic and allocation-light so that
+// instrumenting the simulated processor does not perturb its cost model.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio returns c/total as a float, or 0 when total is zero.
+func Ratio(c, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(c) / float64(total)
+}
+
+// Percent formats c/total as a percentage string such as "4.2%".
+func Percent(c, total uint64) string {
+	return fmt.Sprintf("%.1f%%", 100*Ratio(c, total))
+}
+
+// Histogram accumulates integer samples and reports order statistics.
+// The zero value is ready to use.
+type Histogram struct {
+	counts map[int]uint64
+	total  uint64
+	sum    int64
+	min    int
+	max    int
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int) {
+	if h.counts == nil {
+		h.counts = make(map[int]uint64)
+		h.min, h.max = v, v
+	}
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[v]++
+	h.total++
+	h.sum += int64(v)
+}
+
+// ObserveN records the same sample n times.
+func (h *Histogram) ObserveN(v int, n uint64) {
+	for ; n > 0; n-- {
+		h.Observe(v)
+	}
+}
+
+// Count reports the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum reports the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min reports the smallest sample, or 0 if empty.
+func (h *Histogram) Min() int {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest sample, or 0 if empty.
+func (h *Histogram) Max() int {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean reports the arithmetic mean, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile reports the smallest value v such that at least q (0..1) of the
+// samples are ≤ v. Quantile(0.5) is the median.
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := uint64(math.Ceil(q * float64(h.total)))
+	if need == 0 {
+		need = 1
+	}
+	keys := h.sortedKeys()
+	var seen uint64
+	for _, k := range keys {
+		seen += h.counts[k]
+		if seen >= need {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// FractionAtMost reports the fraction of samples ≤ v.
+func (h *Histogram) FractionAtMost(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var n uint64
+	for k, c := range h.counts {
+		if k <= v {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.total)
+}
+
+// CountOf reports how many samples equal v exactly.
+func (h *Histogram) CountOf(v int) uint64 { return h.counts[v] }
+
+func (h *Histogram) sortedKeys() []int {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Buckets returns the distinct sample values in ascending order with their
+// counts, for rendering distributions.
+func (h *Histogram) Buckets() ([]int, []uint64) {
+	keys := h.sortedKeys()
+	counts := make([]uint64, len(keys))
+	for i, k := range keys {
+		counts[i] = h.counts[k]
+	}
+	return keys, counts
+}
+
+// Table renders aligned text tables in the style the paper's evaluation
+// rows are reported, suitable for terminal output and EXPERIMENTS.md.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, hcell := range t.header {
+		widths[i] = len(hcell)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

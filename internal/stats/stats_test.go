@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("reset counter = %d", c.Value())
+	}
+}
+
+func TestRatioAndPercent(t *testing.T) {
+	if r := Ratio(1, 4); r != 0.25 {
+		t.Errorf("Ratio(1,4) = %v", r)
+	}
+	if r := Ratio(3, 0); r != 0 {
+		t.Errorf("Ratio(3,0) = %v, want 0", r)
+	}
+	if p := Percent(1, 2); p != "50.0%" {
+		t.Errorf("Percent(1,2) = %q", p)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []int{3, 1, 4, 1, 5, 9, 2, 6} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 9 {
+		t.Errorf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+	if h.Sum() != 31 {
+		t.Errorf("Sum = %d", h.Sum())
+	}
+	if got := h.CountOf(1); got != 2 {
+		t.Errorf("CountOf(1) = %d", got)
+	}
+	if f := h.FractionAtMost(4); f != 5.0/8 {
+		t.Errorf("FractionAtMost(4) = %v", f)
+	}
+}
+
+func TestHistogramQuantileMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var h Histogram
+		n := 1 + rng.Intn(200)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(40) - 10
+			h.Observe(vals[i])
+		}
+		sort.Ints(vals)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.95, 1} {
+			idx := int(q*float64(n)+0.9999) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= n {
+				idx = n - 1
+			}
+			if got, want := h.Quantile(q), vals[idx]; got != want {
+				t.Fatalf("trial %d n=%d q=%v: got %d want %d", trial, n, q, got, want)
+			}
+		}
+	}
+}
+
+func TestHistogramMeanProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		var h Histogram
+		sum := 0
+		for _, v := range raw {
+			h.Observe(int(v))
+			sum += int(v)
+		}
+		if len(raw) == 0 {
+			return h.Mean() == 0
+		}
+		want := float64(sum) / float64(len(raw))
+		diff := h.Mean() - want
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBucketsSorted(t *testing.T) {
+	var h Histogram
+	for _, v := range []int{5, 3, 5, 8, 3, 3} {
+		h.Observe(v)
+	}
+	keys, counts := h.Buckets()
+	if !sort.IntsAreSorted(keys) {
+		t.Fatalf("keys not sorted: %v", keys)
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket counts sum %d, want %d", total, h.Count())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 123456)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d: %q", len(lines), out)
+	}
+	// all rows align: same prefix width before second column
+	if idx1, idx2 := strings.Index(lines[2], "-"), strings.Index(lines[4], "123456"); idx1 < 0 || idx2 < 0 {
+		t.Errorf("unexpected render: %q", out)
+	}
+}

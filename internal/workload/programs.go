@@ -1,0 +1,522 @@
+// Package workload provides the benchmark corpus: compiled programs in the
+// source language covering the paper's workload space (call-heavy
+// recursion, loops over storage, coroutine pipelines, cross-module
+// chatter), and a synthetic call/return trace generator with a tunable
+// run-length distribution for the §6/§7 statistics.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/image"
+	"repro/internal/lang"
+	"repro/internal/linker"
+	"repro/internal/mem"
+)
+
+// Program is one benchmark program: sources, entry point and arguments.
+type Program struct {
+	Name    string
+	Sources map[string]string
+	Module  string
+	Proc    string
+	Args    []mem.Word
+	// Want, when non-nil, is the expected single result (a self-check).
+	Want *mem.Word
+}
+
+func w(v mem.Word) *mem.Word { return &v }
+
+// Corpus returns the standard benchmark programs.
+func Corpus() []*Program {
+	return []*Program{
+		Fib(18),
+		Ackermann(2, 6),
+		Tak(12, 8, 4),
+		Sort(48),
+		Sieve(200),
+		Queens(6),
+		CallChain(200),
+		Coroutines(40),
+		Interfaces(60),
+		Pressure(24),
+		Traps(25),
+	}
+}
+
+// Traps exercises the §3/§5.1 trap path: a handler context installed with
+// settrap receives control on every trap through the same XFER mechanism
+// as a call, and its result substitutes for the trapping operation's.
+func Traps(n int) *Program {
+	return &Program{
+		Name: fmt.Sprintf("traps(%d)", n),
+		Sources: map[string]string{"trapm": fmt.Sprintf(`
+module trapm;
+const N = %d;
+var count = 0;
+proc handler(code) {
+  count = count + 1;
+  return code + count;
+}
+proc main() {
+  settrap(handler);
+  var i = 0;
+  var acc = 0;
+  while (i < N) {
+    acc = acc + 100 / i;      // i=0 traps; handler substitutes
+    acc = acc + trap(7);      // explicit trap each round
+    i = i + 1;
+  }
+  return acc & 0x7FFF;
+}
+`, n)},
+		Module: "trapm", Proc: "main",
+	}
+}
+
+// Pressure is a procedure with many locals and wide literals, forcing the
+// two- and three-byte instruction forms (LLB/SLB/LIB/LIW) the small
+// benchmarks rarely need — it pulls the static length distribution toward
+// the shape of a large real corpus.
+func Pressure(n int) *Program {
+	return &Program{
+		Name: fmt.Sprintf("pressure(%d)", n),
+		Sources: map[string]string{"press": fmt.Sprintf(`
+module press;
+const N = %d;
+proc mix(a, b, c, d, e, f, g, h) {
+  var t0 = a * 257; var t1 = b + 0x1234; var t2 = c ^ 0x0FF0;
+  var t3 = d + 1000; var t4 = e * 300; var t5 = f + 0xBEEF;
+  var t6 = g ^ 511; var t7 = h + 777;
+  var u0 = t0 + t7; var u1 = t1 + t6; var u2 = t2 + t5; var u3 = t3 + t4;
+  return (u0 ^ u1) + (u2 ^ u3);
+}
+proc main() {
+  var i = 0;
+  var acc = 4097;
+  while (i < N) {
+    acc = acc ^ mix(i, acc, i + 100, acc + 200, i * 3, acc * 5, i + 0x700, acc + 0x900);
+    i = i + 1;
+  }
+  return acc & 0x7FFF;
+}
+`, n)},
+		Module: "press", Proc: "main",
+	}
+}
+
+// Fib is the classic doubly recursive Fibonacci — one call per handful of
+// instructions, the paper's motivating ratio.
+func Fib(n int) *Program {
+	return &Program{
+		Name: fmt.Sprintf("fib(%d)", n),
+		Sources: map[string]string{"fib": `
+module fib;
+proc fib(n) {
+  if (n < 2) { return n; }
+  return fib(n-1) + fib(n-2);
+}
+proc main(n) { return fib(n); }
+`},
+		Module: "fib", Proc: "main", Args: []mem.Word{mem.Word(n)},
+		Want: w(fibVal(n)),
+	}
+}
+
+func fibVal(n int) mem.Word {
+	a, b := mem.Word(0), mem.Word(1)
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+// Ackermann exercises very deep call chains (return-stack and bank
+// overflow behaviour).
+func Ackermann(m, n int) *Program {
+	return &Program{
+		Name: fmt.Sprintf("ack(%d,%d)", m, n),
+		Sources: map[string]string{"ack": `
+module ack;
+proc ack(m, n) {
+  if (m == 0) { return n + 1; }
+  if (n == 0) { return ack(m - 1, 1); }
+  return ack(m - 1, ack(m, n - 1));
+}
+proc main(m, n) { return ack(m, n); }
+`},
+		Module: "ack", Proc: "main", Args: []mem.Word{mem.Word(m), mem.Word(n)},
+		Want: w(ackVal(m, n)),
+	}
+}
+
+func ackVal(m, n int) mem.Word {
+	if m == 0 {
+		return mem.Word(n + 1)
+	}
+	if n == 0 {
+		return ackVal(m-1, 1)
+	}
+	return ackVal(m-1, int(ackVal(m, n-1)))
+}
+
+// Tak is the Takeuchi function: heavily nested argument evaluation, the
+// f[g[], h[]] pattern everywhere.
+func Tak(x, y, z int) *Program {
+	return &Program{
+		Name: fmt.Sprintf("tak(%d,%d,%d)", x, y, z),
+		Sources: map[string]string{"tak": `
+module tak;
+proc tak(x, y, z) {
+  if (!(y < x)) { return z; }
+  return tak(tak(x-1, y, z), tak(y-1, z, x), tak(z-1, x, y));
+}
+proc main(x, y, z) { return tak(x, y, z); }
+`},
+		Module: "tak", Proc: "main",
+		Args: []mem.Word{mem.Word(x), mem.Word(y), mem.Word(z)},
+		Want: w(takVal(x, y, z)),
+	}
+}
+
+func takVal(x, y, z int) mem.Word {
+	if !(y < x) {
+		return mem.Word(z)
+	}
+	return takVal(int(takVal(x-1, y, z)), int(takVal(y-1, z, x)), int(takVal(z-1, x, y)))
+}
+
+// Sort runs insertion sort over a heap record — loop- and storage-heavy
+// with few calls, the other end of the workload spectrum.
+func Sort(n int) *Program {
+	if n > 120 {
+		n = 120
+	}
+	return &Program{
+		Name: fmt.Sprintf("sort(%d)", n),
+		Sources: map[string]string{"sortw": fmt.Sprintf(`
+module sortw;
+const N = %d;
+proc fill(a) {
+  var i = 0;
+  var x = 12345;
+  while (i < N) {
+    x = x * 25173 + 13849;      // 16-bit LCG
+    store(a + i, x & 0x7FFF);
+    i = i + 1;
+  }
+  return 0;
+}
+proc sort(a) {
+  var i = 1;
+  while (i < N) {
+    var key = load(a + i);
+    var j = i - 1;
+    while (j >= 0 && load(a + j) > key) {
+      store(a + j + 1, load(a + j));
+      j = j - 1;
+    }
+    store(a + j + 1, key);
+    i = i + 1;
+  }
+  return 0;
+}
+proc check(a) {
+  var i = 1;
+  while (i < N) {
+    if (load(a + i - 1) > load(a + i)) { return 0; }
+    i = i + 1;
+  }
+  return 1;
+}
+proc main() {
+  var a = alloc(N);
+  fill(a);
+  sort(a);
+  var ok = check(a);
+  dealloc(a);
+  return ok;
+}
+`, n)},
+		Module: "sortw", Proc: "main", Want: w(1),
+	}
+}
+
+// Sieve counts primes below n using a heap bitmap.
+func Sieve(n int) *Program {
+	if n > 500 {
+		n = 500
+	}
+	return &Program{
+		Name: fmt.Sprintf("sieve(%d)", n),
+		Sources: map[string]string{"sieve": fmt.Sprintf(`
+module sieve;
+const N = %d;
+proc main() {
+  var a = alloc(N);
+  var i = 0;
+  while (i < N) { store(a + i, 1); i = i + 1; }
+  var count = 0;
+  i = 2;
+  while (i < N) {
+    if (load(a + i) != 0) {
+      count = count + 1;
+      var j = i + i;
+      while (j < N) { store(a + j, 0); j = j + i; }
+    }
+    i = i + 1;
+  }
+  dealloc(a);
+  return count;
+}
+`, n)},
+		Module: "sieve", Proc: "main", Want: w(sieveVal(n)),
+	}
+}
+
+func sieveVal(n int) mem.Word {
+	sieve := make([]bool, n)
+	count := 0
+	for i := 2; i < n; i++ {
+		if !sieve[i] {
+			count++
+			for j := i + i; j < n; j += i {
+				sieve[j] = true
+			}
+		}
+	}
+	return mem.Word(count)
+}
+
+// Queens counts solutions to the n-queens problem — recursion plus storage.
+func Queens(n int) *Program {
+	return &Program{
+		Name: fmt.Sprintf("queens(%d)", n),
+		Sources: map[string]string{"queens": fmt.Sprintf(`
+module queens;
+const N = %d;
+proc safe(board, row, col) {
+  var i = 0;
+  while (i < row) {
+    var c = load(board + i);
+    if (c == col) { return 0; }
+    if (c - col == row - i) { return 0; }
+    if (col - c == row - i) { return 0; }
+    i = i + 1;
+  }
+  return 1;
+}
+proc place(board, row) {
+  if (row == N) { return 1; }
+  var count = 0;
+  var col = 0;
+  while (col < N) {
+    if (safe(board, row, col) != 0) {
+      store(board + row, col);
+      count = count + place(board, row + 1);
+    }
+    col = col + 1;
+  }
+  return count;
+}
+proc main() {
+  var board = alloc(N);
+  var c = place(board, 0);
+  dealloc(board);
+  return c;
+}
+`, n)},
+		Module: "queens", Proc: "main", Want: w(queensVal(n)),
+	}
+}
+
+func queensVal(n int) mem.Word {
+	board := make([]int, n)
+	var place func(row int) int
+	place = func(row int) int {
+		if row == n {
+			return 1
+		}
+		count := 0
+		for col := 0; col < n; col++ {
+			ok := true
+			for i := 0; i < row; i++ {
+				c := board[i]
+				if c == col || c-col == row-i || col-c == row-i {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				board[row] = col
+				count += place(row + 1)
+			}
+		}
+		return count
+	}
+	return mem.Word(place(0))
+}
+
+// CallChain is a chain of tiny procedures — roughly one call or return per
+// few instructions, the paper's §1 workload shape, iterated n times.
+func CallChain(n int) *Program {
+	return &Program{
+		Name: fmt.Sprintf("callchain(%d)", n),
+		Sources: map[string]string{"chain": fmt.Sprintf(`
+module chain;
+const N = %d;
+proc p5(x) { return x + 1; }
+proc p4(x) { return p5(x) + 1; }
+proc p3(x) { return p4(x) + 1; }
+proc p2(x) { return p3(x) + 1; }
+proc p1(x) { return p2(x) + 1; }
+proc main() {
+  var i = 0;
+  var acc = 0;
+  while (i < N) {
+    acc = acc + p1(i) - i;
+    i = i + 1;
+  }
+  return acc;
+}
+`, n)},
+		Module: "chain", Proc: "main", Want: w(mem.Word(5 * n)),
+	}
+}
+
+// Coroutines runs a producer/filter/consumer pipeline through general
+// XFERs — the non-LIFO pattern the general model exists for.
+func Coroutines(n int) *Program {
+	// producer yields 1,2,3,...; filter doubles; main sums n values.
+	want := mem.Word(0)
+	for i := 1; i <= n; i++ {
+		want += mem.Word(2 * i)
+	}
+	return &Program{
+		Name: fmt.Sprintf("coroutines(%d)", n),
+		Sources: map[string]string{"pipe": fmt.Sprintf(`
+module pipe;
+const N = %d;
+proc producer(start) {
+  var who = retctx();
+  var v = start;
+  while (1) {
+    transfer(who, v);
+    v = v + 1;
+  }
+}
+proc filter(unused) {
+  var who = retctx();
+  var src = cocreate(producer);
+  var v = transfer(src, 1);
+  while (1) {
+    transfer(who, v * 2);
+    v = transfer(src, 0);
+  }
+}
+proc main() {
+  var f = cocreate(filter);
+  var sum = 0;
+  var i = 0;
+  while (i < N) {
+    sum = sum + transfer(f, 0);
+    i = i + 1;
+  }
+  free(f);
+  return sum;
+}
+`, n)},
+		Module: "pipe", Proc: "main", Want: &want,
+	}
+}
+
+// Interfaces is cross-module chatter: a client calling procedures spread
+// across several modules through their link vectors.
+func Interfaces(n int) *Program {
+	return &Program{
+		Name: fmt.Sprintf("interfaces(%d)", n),
+		Sources: map[string]string{
+			"strings": `
+module strings;
+proc hash(x) { return x * 31 + 7; }
+proc rot(x) { return ((x << 3) | (x >> 13)) & 0xFFFF; }
+`,
+			"table": `
+module table;
+import strings;
+var entries = 0;
+proc insert(k) { entries = entries + 1; return strings.hash(k); }
+proc size() { return entries; }
+`,
+			"client": `
+module client;
+import strings;
+import table;
+const N = %N%;
+proc main() {
+  var i = 0;
+  var acc = 0;
+  while (i < N) {
+    acc = acc ^ table.insert(i);
+    acc = acc ^ strings.rot(acc);
+    i = i + 1;
+  }
+  return table.size();
+}
+`,
+		},
+		Module: "client", Proc: "main", Want: w(mem.Word(n)),
+	}
+}
+
+// Build compiles and links a program.
+func (p *Program) Build(opts linker.Options) (*image.Program, *linker.Stats, error) {
+	srcs := make(map[string]string, len(p.Sources))
+	for k, v := range p.Sources {
+		srcs[k] = expand(v, p)
+	}
+	mods, err := lang.CompileAll(srcs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload %s: %w", p.Name, err)
+	}
+	return linker.Link(mods, p.Module, p.Proc, opts)
+}
+
+// Parse returns the analyzed program for the reference interpreter.
+func (p *Program) Parse() (*lang.Program, error) {
+	srcs := make(map[string]string, len(p.Sources))
+	for k, v := range p.Sources {
+		srcs[k] = expand(v, p)
+	}
+	return lang.ParseAll(srcs)
+}
+
+func expand(src string, p *Program) string {
+	// The Interfaces template needs its constant substituted.
+	out := src
+	for {
+		i := indexOf(out, "%N%")
+		if i < 0 {
+			return out
+		}
+		out = out[:i] + fmt.Sprint(interfaceN(p)) + out[i+3:]
+	}
+}
+
+func interfaceN(p *Program) int {
+	var n int
+	fmt.Sscanf(p.Name, "interfaces(%d)", &n)
+	if n == 0 {
+		n = 60
+	}
+	return n
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// RandomProgram generates a random, terminating program in the source
+// language. It is the generator behind the differential fuzz test: the
+// same program must produce identical results and output on the I1
+// reference interpreter and on every machine configuration, under both
+// linkages. The generator favors the features where the implementations
+// can diverge: nested calls (the §5.2 spill discipline), cross-module
+// calls (the LV path), division (traps), globals, and short-circuit
+// conditions.
+func RandomProgram(seed int64) *Program {
+	rng := rand.New(rand.NewSource(seed))
+	g := &randGen{rng: rng}
+	return g.program(seed)
+}
+
+type randGen struct {
+	rng    *rand.Rand
+	procs  []randProc // callable procedures generated so far
+	locals []string
+	glob   string // the current module's global variable
+}
+
+type randProc struct {
+	module string
+	name   string
+	nargs  int
+}
+
+func (g *randGen) program(seed int64) *Program {
+	// Two modules: lib (leaf procedures) and main (driver), so external
+	// calls get exercised.
+	var lib strings.Builder
+	lib.WriteString("module lib;\nvar lg = 3;\n")
+	g.glob = "lg"
+	nLib := 2 + g.rng.Intn(3)
+	for i := 0; i < nLib; i++ {
+		g.proc(&lib, "lib", fmt.Sprintf("lf%d", i))
+	}
+	g.glob = "mg"
+
+	var main strings.Builder
+	main.WriteString("module main;\nimport lib;\nvar mg = 1;\n")
+	nMain := 2 + g.rng.Intn(3)
+	for i := 0; i < nMain; i++ {
+		g.proc(&main, "main", fmt.Sprintf("mf%d", i))
+	}
+
+	// The driver calls every generated procedure and mixes the results.
+	main.WriteString("proc main() {\n  var acc = 0;\n")
+	for _, p := range g.procs {
+		qual := p.name
+		if p.module == "lib" {
+			qual = "lib." + p.name
+		}
+		args := make([]string, p.nargs)
+		for i := range args {
+			args[i] = fmt.Sprint(g.rng.Intn(20))
+		}
+		fmt.Fprintf(&main, "  acc = (acc ^ %s(%s)) & 0x7FFF;\n  out(acc);\n", qual, strings.Join(args, ", "))
+	}
+	main.WriteString("  return acc;\n}\n")
+
+	return &Program{
+		Name:    fmt.Sprintf("random(%d)", seed),
+		Sources: map[string]string{"lib": lib.String(), "main": main.String()},
+		Module:  "main", Proc: "main",
+	}
+}
+
+// proc writes one random procedure and registers it as callable.
+func (g *randGen) proc(b *strings.Builder, module, name string) {
+	nargs := 1 + g.rng.Intn(3)
+	params := make([]string, nargs)
+	for i := range params {
+		params[i] = fmt.Sprintf("a%d", i)
+	}
+	g.locals = append([]string{}, params...)
+	fmt.Fprintf(b, "proc %s(%s) {\n", name, strings.Join(params, ", "))
+	// a couple of locals
+	nloc := 1 + g.rng.Intn(2)
+	for i := 0; i < nloc; i++ {
+		l := fmt.Sprintf("v%d", i)
+		fmt.Fprintf(b, "  var %s = %s;\n", l, g.expr(2))
+		g.locals = append(g.locals, l)
+	}
+	// statements
+	for i := 0; i < 1+g.rng.Intn(3); i++ {
+		g.stmt(b, 1)
+	}
+	fmt.Fprintf(b, "  return %s;\n}\n", g.expr(3))
+	g.procs = append(g.procs, randProc{module: module, name: name, nargs: nargs})
+}
+
+func (g *randGen) stmt(b *strings.Builder, indent int) {
+	pad := strings.Repeat("  ", indent)
+	switch g.rng.Intn(5) {
+	case 0: // assignment
+		fmt.Fprintf(b, "%s%s = %s;\n", pad, g.local(), g.expr(3))
+	case 1: // out
+		fmt.Fprintf(b, "%sout(%s & 0x3FFF);\n", pad, g.expr(2))
+	case 2: // bounded while
+		l := g.local()
+		fmt.Fprintf(b, "%s%s = 0;\n", pad, l)
+		fmt.Fprintf(b, "%swhile (%s < %d) {\n", pad, l, 1+g.rng.Intn(6))
+		fmt.Fprintf(b, "%s  %s = %s + 1;\n", pad, l, l)
+		if g.rng.Intn(2) == 0 {
+			other := g.local()
+			if other != l {
+				fmt.Fprintf(b, "%s  %s = (%s + %s) & 0xFF;\n", pad, other, other, l)
+			}
+		}
+		fmt.Fprintf(b, "%s}\n", pad)
+	case 3: // if/else with a condition mixing comparisons
+		fmt.Fprintf(b, "%sif (%s < %s || %s == %s) {\n", pad, g.expr(1), g.expr(1), g.local(), g.expr(1))
+		fmt.Fprintf(b, "%s  %s = %s;\n", pad, g.local(), g.expr(2))
+		fmt.Fprintf(b, "%s} else {\n", pad)
+		fmt.Fprintf(b, "%s  %s = %s;\n", pad, g.local(), g.expr(2))
+		fmt.Fprintf(b, "%s}\n", pad)
+	case 4: // global mix
+		fmt.Fprintf(b, "%s%s = (%s + %s) & 0xFFF;\n", pad, g.glob, g.glob, g.expr(1))
+	}
+}
+
+func (g *randGen) local() string {
+	return g.locals[g.rng.Intn(len(g.locals))]
+}
+
+// expr builds a random expression of bounded depth. Calls only reach
+// procedures generated earlier, so the call graph is acyclic and every
+// program terminates.
+func (g *randGen) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprint(g.rng.Intn(64))
+		case 1:
+			return g.local()
+		default:
+			return fmt.Sprint(1 + g.rng.Intn(9))
+		}
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.expr(depth-1), g.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		// divisor forced nonzero so the fuzz exercises arithmetic, not traps
+		return fmt.Sprintf("(%s / ((%s & 7) + 1))", g.expr(depth-1), g.expr(depth-1))
+	case 4:
+		return fmt.Sprintf("(%s %% ((%s & 7) + 1))", g.expr(depth-1), g.expr(depth-1))
+	case 5:
+		return fmt.Sprintf("(%s ^ %s)", g.expr(depth-1), g.expr(depth-1))
+	case 6:
+		return fmt.Sprintf("(%s & %s)", g.expr(depth-1), g.expr(depth-1))
+	default:
+		// a call to an earlier procedure — possibly nested inside other
+		// operands, exercising the §5.2 spill discipline
+		if len(g.procs) == 0 {
+			return g.local()
+		}
+		p := g.procs[g.rng.Intn(len(g.procs))]
+		qual := p.name
+		if p.module == "lib" {
+			qual = "lib." + p.name
+		}
+		args := make([]string, p.nargs)
+		for i := range args {
+			args[i] = g.expr(depth - 1)
+		}
+		return fmt.Sprintf("%s(%s)", qual, strings.Join(args, ", "))
+	}
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/linker"
+	"repro/internal/mem"
+)
+
+// TestFuzzDifferential generates random programs and checks that the I1
+// reference interpreter and every machine configuration agree exactly on
+// results and output — the strongest form of the paper's "the program
+// behaves identically" invariant.
+func TestFuzzDifferential(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		p := RandomProgram(seed)
+		parsed, err := p.Parse()
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, p.Sources["main"])
+		}
+		ip := interp.New(parsed)
+		refRes, err := ip.Run(p.Module, p.Proc, p.Args...)
+		if err != nil {
+			ip.Close()
+			t.Fatalf("seed %d: reference: %v\n%s", seed, err, p.Sources["main"])
+		}
+		refOut := append([]mem.Word(nil), ip.Output...)
+		ip.Close()
+
+		for _, early := range []bool{false, true} {
+			prog, _, err := p.Build(linker.Options{EarlyBind: early})
+			if err != nil {
+				t.Fatalf("seed %d: build: %v", seed, err)
+			}
+			for cname, cfg := range map[string]core.Config{
+				"mesa": core.ConfigMesa, "fastfetch": core.ConfigFastFetch, "fastcalls": core.ConfigFastCalls,
+			} {
+				cfg.HeapCheck = true
+				m, err := core.New(prog, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := m.Call(prog.Entry, p.Args...)
+				if err != nil {
+					t.Fatalf("seed %d early=%v %s: %v\nmain:\n%s\nlib:\n%s",
+						seed, early, cname, err, p.Sources["main"], p.Sources["lib"])
+				}
+				if !wordsEqual(res, refRes) {
+					t.Fatalf("seed %d early=%v %s: results %v vs reference %v\nmain:\n%s\nlib:\n%s",
+						seed, early, cname, res, refRes, p.Sources["main"], p.Sources["lib"])
+				}
+				if !wordsEqual(m.Output, refOut) {
+					t.Fatalf("seed %d early=%v %s: output %v vs reference %v\nmain:\n%s\nlib:\n%s",
+						seed, early, cname, m.Output, refOut, p.Sources["main"], p.Sources["lib"])
+				}
+				if err := m.Heap().CheckInvariants(); err != nil {
+					t.Fatalf("seed %d early=%v %s: %v", seed, early, cname, err)
+				}
+			}
+		}
+	}
+}
+
+func wordsEqual(a, b []mem.Word) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/linker"
+)
+
+// TestDifferential runs every corpus program on the I1 reference
+// interpreter and on every machine configuration with both linkage styles;
+// results and output records must agree exactly ("with either linkage the
+// program behaves identically", §6).
+func TestDifferential(t *testing.T) {
+	for _, p := range Corpus() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			parsed, err := p.Parse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ip := interp.New(parsed)
+			defer ip.Close()
+			refRes, err := ip.Run(p.Module, p.Proc, p.Args...)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			refOut := ip.Output
+			if p.Want != nil {
+				if len(refRes) != 1 || refRes[0] != *p.Want {
+					t.Fatalf("reference result %v, want %d", refRes, *p.Want)
+				}
+			}
+			for _, early := range []bool{false, true} {
+				prog, _, err := p.Build(linker.Options{EarlyBind: early})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for cname, cfg := range map[string]core.Config{
+					"mesa": core.ConfigMesa, "fastfetch": core.ConfigFastFetch, "fastcalls": core.ConfigFastCalls,
+				} {
+					cfg.HeapCheck = true
+					m, err := core.New(prog, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := m.Call(prog.Entry, p.Args...)
+					if err != nil {
+						t.Fatalf("early=%v %s: %v", early, cname, err)
+					}
+					if len(res) != len(refRes) {
+						t.Fatalf("early=%v %s: results %v vs reference %v", early, cname, res, refRes)
+					}
+					for i := range res {
+						if res[i] != refRes[i] {
+							t.Fatalf("early=%v %s: results %v vs reference %v", early, cname, res, refRes)
+						}
+					}
+					if len(m.Output) != len(refOut) {
+						t.Fatalf("early=%v %s: output %v vs reference %v", early, cname, m.Output, refOut)
+					}
+					for i := range m.Output {
+						if m.Output[i] != refOut[i] {
+							t.Fatalf("early=%v %s: output %v vs reference %v", early, cname, m.Output, refOut)
+						}
+					}
+					if err := m.Heap().CheckInvariants(); err != nil {
+						t.Fatalf("early=%v %s: %v", early, cname, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTraceGeneratorShape(t *testing.T) {
+	tr := Generate(TraceConfig{Events: 10000, Seed: 1})
+	if len(tr) != 10000 {
+		t.Fatalf("len = %d", len(tr))
+	}
+	depth := 0
+	calls := 0
+	for _, e := range tr {
+		if e == Call {
+			depth++
+			calls++
+		} else {
+			depth--
+		}
+		if depth < 0 {
+			t.Fatal("trace returns past depth zero")
+		}
+	}
+	if calls < 4000 || calls > 7000 {
+		t.Fatalf("calls = %d of 10000; walk badly skewed", calls)
+	}
+}
+
+func TestReplayMatchesPaperBands(t *testing.T) {
+	// §7.1: with 4 banks overflow+underflow happens on less than 5% of
+	// XFERs; with 8 banks about 1%. §6: returns nearly always hit a small
+	// return stack.
+	tr := Generate(TraceConfig{Events: 200000, Seed: 7})
+	s4 := Replay(tr, 8, 4)
+	s8 := Replay(tr, 8, 8)
+	if r := s4.TroubleRate(); r >= 0.05 {
+		t.Errorf("4 banks: trouble rate %.3f, paper says <5%%", r)
+	}
+	if r := s8.TroubleRate(); r >= 0.02 {
+		t.Errorf("8 banks: trouble rate %.3f, paper says ~1%%", r)
+	}
+	if s4.TroubleRate() <= s8.TroubleRate() {
+		t.Errorf("more banks should not be worse: %v vs %v", s4.TroubleRate(), s8.TroubleRate())
+	}
+	if hr := Replay(tr, 8, 0).RSHitRate(); hr < 0.95 {
+		t.Errorf("return stack depth 8: hit rate %.3f, want >95%%", hr)
+	}
+	if hr := Replay(tr, 1, 0).RSHitRate(); hr > 0.95 {
+		t.Errorf("return stack depth 1 should miss more: %.3f", hr)
+	}
+}
+
+func TestCorpusSelfChecks(t *testing.T) {
+	// Every corpus program with a Want value must verify on the machine.
+	for _, p := range Corpus() {
+		prog, _, err := p.Build(linker.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		m, err := core.New(prog, core.ConfigFastCalls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Call(prog.Entry, p.Args...)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if p.Want != nil && (len(res) != 1 || res[0] != *p.Want) {
+			t.Fatalf("%s = %v, want %d", p.Name, res, *p.Want)
+		}
+	}
+}
