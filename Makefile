@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race gate covers the concurrency surface added with fpc.Pool:
+# TestPoolConcurrentStress drives one shared LoadedImage from 12 goroutines.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+check: build vet test race

@@ -185,6 +185,91 @@ func BenchmarkMachineI3FastFetch(b *testing.B) { benchMachine(b, fpc.ConfigFastF
 // BenchmarkMachineI4FastCalls is the full optimization stack.
 func BenchmarkMachineI4FastCalls(b *testing.B) { benchMachine(b, fpc.ConfigFastCalls, true) }
 
+// BenchmarkPoolThroughput hammers one machine pool — one shared
+// LoadedImage — with b.RunParallel, so calls/sec scales with GOMAXPROCS.
+// This is the serving-layer counterpart of the per-call microbenchmarks.
+func BenchmarkPoolThroughput(b *testing.B) {
+	prog := buildFib(b, true)
+	pool, err := fpc.NewPool(prog, fpc.ConfigFastCalls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := pool.Call(prog.Entry, 15); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	mt := pool.Metrics()
+	if n := pool.Runs(); n > 0 {
+		b.ReportMetric(float64(mt.Cycles)/float64(n), "simcycles/op")
+	}
+	b.ReportMetric(mt.FastFraction(), "fastfrac")
+}
+
+// BenchmarkPoolThroughputNoHist is the same loop with the per-transfer
+// histogram recorder disabled on every pooled machine.
+func BenchmarkPoolThroughputNoHist(b *testing.B) {
+	prog := buildFib(b, true)
+	pool, err := fpc.NewPool(prog, fpc.ConfigFastCalls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		m, err := pool.Get()
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		m.SetRecorder(nil)
+		for pb.Next() {
+			if _, err := m.Call(prog.Entry, 15); err != nil {
+				b.Error(err)
+				return
+			}
+			m.Reset()
+		}
+		pool.Put(m)
+	})
+}
+
+// BenchmarkBoot compares the two ways to get a runnable machine: booting
+// from scratch (compile-free but full load: zeroed 64K store, data pokes,
+// heap boot, free-frame prefill) versus resetting a dirtied machine to its
+// image snapshot (dirty-window memcpy). The tiny run keeps setup dominant;
+// the acceptance bar is reset ≥5× cheaper than new.
+func BenchmarkBoot(b *testing.B) {
+	prog := buildFib(b, true)
+	b.Run("new", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := fpc.NewMachine(prog, fpc.ConfigFastCalls)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Call(prog.Entry, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reset", func(b *testing.B) {
+		m, err := fpc.NewMachine(prog, fpc.ConfigFastCalls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			if _, err := m.Call(prog.Entry, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkFrameHeap times the Figure 2 allocator's alloc/free pair.
 func BenchmarkFrameHeap(b *testing.B) {
 	m := mem.New()

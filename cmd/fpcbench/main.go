@@ -1,20 +1,35 @@
 // Command fpcbench regenerates every experiment table of the reproduction
 // (the tables and quantitative claims of the paper's evaluation), printing
-// paper-vs-measured checks for each.
+// paper-vs-measured checks for each. With -parallel N it instead drives a
+// shared machine pool from N goroutines and reports serving throughput.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
+	"time"
 
+	fpc "repro"
 	"repro/internal/experiments"
+	"repro/internal/workload"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment by id (e.g. E7 or A2)")
 	ablations := flag.Bool("ablations", false, "also run the design-parameter ablation sweeps (A1-A5)")
+	parallel := flag.Int("parallel", 0, "drive a shared machine pool with N worker goroutines (0 = run experiments)")
+	calls := flag.Int("calls", 4096, "total calls to serve in -parallel mode")
 	flag.Parse()
+	if *parallel > 0 {
+		if err := runParallel(*parallel, *calls); err != nil {
+			fmt.Fprintln(os.Stderr, "fpcbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	results, err := experiments.All()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fpcbench:", err)
@@ -44,4 +59,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fpcbench: %d experiments with failing checks\n", failed)
 		os.Exit(1)
 	}
+}
+
+// runParallel serves `calls` fib(15) calls from `workers` goroutines over
+// one Pool (one shared LoadedImage, machines reset between runs), checks
+// every result, and prints wall-clock throughput plus the pool's aggregate
+// accounting — the serving-layer view of the paper's fast-call machinery.
+func runParallel(workers, calls int) error {
+	p := workload.Fib(15)
+	cfg := fpc.ConfigFastCalls
+	prog, _, err := p.Build(fpc.DefaultLinkOptions(cfg))
+	if err != nil {
+		return err
+	}
+	pool, err := fpc.NewPool(prog, cfg)
+	if err != nil {
+		return err
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		bad  int
+		next = make(chan struct{}, calls)
+	)
+	for i := 0; i < calls; i++ {
+		next <- struct{}{}
+	}
+	close(next)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range next {
+				res, err := pool.Call(prog.Entry, p.Args...)
+				if err != nil || len(res) != 1 || res[0] != *p.Want {
+					mu.Lock()
+					bad++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if bad > 0 {
+		return fmt.Errorf("%d of %d calls returned wrong results", bad, calls)
+	}
+	mt := pool.Metrics()
+	fmt.Printf("parallel serving: %d workers (GOMAXPROCS=%d), %d calls of %s\n",
+		workers, runtime.GOMAXPROCS(0), calls, p.Name)
+	fmt.Printf("  wall time        %v\n", wall.Round(time.Microsecond))
+	fmt.Printf("  throughput       %.0f calls/s\n", float64(calls)/wall.Seconds())
+	fmt.Printf("  sim instructions %d  sim cycles %d\n", mt.Instructions, mt.Cycles)
+	fmt.Printf("  fast transfers   %d/%d (%.1f%% at jump speed)\n",
+		mt.FastTransfers, mt.CallsAndReturns(), 100*mt.FastFraction())
+	return nil
 }

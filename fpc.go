@@ -55,6 +55,15 @@ type Program = image.Program
 // Machine is the simulated processor.
 type Machine = core.Machine
 
+// LoadedImage is a Program loaded exactly once into an immutable boot
+// snapshot (code space, GFT, global frames, link vectors, boot-time MDS
+// contents and allocator state) that any number of machines share. Boot a
+// machine from it with NewMachine, or serve concurrently with a Pool.
+type LoadedImage = core.LoadedImage
+
+// Recorder receives per-transfer cost observations; see Machine.SetRecorder.
+type Recorder = core.Recorder
+
 // Config selects which of the paper's optimizations are active.
 type Config = core.Config
 
@@ -104,14 +113,42 @@ func Build(sources map[string]string, module, proc string, opts LinkOptions) (*P
 	return prog, err
 }
 
-// NewMachine boots a machine for prog under cfg.
+// NewMachine boots a machine for prog under cfg. The program is loaded
+// into a private image; to amortize loading across machines use LoadImage
+// once and boot machines from the shared LoadedImage.
 func NewMachine(prog *Program, cfg Config) (*Machine, error) {
 	return core.New(prog, cfg)
 }
 
-// Run is the one-shot convenience: compile, link, boot, call.
+// LoadImage loads prog once under cfg into an immutable snapshot that any
+// number of machines (and Pools) share.
+func LoadImage(prog *Program, cfg Config) (*LoadedImage, error) {
+	return core.LoadImage(prog, cfg)
+}
+
+// DefaultLinkOptions returns the linkage policy matched to cfg. Machines
+// with an IFU return stack (ConfigFastFetch, ConfigFastCalls) get the
+// §6/§8 DIRECTCALL early binding they were designed around — the
+// documented fast path — while ConfigMesa keeps the space-optimized
+// link-vector linkage of §5.
+func DefaultLinkOptions(cfg Config) LinkOptions {
+	if cfg.ReturnStackDepth > 0 {
+		return LinkOptions{EarlyBind: true}
+	}
+	return LinkOptions{}
+}
+
+// Run is the one-shot convenience: compile, link, boot, call. It links
+// with DefaultLinkOptions(cfg), so the fast configurations actually get
+// their early-bound calls; use RunLinked to pick the linkage explicitly.
 func Run(sources map[string]string, module, proc string, cfg Config, args ...Word) ([]Word, *Metrics, error) {
-	prog, err := Build(sources, module, proc, LinkOptions{})
+	return RunLinked(sources, module, proc, cfg, DefaultLinkOptions(cfg), args...)
+}
+
+// RunLinked is Run with an explicit linkage policy threaded through to the
+// linker.
+func RunLinked(sources map[string]string, module, proc string, cfg Config, opts LinkOptions, args ...Word) ([]Word, *Metrics, error) {
+	prog, err := Build(sources, module, proc, opts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/frames"
+	"repro/internal/ifu"
+	"repro/internal/image"
+	"repro/internal/mem"
+	"repro/internal/regbank"
+)
+
+// LoadedImage is a linked Program loaded exactly once: the code space plus
+// an immutable snapshot of the boot-time main data space (GFT, global
+// frames, link vectors, allocation vector, the carved free-frame region)
+// and the allocator and free-frame-stack state at the same instant. Any
+// number of machines share one LoadedImage — each boots by a memcpy of the
+// snapshot instead of re-compiling, re-linking and re-loading, and resets
+// the same way. A LoadedImage is never written after LoadImage returns, so
+// it is safe for concurrent use by any number of goroutines.
+type LoadedImage struct {
+	prog *image.Program
+	cfg  Config // normalized and validated
+
+	boot     []mem.Word   // post-boot MDS contents
+	heapBoot frames.State // allocator register state at the snapshot point
+	bootFree []mem.Addr   // free-frame stack contents at the snapshot point
+	stdFSI   int          // size class of the standard frame; -1 disabled
+}
+
+// LoadImage loads prog once under cfg: it validates and normalizes the
+// configuration, boots a scratch store (initial data, frame heap,
+// free-frame prefill — boot-time traffic is not part of any run) and
+// captures the snapshot every machine over this image will boot from.
+func LoadImage(prog *image.Program, cfg Config) (*LoadedImage, error) {
+	if cfg.BankWords == 0 {
+		cfg.BankWords = 16
+	}
+	if cfg.RegBanks > 0 && cfg.BankWords < image.FrameHeaderWords+1 {
+		return nil, fmt.Errorf("core: banks of %d words cannot hold the frame linkage", cfg.BankWords)
+	}
+	if cfg.RegBanks == 1 {
+		return nil, fmt.Errorf("core: a single bank cannot hold both the stack and a frame")
+	}
+	if cfg.StdFrameWords == 0 {
+		cfg.StdFrameWords = 40
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 200_000_000
+	}
+
+	img := &LoadedImage{prog: prog, cfg: cfg, stdFSI: -1}
+	store := mem.New()
+	prog.Load(store)
+	h, err := frames.New(store, img.heapConfig())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FreeFrameStack > 0 {
+		fsi, ok := h.FSIForWords(cfg.StdFrameWords)
+		if !ok {
+			return nil, fmt.Errorf("core: no frame class holds %d words", cfg.StdFrameWords)
+		}
+		img.stdFSI = fsi
+		// Pre-fill the processor's free-frame stack; this carves heap
+		// storage, which is why it happens once, before the snapshot.
+		for i := 0; i < cfg.FreeFrameStack; i++ {
+			lf, err := h.Alloc(fsi)
+			if err != nil {
+				return nil, err
+			}
+			img.bootFree = append(img.bootFree, lf)
+		}
+	}
+	img.boot = store.Snapshot()
+	img.heapBoot = h.State()
+	return img, nil
+}
+
+func (img *LoadedImage) heapConfig() frames.Config {
+	return frames.Config{
+		AVBase:    image.AVBase,
+		HeapBase:  img.prog.HeapBase,
+		HeapLimit: image.HeapLimit,
+		Sizes:     img.prog.FrameSizes,
+		Check:     img.cfg.HeapCheck,
+	}
+}
+
+// Program returns the linked program this image was loaded from.
+func (img *LoadedImage) Program() *image.Program { return img.prog }
+
+// Config returns the normalized machine configuration of the image.
+func (img *LoadedImage) Config() Config { return img.cfg }
+
+// Entry returns the program's start descriptor.
+func (img *LoadedImage) Entry() mem.Word { return img.prog.Entry }
+
+// NewMachine boots a fresh machine over the shared image: one snapshot
+// memcpy plus cheap register allocation, no linking or loading.
+func (img *LoadedImage) NewMachine() (*Machine, error) {
+	m := &Machine{
+		cfg:       img.cfg,
+		img:       img,
+		prog:      img.prog,
+		m:         mem.New(),
+		code:      img.prog.Code,
+		rs:        ifu.New(img.cfg.ReturnStackDepth),
+		banks:     regbank.New(img.cfg.RegBanks, img.cfg.BankWords),
+		stackBank: -1,
+		stdFSI:    img.stdFSI,
+		curFSI:    -1,
+	}
+	m.rec = histRecorder{&m.metrics}
+	m.m.LoadFrom(img.boot)
+	h, err := frames.Adopt(m.m, img.heapConfig(), img.heapBoot)
+	if err != nil {
+		return nil, err
+	}
+	m.heap = h
+	m.freeFrames = append([]mem.Addr(nil), img.bootFree...)
+	return m, nil
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/linker"
+	"repro/internal/workload"
+)
+
+func buildImage(t *testing.T, cfg Config) (*LoadedImage, *workload.Program) {
+	t.Helper()
+	p := workload.Fib(10)
+	prog, _, err := p.Build(linker.Options{EarlyBind: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := LoadImage(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, p
+}
+
+// TestLoadedImageShared: two machines over one image run independently and
+// agree on every counter; the image itself is never mutated by a run.
+func TestLoadedImageShared(t *testing.T) {
+	img, p := buildImage(t, ConfigFastCalls)
+	run := func() *Metrics {
+		m, err := img.NewMachine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Call(img.Entry(), p.Args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0] != *p.Want {
+			t.Fatalf("result %v", res)
+		}
+		return m.Metrics()
+	}
+	a := run()
+	bootBefore := append([]uint16(nil), img.boot...)
+	b := run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two machines over one image diverged:\n%+v\n%+v", a, b)
+	}
+	if !reflect.DeepEqual(bootBefore, img.boot) {
+		t.Fatal("a run mutated the shared boot snapshot")
+	}
+}
+
+// TestLoadImageValidation: configuration validation moved into LoadImage
+// and still rejects impossible machines.
+func TestLoadImageValidation(t *testing.T) {
+	p := workload.Fib(5)
+	prog, _, err := p.Build(linker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadImage(prog, Config{RegBanks: 1}); err == nil {
+		t.Error("single-bank config accepted")
+	}
+	if _, err := LoadImage(prog, Config{RegBanks: 2, BankWords: 2}); err == nil {
+		t.Error("banks too small for linkage accepted")
+	}
+	if _, err := LoadImage(prog, Config{FreeFrameStack: 4, StdFrameWords: 1 << 14}); err == nil {
+		t.Error("impossible standard frame size accepted")
+	}
+}
+
+// TestImageConfigNormalized: the image reports the normalized config.
+func TestImageConfigNormalized(t *testing.T) {
+	img, _ := buildImage(t, ConfigFastCalls)
+	cfg := img.Config()
+	if cfg.BankWords != 16 || cfg.StdFrameWords != 40 || cfg.MaxSteps == 0 {
+		t.Fatalf("config not normalized: %+v", cfg)
+	}
+	if img.Program() == nil {
+		t.Fatal("Program accessor broken")
+	}
+}
+
+// TestSetRecorderNop: with the no-op recorder the per-transfer histograms
+// stay empty while every plain counter still accumulates, and the numbers
+// match a default-recorder run exactly.
+func TestSetRecorderNop(t *testing.T) {
+	img, p := buildImage(t, ConfigFastCalls)
+	withHist, err := img.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := withHist.Call(img.Entry(), p.Args...); err != nil {
+		t.Fatal(err)
+	}
+	ref := withHist.Metrics()
+
+	quiet, err := img.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet.SetRecorder(nil)
+	if _, err := quiet.Call(img.Entry(), p.Args...); err != nil {
+		t.Fatal(err)
+	}
+	got := quiet.Metrics()
+	if got.Instructions != ref.Instructions || got.Cycles != ref.Cycles ||
+		got.FastTransfers != ref.FastTransfers || got.ChargedRefs != ref.ChargedRefs {
+		t.Fatalf("no-op recorder changed the counters:\nwith %+v\nquiet %+v", ref, got)
+	}
+	for k := range got.CyclesPer {
+		if got.CyclesPer[k].Count() != 0 || got.RefsPer[k].Count() != 0 {
+			t.Fatalf("kind %d histogram observed %d samples under the no-op recorder",
+				k, got.CyclesPer[k].Count())
+		}
+		if ref.Transfers[k] != got.Transfers[k] {
+			t.Fatalf("transfer counts diverged for kind %d", k)
+		}
+	}
+	// The recorder survives Reset.
+	quiet.Reset()
+	if _, err := quiet.Call(img.Entry(), p.Args...); err != nil {
+		t.Fatal(err)
+	}
+	if n := quiet.Metrics().CyclesPer[KindReturn].Count(); n != 0 {
+		t.Fatalf("recorder did not survive Reset: %d samples", n)
+	}
+}
+
+// TestMetricsDefensiveCopy: metrics handed to a caller must not change
+// when the machine keeps running or is reset.
+func TestMetricsDefensiveCopy(t *testing.T) {
+	img, p := buildImage(t, ConfigFastCalls)
+	m, err := img.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Call(img.Entry(), p.Args...); err != nil {
+		t.Fatal(err)
+	}
+	first := m.Metrics()
+	snapshot := first.Clone()
+	if _, err := m.Call(img.Entry(), p.Args...); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, snapshot) {
+		t.Fatal("a later run mutated metrics already handed out")
+	}
+	m.Reset()
+	if !reflect.DeepEqual(first, snapshot) {
+		t.Fatal("Reset mutated metrics already handed out")
+	}
+	if m.Metrics().Instructions != 0 {
+		t.Fatal("Reset did not clear the machine's own metrics")
+	}
+}
+
+// TestMetricsMergeIdentity: merging k identical runs multiplies every
+// counter and histogram sample count by k.
+func TestMetricsMergeIdentity(t *testing.T) {
+	img, p := buildImage(t, ConfigFastCalls)
+	m, err := img.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Call(img.Entry(), p.Args...); err != nil {
+		t.Fatal(err)
+	}
+	one := m.Metrics()
+	var agg Metrics
+	for i := 0; i < 3; i++ {
+		agg.Merge(one)
+	}
+	if agg.Instructions != 3*one.Instructions || agg.Cycles != 3*one.Cycles {
+		t.Fatalf("merge totals wrong: %+v", agg)
+	}
+	for k := range agg.CyclesPer {
+		if agg.CyclesPer[k].Count() != 3*one.CyclesPer[k].Count() {
+			t.Fatalf("kind %d histogram merge wrong", k)
+		}
+		if agg.CyclesPer[k].Max() != one.CyclesPer[k].Max() {
+			t.Fatalf("kind %d merged max diverges", k)
+		}
+	}
+	if agg.FastFraction() != one.FastFraction() {
+		t.Fatalf("merged fast fraction %f != %f", agg.FastFraction(), one.FastFraction())
+	}
+}

@@ -74,9 +74,14 @@ const (
 	TrapStack
 )
 
-// Machine is the simulated processor.
+// Machine is the simulated processor. All of its state is cheap per-run
+// state over a shared immutable LoadedImage: the store boots by snapshot
+// memcpy, and Reset restores the boot state without re-linking or
+// re-loading. A Machine is not safe for concurrent use; run many machines
+// over one LoadedImage (or use the façade's Pool) to serve in parallel.
 type Machine struct {
 	cfg  Config
+	img  *LoadedImage
 	prog *image.Program
 	m    *mem.Memory
 	heap *frames.Heap
@@ -117,6 +122,7 @@ type Machine struct {
 	halted  bool
 	cycles  uint64 // non-memory cycles; memory cycles derive from reference counts
 	metrics Metrics
+	rec     Recorder // per-transfer cost observer; swap via SetRecorder
 
 	// per-transfer cost snapshots (set before each transfer opcode)
 	snapRefs uint64
@@ -126,63 +132,47 @@ type Machine struct {
 	Output []mem.Word
 }
 
-// New creates a machine for prog with the given configuration.
+// New creates a machine for prog with the given configuration: it loads a
+// private image and boots one machine over it. To share the loaded image
+// across machines, use LoadImage and LoadedImage.NewMachine directly.
 func New(prog *image.Program, cfg Config) (*Machine, error) {
-	if cfg.BankWords == 0 {
-		cfg.BankWords = 16
-	}
-	if cfg.RegBanks > 0 && cfg.BankWords < image.FrameHeaderWords+1 {
-		return nil, fmt.Errorf("core: banks of %d words cannot hold the frame linkage", cfg.BankWords)
-	}
-	if cfg.RegBanks == 1 {
-		return nil, fmt.Errorf("core: a single bank cannot hold both the stack and a frame")
-	}
-	if cfg.StdFrameWords == 0 {
-		cfg.StdFrameWords = 40
-	}
-	if cfg.MaxSteps == 0 {
-		cfg.MaxSteps = 200_000_000
-	}
-	m := &Machine{
-		cfg:       cfg,
-		prog:      prog,
-		m:         mem.New(),
-		code:      prog.Code,
-		rs:        ifu.New(cfg.ReturnStackDepth),
-		banks:     regbank.New(cfg.RegBanks, cfg.BankWords),
-		stackBank: -1,
-		stdFSI:    -1,
-		curFSI:    -1,
-	}
-	prog.Load(m.m)
-	h, err := frames.New(m.m, frames.Config{
-		AVBase:    image.AVBase,
-		HeapBase:  prog.HeapBase,
-		HeapLimit: image.HeapLimit,
-		Sizes:     prog.FrameSizes,
-		Check:     cfg.HeapCheck,
-	})
+	img, err := LoadImage(prog, cfg)
 	if err != nil {
 		return nil, err
 	}
-	m.heap = h
-	if cfg.FreeFrameStack > 0 {
-		fsi, ok := h.FSIForWords(cfg.StdFrameWords)
-		if !ok {
-			return nil, fmt.Errorf("core: no frame class holds %d words", cfg.StdFrameWords)
-		}
-		m.stdFSI = fsi
-		// Pre-fill the stack; boot-time traffic is not part of any run.
-		for i := 0; i < cfg.FreeFrameStack; i++ {
-			lf, err := h.Alloc(fsi)
-			if err != nil {
-				return nil, err
-			}
-			m.freeFrames = append(m.freeFrames, lf)
-		}
-	}
-	m.m.ResetStats()
-	return m, nil
+	return img.NewMachine()
+}
+
+// Image returns the shared immutable image this machine boots from.
+func (m *Machine) Image() *LoadedImage { return m.img }
+
+// Reset restores the machine to its boot state — the instant its image's
+// snapshot was taken — without re-compiling, re-linking or re-loading.
+// Only the store's dirty window is copied back, so a reset after a short
+// run is far cheaper than booting a fresh machine. Metrics, output and all
+// processor registers are cleared; the recorder installed by SetRecorder
+// is kept.
+func (m *Machine) Reset() {
+	m.m.RestoreFrom(m.img.boot)
+	m.heap.Restore(m.img.heapBoot)
+	m.freeFrames = append(m.freeFrames[:0], m.img.bootFree...)
+	m.rs.Reset()
+	m.banks.Reset()
+	m.pc = 0
+	m.lf, m.gf = 0, 0
+	m.codeBase, m.cbValid = 0, false
+	m.retCtx = 0
+	m.stack = [EvalStackDepth]mem.Word{}
+	m.sp = 0
+	m.curFSI, m.curRet = -1, false
+	m.stackBank = -1
+	m.trapCtx = 0
+	m.trapSaves = nil
+	m.halted = false
+	m.cycles = 0
+	m.metrics = Metrics{}
+	m.snapRefs, m.snapCyc = 0, 0
+	m.Output = nil
 }
 
 // refs reports total charged references so far: every data-space
@@ -191,12 +181,14 @@ func (m *Machine) refs() uint64 {
 	return m.m.Stats().Refs() + m.metrics.CodeReads
 }
 
-// Metrics returns the accumulated counters. Total cycles are the
-// non-memory cycles plus CycMemRef per charged reference.
+// Metrics returns a copy of the accumulated counters. Total cycles are
+// the non-memory cycles plus CycMemRef per charged reference. The copy is
+// detached from the machine: further runs, or a pooled machine's Reset
+// and reuse, cannot retroactively mutate metrics already handed out.
 func (m *Machine) Metrics() *Metrics {
 	m.metrics.ChargedRefs = m.refs()
 	m.metrics.Cycles = m.cycles + CycMemRef*m.metrics.ChargedRefs
-	return &m.metrics
+	return m.metrics.Clone()
 }
 
 // snapshot marks the start of a transfer for per-kind cost accounting.
@@ -208,14 +200,15 @@ func (m *Machine) snapshot() {
 // recordTransfer attributes the cost since the last snapshot to kind. A
 // call or return that needed no references and only the standard refill is
 // indistinguishable from an unconditional jump — the headline statistic.
+// The histogram observation goes through the recorder so hot loops can
+// turn it off (SetRecorder(nil)) without a branch here.
 func (m *Machine) recordTransfer(kind TransferKind) {
 	refs := m.refs() - m.snapRefs
 	cyc := (m.cycles - m.snapCyc) + CycMemRef*refs + CycDispatch
-	m.metrics.RefsPer[kind].Observe(int(refs))
-	m.metrics.CyclesPer[kind].Observe(int(cyc))
 	if kind != KindXfer && cyc == JumpCycles {
 		m.metrics.FastTransfers++
 	}
+	m.rec.Transfer(kind, refs, cyc)
 }
 
 // Mem exposes the store for tests and trap handlers.

@@ -88,6 +88,53 @@ type Metrics struct {
 	PointerRefs   uint64 // LDIND/STIND/RFB/WFB
 }
 
+// Clone returns an independent deep copy of m: later machine activity (or
+// a pooled machine's Reset and reuse) cannot retroactively mutate it.
+func (m *Metrics) Clone() *Metrics {
+	c := *m
+	for k := range m.RefsPer {
+		c.RefsPer[k] = m.RefsPer[k].Clone()
+		c.CyclesPer[k] = m.CyclesPer[k].Clone()
+	}
+	return &c
+}
+
+// Merge folds other into m — the aggregate accounting a machine pool keeps
+// across runs. Every counter sums; the per-transfer histograms merge.
+func (m *Metrics) Merge(other *Metrics) {
+	m.Instructions += other.Instructions
+	m.Cycles += other.Cycles
+	m.ChargedRefs += other.ChargedRefs
+	m.CodeReads += other.CodeReads
+	for k := range m.Transfers {
+		m.Transfers[k] += other.Transfers[k]
+		m.RefsPer[k].Merge(&other.RefsPer[k])
+		m.CyclesPer[k].Merge(&other.CyclesPer[k])
+	}
+	m.Creates += other.Creates
+	m.FastTransfers += other.FastTransfers
+	m.RSHits += other.RSHits
+	m.RSMisses += other.RSMisses
+	m.RSEvicted += other.RSEvicted
+	m.RSFlushed += other.RSFlushed
+	m.BankHits += other.BankHits
+	m.BankMisses += other.BankMisses
+	m.BankRenames += other.BankRenames
+	m.BankOverflows += other.BankOverflows
+	m.BankUnderflows += other.BankUnderflows
+	m.BankFlushWords += other.BankFlushWords
+	m.BankReloadWords += other.BankReloadWords
+	m.PointerFlushes += other.PointerFlushes
+	m.FFHits += other.FFHits
+	m.FFMisses += other.FFMisses
+	m.FFPushes += other.FFPushes
+	m.ArgWordsMoved += other.ArgWordsMoved
+	m.HeaderReads += other.HeaderReads
+	m.LocalVarRefs += other.LocalVarRefs
+	m.GlobalVarRefs += other.GlobalVarRefs
+	m.PointerRefs += other.PointerRefs
+}
+
 // LocalShare reports the fraction of program data references that touch
 // local variables (§7.3: "Half or more of all data memory references may
 // be to local variables").

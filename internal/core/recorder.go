@@ -1,0 +1,37 @@
+package core
+
+// Recorder receives the per-transfer cost observations — the (references,
+// cycles) sample recorded after every call, return and XFER. Decoupling it
+// from the machine lets hot serving loops disable the histogram accounting
+// by swapping in a no-op implementation, with no extra branch in the
+// dispatch switch: the plain counters (Transfers, FastTransfers, cycle and
+// reference totals) are always maintained, so aggregate metrics and the
+// headline fast-fraction statistic stay exact either way.
+type Recorder interface {
+	Transfer(kind TransferKind, refs, cycles uint64)
+}
+
+// histRecorder is the default recorder: it feeds the machine's own
+// Metrics histograms (E1's per-kind cost distributions).
+type histRecorder struct{ m *Metrics }
+
+func (r histRecorder) Transfer(kind TransferKind, refs, cycles uint64) {
+	r.m.RefsPer[kind].Observe(int(refs))
+	r.m.CyclesPer[kind].Observe(int(cycles))
+}
+
+// nopRecorder discards observations.
+type nopRecorder struct{}
+
+func (nopRecorder) Transfer(TransferKind, uint64, uint64) {}
+
+// SetRecorder replaces the machine's per-transfer recorder. Passing nil
+// installs a no-op recorder, turning off the per-transfer histogram
+// accounting (everything else in Metrics keeps counting). The recorder
+// survives Reset.
+func (m *Machine) SetRecorder(r Recorder) {
+	if r == nil {
+		r = nopRecorder{}
+	}
+	m.rec = r
+}

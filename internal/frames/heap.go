@@ -115,8 +115,9 @@ var (
 	ErrBadFree   = errors.New("frames: free of unallocated or corrupt frame")
 )
 
-// New creates a heap over m. The AV is zeroed (all lists empty).
-func New(m *mem.Memory, cfg Config) (*Heap, error) {
+// makeHeap validates cfg and builds a heap shell without touching memory or
+// deciding the bump pointer (shared by New and Adopt).
+func makeHeap(m *mem.Memory, cfg Config) (*Heap, error) {
 	if cfg.Sizes == nil {
 		cfg.Sizes = DefaultSizes(20, 25)
 	}
@@ -134,16 +135,74 @@ func New(m *mem.Memory, cfg Config) (*Heap, error) {
 	if int(cfg.HeapBase) >= int(cfg.HeapLimit) {
 		return nil, fmt.Errorf("frames: empty heap region [%d,%d)", cfg.HeapBase, cfg.HeapLimit)
 	}
-	h := &Heap{m: m, cfg: cfg, sizes: cfg.Sizes, bump: int(cfg.HeapBase)}
+	h := &Heap{m: m, cfg: cfg, sizes: cfg.Sizes}
+	if cfg.Check {
+		h.live = make(map[mem.Addr]int)
+	}
+	return h, nil
+}
+
+// New creates a heap over m. The AV is zeroed (all lists empty).
+func New(m *mem.Memory, cfg Config) (*Heap, error) {
+	h, err := makeHeap(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	h.bump = int(h.cfg.HeapBase)
 	if h.bump%2 != 0 {
 		h.bump++ // keep frame bodies even-aligned
 	}
 	for i := range h.sizes {
-		m.Poke(cfg.AVBase+mem.Addr(i), 0)
+		m.Poke(h.cfg.AVBase+mem.Addr(i), 0)
 	}
-	if cfg.Check {
-		h.live = make(map[mem.Addr]int)
+	return h, nil
+}
+
+// State is the allocator's non-memory register state: everything a machine
+// must restore, besides the store contents themselves, to put the heap
+// back at a snapshot point. The free lists and headers live in the store
+// and travel with its snapshot.
+type State struct {
+	Bump  int
+	Stats Stats
+	Live  map[mem.Addr]int // shadow model; nil unless Check mode
+}
+
+// State captures the allocator's register state (deep copy).
+func (h *Heap) State() State {
+	s := State{Bump: h.bump, Stats: h.stats}
+	if h.live != nil {
+		s.Live = make(map[mem.Addr]int, len(h.live))
+		for k, v := range h.live {
+			s.Live[k] = v
+		}
 	}
+	return s
+}
+
+// Restore puts the allocator's register state back to s (deep copy). The
+// caller is responsible for restoring the store contents to match.
+func (h *Heap) Restore(s State) {
+	h.bump = s.Bump
+	h.stats = s.Stats
+	if h.live != nil {
+		h.live = make(map[mem.Addr]int, len(s.Live))
+		for k, v := range s.Live {
+			h.live[k] = v
+		}
+	}
+}
+
+// Adopt attaches a heap to a store whose allocator structures (AV, carved
+// region, free lists) are already initialized — a machine booting from a
+// shared snapshot — restoring the register state from s instead of zeroing
+// the AV.
+func Adopt(m *mem.Memory, cfg Config, s State) (*Heap, error) {
+	h, err := makeHeap(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	h.Restore(s)
 	return h, nil
 }
 

@@ -280,3 +280,73 @@ func TestNonLIFOFreeOrder(t *testing.T) {
 		t.Fatalf("Live = %d", h.Stats().Live)
 	}
 }
+
+func TestStateRestoreAdopt(t *testing.T) {
+	m, h := newHeap(t, true)
+	var live []mem.Addr
+	for i := 0; i < 4; i++ {
+		lf, err := h.Alloc(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, lf)
+	}
+	snap := m.Snapshot()
+	st := h.State()
+
+	// A heap adopted at the snapshot point behaves identically to the
+	// original continuing from it.
+	m2 := mem.New()
+	m2.LoadFrom(snap)
+	h2, err := Adopt(m2, h.cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := h.Alloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := h2.Alloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatalf("adopted heap allocated %04x, original %04x", a2, a1)
+	}
+	if err := h2.Free(live[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore rewinds the register state; with the store restored too, the
+	// allocation sequence replays exactly.
+	m2.RestoreFrom(snap)
+	h2.Restore(st)
+	a3, err := h2.Alloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3 != a1 {
+		t.Fatalf("replay after Restore allocated %04x, want %04x", a3, a1)
+	}
+	if h2.Stats().Live != h.Stats().Live {
+		t.Fatalf("Live diverged: %d vs %d", h2.Stats().Live, h.Stats().Live)
+	}
+}
+
+func TestStateIsDeepCopy(t *testing.T) {
+	_, h := newHeap(t, true)
+	lf, err := h.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := h.State()
+	if err := h.Free(lf); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Live[lf]; !ok {
+		t.Fatal("captured state mutated by later heap activity")
+	}
+}

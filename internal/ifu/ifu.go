@@ -75,6 +75,13 @@ func (s *Stack) Pop() (Entry, bool) {
 	return e, true
 }
 
+// Reset discards every entry without returning them — the power-on state,
+// used when a machine is rebooted from its image snapshot (nothing needs
+// flushing: the whole store is being restored anyway).
+func (s *Stack) Reset() {
+	s.entries = s.entries[:0]
+}
+
 // Flush empties the stack, returning the entries oldest-first so the
 // machine can write each to storage.
 func (s *Stack) Flush() []Entry {

@@ -127,3 +127,24 @@ func TestRandomSequenceMatchesModel(t *testing.T) {
 		}
 	}
 }
+
+func TestReset(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 3; i++ {
+		s.Push(Entry{LF: uint16(i)})
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after Reset", s.Len())
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop succeeded on a reset stack")
+	}
+	if s.Depth() != 4 {
+		t.Fatal("Reset changed the configured depth")
+	}
+	s.Push(Entry{LF: 9})
+	if s.Len() != 1 {
+		t.Fatal("stack unusable after Reset")
+	}
+}

@@ -29,14 +29,30 @@ func (s Stats) Refs() uint64 { return s.Reads + s.Writes }
 
 // Memory is a simulated main data space. The zero value is not usable;
 // call New.
+//
+// The store tracks a dirty window — the smallest address range covering
+// every word written since the last LoadFrom/RestoreFrom — so a machine
+// restoring its boot snapshot copies only what a run actually touched
+// rather than all 64K words.
 type Memory struct {
 	words []Word
 	stats Stats
+	// dirty window [lo, hi); lo >= hi means clean
+	lo, hi int
 }
 
 // New returns a zeroed 64K-word store.
 func New() *Memory {
-	return &Memory{words: make([]Word, Size)}
+	return &Memory{words: make([]Word, Size), lo: Size}
+}
+
+func (m *Memory) mark(a Addr) {
+	if int(a) < m.lo {
+		m.lo = int(a)
+	}
+	if int(a) >= m.hi {
+		m.hi = int(a) + 1
+	}
 }
 
 // Read fetches the word at a, counting one read reference.
@@ -49,13 +65,18 @@ func (m *Memory) Read(a Addr) Word {
 func (m *Memory) Write(a Addr, v Word) {
 	m.stats.Writes++
 	m.words[a] = v
+	m.mark(a)
 }
 
 // Peek reads without charging a reference (debugger/test access).
 func (m *Memory) Peek(a Addr) Word { return m.words[a] }
 
-// Poke writes without charging a reference (loader/test access).
-func (m *Memory) Poke(a Addr, v Word) { m.words[a] = v }
+// Poke writes without charging a reference (loader/test access). Pokes are
+// tracked in the dirty window like charged writes.
+func (m *Memory) Poke(a Addr, v Word) {
+	m.words[a] = v
+	m.mark(a)
+}
 
 // Stats returns the reference counts accumulated so far.
 func (m *Memory) Stats() Stats { return m.stats }
@@ -63,12 +84,47 @@ func (m *Memory) Stats() Stats { return m.stats }
 // ResetStats zeroes the reference counts without touching contents.
 func (m *Memory) ResetStats() { m.stats = Stats{} }
 
-// Clear zeroes the whole store and the counters.
+// Clear zeroes the whole store and the counters. The whole space is marked
+// dirty: the contents no longer match any snapshot previously loaded.
 func (m *Memory) Clear() {
 	for i := range m.words {
 		m.words[i] = 0
 	}
 	m.stats = Stats{}
+	m.lo, m.hi = 0, Size
+}
+
+// Snapshot returns an independent copy of the full contents — the
+// immutable boot image a LoadedImage shares between machines.
+func (m *Memory) Snapshot() []Word {
+	return append([]Word(nil), m.words...)
+}
+
+// LoadFrom replaces the entire contents with snap (a fresh boot), marks
+// the store clean relative to snap, and zeroes the counters.
+func (m *Memory) LoadFrom(snap []Word) {
+	copy(m.words, snap)
+	m.stats = Stats{}
+	m.lo, m.hi = Size, 0
+}
+
+// RestoreFrom copies snap back over the dirty window only — the memcpy
+// that makes machine reuse cheap — then marks the store clean and zeroes
+// the counters. snap must be the image the store was last loaded from.
+func (m *Memory) RestoreFrom(snap []Word) {
+	if m.lo < m.hi {
+		copy(m.words[m.lo:m.hi], snap[m.lo:m.hi])
+	}
+	m.stats = Stats{}
+	m.lo, m.hi = Size, 0
+}
+
+// DirtyWords reports the size of the current dirty window (diagnostics).
+func (m *Memory) DirtyWords() int {
+	if m.lo >= m.hi {
+		return 0
+	}
+	return m.hi - m.lo
 }
 
 // Dump formats words [a, a+n) for debugging.

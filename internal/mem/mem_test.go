@@ -67,3 +67,75 @@ func TestDump(t *testing.T) {
 		t.Fatalf("Dump = %q", got)
 	}
 }
+
+func TestSnapshotRestore(t *testing.T) {
+	m := New()
+	m.Poke(0x100, 7)
+	m.Poke(0x8000, 9)
+	snap := m.Snapshot()
+
+	m2 := New()
+	m2.LoadFrom(snap)
+	if m2.Peek(0x100) != 7 || m2.Peek(0x8000) != 9 {
+		t.Fatal("LoadFrom did not copy the snapshot")
+	}
+	if m2.DirtyWords() != 0 {
+		t.Fatalf("fresh load dirty: %d words", m2.DirtyWords())
+	}
+	if m2.Stats().Refs() != 0 {
+		t.Fatal("LoadFrom charged references")
+	}
+
+	// Dirty a few scattered words, then restore.
+	m2.Write(0x100, 1)
+	m2.Write(0x200, 2)
+	m2.Poke(0x150, 3)
+	if got := m2.DirtyWords(); got != 0x200-0x100+1 {
+		t.Fatalf("dirty window = %d words", got)
+	}
+	m2.RestoreFrom(snap)
+	if m2.Peek(0x100) != 7 || m2.Peek(0x200) != 0 || m2.Peek(0x150) != 0 {
+		t.Fatal("RestoreFrom did not put the snapshot back")
+	}
+	if m2.Peek(0x8000) != 9 {
+		t.Fatal("RestoreFrom touched words outside the dirty window incorrectly")
+	}
+	if m2.DirtyWords() != 0 || m2.Stats().Refs() != 0 {
+		t.Fatal("RestoreFrom did not mark the store clean")
+	}
+}
+
+func TestRestoreEquivalentToLoad(t *testing.T) {
+	m := New()
+	for a := Addr(0); a < 64; a++ {
+		m.Poke(a, Word(a)*3)
+	}
+	snap := m.Snapshot()
+	a := New()
+	a.LoadFrom(snap)
+	b := New()
+	b.LoadFrom(snap)
+	// Arbitrary mutation on b, including the extremes of the space.
+	b.Write(0, 0xFFFF)
+	b.Write(Size-1, 0xFFFF)
+	b.RestoreFrom(snap)
+	for i := 0; i < Size; i++ {
+		if a.Peek(Addr(i)) != b.Peek(Addr(i)) {
+			t.Fatalf("restored store differs from fresh load at %04x", i)
+		}
+	}
+}
+
+func TestClearMarksDirty(t *testing.T) {
+	m := New()
+	m.Poke(5, 1)
+	snap := m.Snapshot()
+	m.Clear()
+	if m.DirtyWords() != Size {
+		t.Fatalf("Clear left dirty window at %d", m.DirtyWords())
+	}
+	m.RestoreFrom(snap)
+	if m.Peek(5) != 1 {
+		t.Fatal("restore after Clear failed")
+	}
+}

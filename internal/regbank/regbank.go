@@ -163,6 +163,23 @@ func (f *File) Load(i int, words []uint16) {
 	f.banks[i].Dirty = 0
 }
 
+// Reset returns every bank to its power-on state: free, clean, zeroed.
+// Used when a machine is rebooted from its image snapshot; unlike
+// ReleaseAll nothing is returned for flushing, because the store is being
+// restored wholesale.
+func (f *File) Reset() {
+	f.clock = 0
+	for i := range f.banks {
+		b := &f.banks[i]
+		b.Owner = OwnerFree
+		b.Dirty = 0
+		b.age = 0
+		for j := range b.Words {
+			b.Words[j] = 0
+		}
+	}
+}
+
 // ReleaseAll frees every bank, returning copies of the frame-owned ones so
 // the machine can flush them (process switch / trap fallback: "all the
 // banks are flushed into storage").

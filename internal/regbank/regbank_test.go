@@ -174,3 +174,26 @@ func TestBankWordsLimit(t *testing.T) {
 	}()
 	New(1, 65)
 }
+
+func TestReset(t *testing.T) {
+	f := New(4, 16)
+	b, _, _ := f.Acquire(OwnerStack)
+	f.Write(b, 3, 0xBEEF)
+	b2, _, _ := f.Acquire(0x1234)
+	f.Write(b2, 0, 1)
+	f.Reset()
+	for i := 0; i < f.NumBanks(); i++ {
+		bank := f.Get(i)
+		if bank.Owner != OwnerFree || bank.Dirty != 0 {
+			t.Fatalf("bank %d not free/clean after Reset: %+v", i, bank)
+		}
+		for j, w := range bank.Words {
+			if w != 0 {
+				t.Fatalf("bank %d word %d = %04x after Reset", i, j, w)
+			}
+		}
+	}
+	if f.StackBank() != -1 || f.Lookup(0x1234) != -1 {
+		t.Fatal("ownership survived Reset")
+	}
+}

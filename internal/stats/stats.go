@@ -75,6 +75,41 @@ func (h *Histogram) ObserveN(v int, n uint64) {
 	}
 }
 
+// Clone returns an independent deep copy of the histogram.
+func (h *Histogram) Clone() Histogram {
+	c := *h
+	if h.counts != nil {
+		c.counts = make(map[int]uint64, len(h.counts))
+		for k, v := range h.counts {
+			c.counts[k] = v
+		}
+	}
+	return c
+}
+
+// Merge folds other's samples into h (aggregate accounting across pooled
+// machines).
+func (h *Histogram) Merge(other *Histogram) {
+	if other.total == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]uint64, len(other.counts))
+		h.min, h.max = other.min, other.max
+	}
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for k, v := range other.counts {
+		h.counts[k] += v
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
 // Count reports the number of samples observed.
 func (h *Histogram) Count() uint64 { return h.total }
 

@@ -1,0 +1,119 @@
+package fpc
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Pool serves procedure calls concurrently over one shared LoadedImage: a
+// sync.Pool of machines, each reset to the image's boot snapshot between
+// runs instead of being re-linked and re-booted. Pool.Call is safe for
+// concurrent use from any number of goroutines; the pool grows to the
+// offered parallelism and shrinks under GC pressure like any sync.Pool.
+//
+// The pool keeps aggregate accounting: each machine's Metrics are merged
+// into a pool-wide record when the machine is returned, so a serving
+// process can report the same counters (cycles, references, fast-transfer
+// fraction) as a single-machine experiment.
+type Pool struct {
+	img  *LoadedImage
+	pool sync.Pool
+
+	mu   sync.Mutex
+	agg  core.Metrics
+	runs uint64
+}
+
+// NewPool loads prog once under cfg and returns a pool of machines over
+// the shared image.
+func NewPool(prog *Program, cfg Config) (*Pool, error) {
+	img, err := LoadImage(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewPoolFromImage(img), nil
+}
+
+// NewPoolFromImage returns a pool over an already-loaded image. Several
+// pools may share one image.
+func NewPoolFromImage(img *LoadedImage) *Pool {
+	return &Pool{img: img}
+}
+
+// Image returns the shared immutable image.
+func (p *Pool) Image() *LoadedImage { return p.img }
+
+// Entry returns the image program's start descriptor.
+func (p *Pool) Entry() Word { return p.img.Entry() }
+
+// Get returns a machine booted at the image's snapshot, ready to Call.
+// The caller must hand it back with Put (even after a failed run — Put
+// restores boot state regardless). Most callers want Call instead.
+func (p *Pool) Get() (*Machine, error) {
+	if v := p.pool.Get(); v != nil {
+		return v.(*Machine), nil
+	}
+	return p.img.NewMachine()
+}
+
+// Put merges the machine's metrics into the pool aggregate, resets it to
+// boot state, and recycles it. The machine must have come from Get on
+// this pool.
+func (p *Pool) Put(m *Machine) {
+	mt := m.Metrics()
+	p.mu.Lock()
+	p.agg.Merge(mt)
+	p.runs++
+	p.mu.Unlock()
+	m.Reset()
+	p.pool.Put(m)
+}
+
+// Call runs one procedure call to desc on a pooled machine and returns
+// its results. Safe for concurrent use from many goroutines; each call
+// runs on its own machine over the shared image. Runs that fail are still
+// accounted (the work was done) and the machine is still recycled — Reset
+// restores boot state from the snapshot no matter how the run ended.
+func (p *Pool) Call(desc Word, args ...Word) ([]Word, error) {
+	res, _, err := p.CallOutput(desc, args...)
+	return res, err
+}
+
+// CallOutput is Call plus a copy of the run's output record (the OUT
+// instruction's stream).
+func (p *Pool) CallOutput(desc Word, args ...Word) (results, output []Word, err error) {
+	m, err := p.Get()
+	if err != nil {
+		return nil, nil, err
+	}
+	results, err = m.Call(desc, args...)
+	output = append([]Word(nil), m.Output...)
+	p.Put(m)
+	return results, output, err
+}
+
+// CallNamed resolves "Module.proc" in the image's program and calls it.
+func (p *Pool) CallNamed(module, proc string, args ...Word) ([]Word, error) {
+	desc, err := p.img.Program().FindProc(module, proc)
+	if err != nil {
+		return nil, err
+	}
+	return p.Call(desc, args...)
+}
+
+// Metrics returns a copy of the aggregate metrics of every completed run
+// (merged at Put time). It does not include machines currently checked
+// out.
+func (p *Pool) Metrics() *Metrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.agg.Clone()
+}
+
+// Runs reports how many machine runs have been merged into the aggregate.
+func (p *Pool) Runs() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.runs
+}

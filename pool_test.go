@@ -1,0 +1,235 @@
+package fpc_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	fpc "repro"
+	"repro/internal/workload"
+)
+
+func buildPool(t *testing.T, cfg fpc.Config) (*fpc.Pool, *workload.Program, *fpc.Program) {
+	t.Helper()
+	p := workload.Fib(12)
+	prog, _, err := p.Build(fpc.DefaultLinkOptions(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := fpc.NewPool(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool, p, prog
+}
+
+func TestPoolCall(t *testing.T) {
+	pool, p, prog := buildPool(t, fpc.ConfigFastCalls)
+	for i := 0; i < 3; i++ {
+		res, err := pool.Call(prog.Entry, p.Args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || res[0] != *p.Want {
+			t.Fatalf("run %d: results = %v, want [%d]", i, res, *p.Want)
+		}
+	}
+	if pool.Runs() != 3 {
+		t.Fatalf("Runs = %d", pool.Runs())
+	}
+	if pool.Entry() != prog.Entry {
+		t.Fatal("Entry accessor broken")
+	}
+	if _, err := pool.CallNamed("fib", "main", p.Args...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.CallNamed("fib", "nothere"); err == nil {
+		t.Fatal("missing proc accepted")
+	}
+}
+
+// TestPoolMetricsMerge: the pool aggregate must equal exactly N times one
+// reference run — determinism plus a correct merge leave no remainder.
+func TestPoolMetricsMerge(t *testing.T) {
+	pool, p, prog := buildPool(t, fpc.ConfigFastCalls)
+	ref, err := pool.Image().NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Call(prog.Entry, p.Args...); err != nil {
+		t.Fatal(err)
+	}
+	one := ref.Metrics()
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		if _, err := pool.Call(prog.Entry, p.Args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg := pool.Metrics()
+	if agg.Instructions != n*one.Instructions {
+		t.Errorf("Instructions = %d, want %d", agg.Instructions, n*one.Instructions)
+	}
+	if agg.Cycles != n*one.Cycles {
+		t.Errorf("Cycles = %d, want %d", agg.Cycles, n*one.Cycles)
+	}
+	if agg.ChargedRefs != n*one.ChargedRefs {
+		t.Errorf("ChargedRefs = %d, want %d", agg.ChargedRefs, n*one.ChargedRefs)
+	}
+	if agg.FastTransfers != n*one.FastTransfers {
+		t.Errorf("FastTransfers = %d, want %d", agg.FastTransfers, n*one.FastTransfers)
+	}
+	for k := range agg.Transfers {
+		if agg.Transfers[k] != n*one.Transfers[k] {
+			t.Errorf("Transfers[%d] = %d, want %d", k, agg.Transfers[k], n*one.Transfers[k])
+		}
+	}
+	if got, want := agg.CyclesPer[0].Count()+agg.CyclesPer[1].Count()+agg.CyclesPer[2].Count()+agg.CyclesPer[3].Count()+agg.CyclesPer[4].Count(),
+		one.CyclesPer[0].Count()+one.CyclesPer[1].Count()+one.CyclesPer[2].Count()+one.CyclesPer[3].Count()+one.CyclesPer[4].Count(); got != n*want {
+		t.Errorf("histogram sample count = %d, want %d", got, n*want)
+	}
+}
+
+// TestPoolConcurrentStress hammers one Pool — one shared LoadedImage —
+// from many goroutines. Run under -race this is the §6 "orderly retreat"
+// of the serving layer: no shared mutable state outside the pool's own
+// synchronization. The aggregate must still be an exact multiple of a
+// single run.
+func TestPoolConcurrentStress(t *testing.T) {
+	pool, p, prog := buildPool(t, fpc.ConfigFastCalls)
+	ref, err := pool.Image().NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Call(prog.Entry, p.Args...); err != nil {
+		t.Fatal(err)
+	}
+	one := ref.Metrics()
+
+	const workers = 12
+	perWorker := 25
+	if testing.Short() {
+		perWorker = 5
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				res, err := pool.Call(prog.Entry, p.Args...)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res) != 1 || res[0] != *p.Want {
+					errs <- &workloadMismatch{got: res, want: *p.Want}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	total := uint64(workers * perWorker)
+	if pool.Runs() != total {
+		t.Fatalf("Runs = %d, want %d", pool.Runs(), total)
+	}
+	agg := pool.Metrics()
+	if agg.Instructions != total*one.Instructions {
+		t.Errorf("Instructions = %d, want %d", agg.Instructions, total*one.Instructions)
+	}
+	if agg.Cycles != total*one.Cycles {
+		t.Errorf("Cycles = %d, want %d", agg.Cycles, total*one.Cycles)
+	}
+}
+
+type workloadMismatch struct {
+	got  []fpc.Word
+	want fpc.Word
+}
+
+func (e *workloadMismatch) Error() string { return "workload result mismatch" }
+
+// TestPoolGetPut exercises the manual checkout path and verifies that a
+// machine handed back dirty comes out booted.
+func TestPoolGetPut(t *testing.T) {
+	pool, p, prog := buildPool(t, fpc.ConfigFastFetch)
+	m1, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Call(prog.Entry, p.Args...); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(m1)
+	m2, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Metrics().Instructions; got != 0 {
+		t.Fatalf("recycled machine not reset: %d instructions on the clock", got)
+	}
+	if len(m2.Output) != 0 {
+		t.Fatalf("recycled machine kept output %v", m2.Output)
+	}
+	res, err := m2.Call(prog.Entry, p.Args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != *p.Want {
+		t.Fatalf("recycled machine computed %v", res)
+	}
+	pool.Put(m2)
+}
+
+// TestPoolCallOutput: per-run output records come back per call, not
+// accumulated across pooled runs.
+func TestPoolCallOutput(t *testing.T) {
+	prog, err := fpc.Build(map[string]string{"m": `
+module m;
+proc main(n) { out(n); out(n+1); return n; }
+`}, "m", "main", fpc.LinkOptions{EarlyBind: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := fpc.NewPool(prog, fpc.ConfigFastCalls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := fpc.Word(1); i <= 3; i++ {
+		res, out, err := pool.CallOutput(prog.Entry, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0] != i {
+			t.Fatalf("result %v", res)
+		}
+		if !reflect.DeepEqual(out, []fpc.Word{i, i + 1}) {
+			t.Fatalf("output %v for n=%d", out, i)
+		}
+	}
+}
+
+// TestPoolSharedImageIdentity: machines from one pool share one image.
+func TestPoolSharedImageIdentity(t *testing.T) {
+	pool, _, _ := buildPool(t, fpc.ConfigMesa)
+	m1, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Image() != pool.Image() || m2.Image() != pool.Image() {
+		t.Fatal("pooled machines do not share the pool's image")
+	}
+	pool.Put(m1)
+	pool.Put(m2)
+}

@@ -1,0 +1,147 @@
+package fpc_test
+
+import (
+	"reflect"
+	"testing"
+
+	fpc "repro"
+	"repro/internal/workload"
+)
+
+// resetConfigs are the three hardware configurations the differential
+// reuse test sweeps.
+var resetConfigs = []struct {
+	name string
+	cfg  fpc.Config
+}{
+	{"mesa", fpc.ConfigMesa},
+	{"fastfetch", fpc.ConfigFastFetch},
+	{"fastcalls", fpc.ConfigFastCalls},
+}
+
+type runRecord struct {
+	results []fpc.Word
+	output  []fpc.Word
+	metrics *fpc.Metrics
+}
+
+func runOnce(t *testing.T, m *fpc.Machine, entry fpc.Word, args []fpc.Word) runRecord {
+	t.Helper()
+	res, err := m.Call(entry, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runRecord{
+		results: res,
+		output:  append([]fpc.Word(nil), m.Output...),
+		metrics: m.Metrics(),
+	}
+}
+
+// TestResetDifferential: a Reset()-reused machine and a fresh machine must
+// produce byte-identical results, Output and Metrics for every workload
+// program under every configuration — machine reuse may not be observable
+// in any counter.
+func TestResetDifferential(t *testing.T) {
+	for _, p := range workload.Corpus() {
+		for _, c := range resetConfigs {
+			p, c := p, c
+			t.Run(p.Name+"/"+c.name, func(t *testing.T) {
+				prog, _, err := p.Build(fpc.DefaultLinkOptions(c.cfg))
+				if err != nil {
+					t.Fatal(err)
+				}
+				img, err := fpc.LoadImage(prog, c.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh, err := img.NewMachine()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := runOnce(t, fresh, prog.Entry, p.Args)
+				if p.Want != nil && (len(want.results) != 1 || want.results[0] != *p.Want) {
+					t.Fatalf("fresh run: results = %v, want [%d]", want.results, *p.Want)
+				}
+
+				reused, err := img.NewMachine()
+				if err != nil {
+					t.Fatal(err)
+				}
+				runOnce(t, reused, prog.Entry, p.Args) // dirty the machine
+				reused.Reset()
+				got := runOnce(t, reused, prog.Entry, p.Args)
+
+				if !reflect.DeepEqual(got.results, want.results) {
+					t.Errorf("results diverge: fresh %v, reused %v", want.results, got.results)
+				}
+				if !reflect.DeepEqual(got.output, want.output) {
+					t.Errorf("output diverges: fresh %v, reused %v", want.output, got.output)
+				}
+				if !reflect.DeepEqual(got.metrics, want.metrics) {
+					t.Errorf("metrics diverge:\nfresh  %+v\nreused %+v", want.metrics, got.metrics)
+				}
+			})
+		}
+	}
+}
+
+// TestResetDifferentialCheckMode repeats one call-heavy workload with the
+// heap's shadow invariant checking enabled, so the allocator's shadow
+// model is exercised across Reset as well.
+func TestResetDifferentialCheckMode(t *testing.T) {
+	p := workload.Coroutines(12)
+	cfg := fpc.ConfigFastCalls
+	cfg.HeapCheck = true
+	prog, _, err := p.Build(fpc.DefaultLinkOptions(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := fpc.LoadImage(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := img.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runOnce(t, fresh, prog.Entry, p.Args)
+	reused, err := img.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce(t, reused, prog.Entry, p.Args)
+	reused.Reset()
+	got := runOnce(t, reused, prog.Entry, p.Args)
+	if !reflect.DeepEqual(got.metrics, want.metrics) {
+		t.Errorf("metrics diverge under HeapCheck:\nfresh  %+v\nreused %+v", want.metrics, got.metrics)
+	}
+	if err := reused.Heap().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResetRepeated: many Reset/Call cycles on one machine stay stable.
+func TestResetRepeated(t *testing.T) {
+	p := workload.Fib(12)
+	prog, _, err := p.Build(fpc.DefaultLinkOptions(fpc.ConfigFastCalls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := fpc.LoadImage(prog, fpc.ConfigFastCalls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := img.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runOnce(t, m, prog.Entry, p.Args)
+	for i := 0; i < 10; i++ {
+		m.Reset()
+		got := runOnce(t, m, prog.Entry, p.Args)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cycle %d diverged", i)
+		}
+	}
+}
