@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench check
+.PHONY: build vet test race bench check serve-smoke
 
 build:
 	$(GO) build ./...
@@ -18,5 +18,10 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# End-to-end smoke of the serving subsystem: start fpcd, drive it with
+# fpcload, scrape /metrics, assert non-zero pooled runs, drain on SIGTERM.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 check: build vet test race

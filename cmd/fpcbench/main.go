@@ -5,6 +5,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the design-parameter ablation sweeps (A1-A5)")
 	parallel := flag.Int("parallel", 0, "drive a shared machine pool with N worker goroutines (0 = run experiments)")
 	calls := flag.Int("calls", 4096, "total calls to serve in -parallel mode")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results instead of tables")
 	flag.Parse()
 	if *parallel > 0 {
 		if err := runParallel(*parallel, *calls); err != nil {
@@ -43,13 +45,20 @@ func main() {
 		}
 		results = append(results, abl...)
 	}
-	failed := 0
-	for _, r := range results {
-		if *only != "" && r.ID != *only {
-			continue
+	if *jsonOut {
+		if err := emitJSON(os.Stdout, results, *only); err != nil {
+			fmt.Fprintln(os.Stderr, "fpcbench:", err)
+			os.Exit(1)
 		}
-		fmt.Println(r)
+	} else {
+		for _, r := range results {
+			if *only != "" && r.ID != *only {
+				continue
+			}
+			fmt.Println(r)
+		}
 	}
+	failed := 0
 	for _, r := range results {
 		if !r.Passed() {
 			failed++
@@ -59,6 +68,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fpcbench: %d experiments with failing checks\n", failed)
 		os.Exit(1)
 	}
+}
+
+// jsonResult is the machine-readable form of one experiment: the key
+// scalar values (cycles, references, hit rates — whatever the experiment
+// exposes) plus its paper-vs-measured checks, so the perf trajectory can
+// be diffed across commits.
+type jsonResult struct {
+	ID     string             `json:"id"`
+	Title  string             `json:"title"`
+	Passed bool               `json:"passed"`
+	Values map[string]float64 `json:"values,omitempty"`
+	Checks []jsonCheck        `json:"checks,omitempty"`
+}
+
+type jsonCheck struct {
+	Claim string `json:"claim"`
+	Got   string `json:"got"`
+	Pass  bool   `json:"pass"`
+}
+
+func emitJSON(w *os.File, results []*experiments.Result, only string) error {
+	out := make([]jsonResult, 0, len(results))
+	for _, r := range results {
+		if only != "" && r.ID != only {
+			continue
+		}
+		jr := jsonResult{ID: r.ID, Title: r.Title, Passed: r.Passed(), Values: r.Values}
+		for _, c := range r.Checks {
+			jr.Checks = append(jr.Checks, jsonCheck{Claim: c.Claim, Got: c.Got, Pass: c.Pass})
+		}
+		out = append(out, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // runParallel serves `calls` fib(15) calls from `workers` goroutines over

@@ -1,0 +1,152 @@
+// Command fpcload is a closed-loop load generator for fpcd: N workers
+// each issue /call requests back-to-back for a fixed count or duration,
+// then it prints throughput, a status-code breakdown, and latency
+// percentiles.
+//
+// Usage:
+//
+//	fpcload [-addr http://localhost:8080] [-proc serve.fib] [-args "15"]
+//	        [-workers 8] [-n 1000 | -d 5s] [-budget 0]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "fpcd base URL")
+	procName := flag.String("proc", "serve.fib", "procedure to call as Module.proc")
+	argStr := flag.String("args", "15", "space-separated integer arguments")
+	workers := flag.Int("workers", 8, "concurrent closed-loop workers")
+	n := flag.Int("n", 1000, "total calls to issue (ignored when -d is set)")
+	d := flag.Duration("d", 0, "run for a duration instead of a fixed count")
+	budget := flag.Uint64("budget", 0, "per-request step budget (0 = server default)")
+	flag.Parse()
+
+	parts := strings.SplitN(*procName, ".", 2)
+	if len(parts) != 2 {
+		fatal(fmt.Errorf("bad -proc %q; want Module.proc", *procName))
+	}
+	var args []int64
+	for _, f := range strings.Fields(*argStr) {
+		v, err := strconv.ParseInt(f, 0, 32)
+		if err != nil {
+			fatal(err)
+		}
+		args = append(args, v)
+	}
+	body, err := json.Marshal(server.CallRequest{
+		Module: parts[0], Proc: parts[1], Args: args, Budget: *budget,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var (
+		mu       sync.Mutex
+		lat      stats.Histogram // microseconds
+		statuses = map[int]int{}
+		netErrs  int
+		steps    uint64
+	)
+	deadline := time.Time{}
+	if *d > 0 {
+		deadline = time.Now().Add(*d)
+	}
+	work := make(chan struct{}, *n)
+	if *d == 0 {
+		for i := 0; i < *n; i++ {
+			work <- struct{}{}
+		}
+	}
+	close(work)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	url := strings.TrimRight(*addr, "/") + "/call"
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if *d > 0 {
+					if time.Now().After(deadline) {
+						return
+					}
+				} else {
+					if _, ok := <-work; !ok {
+						return
+					}
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				el := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					netErrs++
+					mu.Unlock()
+					continue
+				}
+				statuses[resp.StatusCode]++
+				lat.Observe(int(el.Microseconds()))
+				mu.Unlock()
+				var cr server.CallResponse
+				if err := json.NewDecoder(resp.Body).Decode(&cr); err == nil {
+					mu.Lock()
+					steps += cr.Steps
+					mu.Unlock()
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	total := uint64(lat.Count())
+	fmt.Printf("fpcload: %d calls in %v (%d workers) against %s\n",
+		total, wall.Round(time.Millisecond), *workers, url)
+	fmt.Printf("  throughput   %.0f calls/s\n", float64(total)/wall.Seconds())
+	fmt.Printf("  sim steps    %d served\n", steps)
+	codes := make([]int, 0, len(statuses))
+	for c := range statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Printf("  status %d   %d\n", c, statuses[c])
+	}
+	if netErrs > 0 {
+		fmt.Printf("  net errors   %d\n", netErrs)
+	}
+	if total > 0 {
+		fmt.Printf("  latency      p50 %s  p90 %s  p99 %s  max %s\n",
+			us(lat.Quantile(0.5)), us(lat.Quantile(0.9)), us(lat.Quantile(0.99)), us(lat.Max()))
+	}
+	if netErrs > 0 || total == 0 {
+		os.Exit(1)
+	}
+}
+
+func us(v int) string { return (time.Duration(v) * time.Microsecond).String() }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpcload:", err)
+	os.Exit(1)
+}

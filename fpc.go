@@ -92,6 +92,17 @@ var (
 // yardstick for the paper's "as fast as unconditional jumps" claim.
 const JumpCycles = core.JumpCycles
 
+// Run-limit sentinels, re-exported so callers outside the module can
+// match them with errors.Is (internal/core is not importable there).
+var (
+	// ErrMaxSteps is wrapped by run errors when Config.MaxSteps or a
+	// per-run budget (Machine.SetRunBudget, Pool.CallBudget) cuts a run.
+	ErrMaxSteps = core.ErrMaxSteps
+	// ErrCanceled is wrapped when a cancel probe (Machine.SetCancel,
+	// Pool.CallContext) stops a run.
+	ErrCanceled = core.ErrCanceled
+)
+
 // Compile compiles a set of module sources (module name -> source text).
 func Compile(sources map[string]string) ([]*Module, error) {
 	return lang.CompileAll(sources)
@@ -146,7 +157,10 @@ func Run(sources map[string]string, module, proc string, cfg Config, args ...Wor
 }
 
 // RunLinked is Run with an explicit linkage policy threaded through to the
-// linker.
+// linker. When the call itself fails, the machine's metrics are still
+// returned alongside the error — the work up to the failure was done and
+// measured (the same "failed runs are still accounted" semantics as
+// Pool) — so a step-limited or trapped run can still be examined.
 func RunLinked(sources map[string]string, module, proc string, cfg Config, opts LinkOptions, args ...Word) ([]Word, *Metrics, error) {
 	prog, err := Build(sources, module, proc, opts)
 	if err != nil {
@@ -157,10 +171,7 @@ func RunLinked(sources map[string]string, module, proc string, cfg Config, opts 
 		return nil, nil, err
 	}
 	res, err := m.Call(prog.Entry, args...)
-	if err != nil {
-		return nil, nil, err
-	}
-	return res, m.Metrics(), nil
+	return res, m.Metrics(), err
 }
 
 // Reference runs module.proc under the I1 reference implementation (the

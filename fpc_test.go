@@ -125,3 +125,45 @@ proc main() { out(7); return 42; }
 	fmt.Println(res[0], out[0])
 	// Output: 42 7
 }
+
+// TestRunMetricsOnError: Run/RunLinked must not discard the work a failed
+// call did — the machine's metrics come back alongside the error, matching
+// Pool's "failed runs are still accounted" semantics.
+func TestRunMetricsOnError(t *testing.T) {
+	loop := map[string]string{"m": `
+module m;
+proc main() {
+  var i = 0;
+  while (1) { i = i + 1; }
+  return i;
+}
+`}
+	cfg := fpc.ConfigFastCalls
+	cfg.MaxSteps = 10_000
+	res, met, err := fpc.Run(loop, "m", "main", cfg)
+	if err == nil {
+		t.Fatal("infinite loop terminated")
+	}
+	if res != nil {
+		t.Fatalf("results %v from a failed run", res)
+	}
+	if met == nil {
+		t.Fatal("failed run discarded its metrics")
+	}
+	if met.Instructions != 10_000 {
+		t.Fatalf("metrics account %d instructions, want 10000", met.Instructions)
+	}
+
+	// A trapping run (divide by zero, no handler) is accounted too.
+	div := map[string]string{"m": `
+module m;
+proc main(n) { return 100 / n; }
+`}
+	_, met, err = fpc.Run(div, "m", "main", fpc.ConfigFastCalls, 0)
+	if err == nil {
+		t.Fatal("division by zero succeeded")
+	}
+	if met == nil || met.Instructions == 0 {
+		t.Fatalf("trapped run discarded its metrics: %+v", met)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/linker"
+)
+
+// spinModule is a deliberately infinite loop: a single JB jumping to
+// itself. Only a budget, cancellation, or MaxSteps can end the run.
+func spinModule() *image.Module {
+	main := &image.Proc{Name: "main", NumArgs: 0, NumLocals: 0}
+	var a image.Asm
+	top := a.NewLabel()
+	a.Bind(top)
+	a.EmitJump(isa.JB, top)
+	main.Body = a.Fragment()
+	return &image.Module{Name: "spin", Procs: []*image.Proc{main}}
+}
+
+// TestRunBudgetCutsRunaway: a per-run budget must cut an infinite loop
+// under every configuration, report ErrMaxSteps, and leave the machine
+// Reset-able into a state identical to a fresh boot.
+func TestRunBudgetCutsRunaway(t *testing.T) {
+	configs := map[string]Config{
+		"mesa":      ConfigMesa,
+		"fastfetch": ConfigFastFetch,
+		"fastcalls": ConfigFastCalls,
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			prog := linkOne(t, spinModule(), "main", linker.Options{})
+			img, err := LoadImage(prog, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := img.NewMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			const budget = 10_000
+			m.SetRunBudget(budget)
+			if _, err := m.Call(prog.Entry, nil...); !errors.Is(err, ErrMaxSteps) {
+				t.Fatalf("err = %v, want ErrMaxSteps", err)
+			}
+			if got := m.Metrics().Instructions; got != budget {
+				t.Fatalf("cut after %d instructions, want exactly %d", got, budget)
+			}
+
+			// The machine must come back to boot state: a second budgeted
+			// run after Reset is identical to a fresh machine's.
+			m.Reset()
+			if m.RunBudget() != 0 {
+				t.Fatal("Reset kept the run budget")
+			}
+			m.SetRunBudget(budget)
+			_, err1 := m.Call(prog.Entry)
+			fresh, err := img.NewMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh.SetRunBudget(budget)
+			_, err2 := fresh.Call(prog.Entry)
+			if !errors.Is(err1, ErrMaxSteps) || !errors.Is(err2, ErrMaxSteps) {
+				t.Fatalf("errs = %v / %v, want ErrMaxSteps", err1, err2)
+			}
+			if !reflect.DeepEqual(m.Metrics(), fresh.Metrics()) {
+				t.Fatal("reused machine's budgeted run diverged from a fresh machine's")
+			}
+			if !reflect.DeepEqual(m.Mem().Snapshot(), fresh.Mem().Snapshot()) {
+				t.Fatal("reused machine's store diverged from a fresh machine's")
+			}
+		})
+	}
+}
+
+// TestRunBudgetRespectsGlobalMax: the per-run budget can only tighten the
+// machine-global MaxSteps, never loosen it.
+func TestRunBudgetRespectsGlobalMax(t *testing.T) {
+	cfg := ConfigFastCalls
+	cfg.MaxSteps = 5_000
+	prog := linkOne(t, spinModule(), "main", linker.Options{})
+	m, err := New(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetRunBudget(1_000_000)
+	if _, err := m.Call(prog.Entry); !errors.Is(err, ErrMaxSteps) {
+		t.Fatalf("err = %v, want ErrMaxSteps", err)
+	}
+	if got := m.Metrics().Instructions; got != 5_000 {
+		t.Fatalf("cut after %d instructions, want the global 5000", got)
+	}
+}
+
+// TestRunCancel: the cancellation probe is checked on the periodic
+// boundary; its error comes back wrapped in ErrCanceled, and Reset clears
+// the probe.
+func TestRunCancel(t *testing.T) {
+	prog := linkOne(t, spinModule(), "main", linker.Options{})
+	m, err := New(prog, ConfigFastCalls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("deadline blew")
+	probes := 0
+	m.SetCancel(func() error {
+		probes++
+		if probes > 3 {
+			return sentinel
+		}
+		return nil
+	})
+	_, err = m.Call(prog.Entry)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// Probes fire at instruction counts 0, 1024, 2048, 3072; the fourth
+	// probe cancels, so exactly 3*cancelCheckInterval steps ran.
+	if got := m.Metrics().Instructions; got != 3*cancelCheckInterval {
+		t.Fatalf("canceled after %d instructions, want %d", got, 3*cancelCheckInterval)
+	}
+	m.Reset()
+	if m.cancel != nil {
+		t.Fatal("Reset kept the cancellation probe")
+	}
+}

@@ -60,6 +60,7 @@ var (
 var (
 	ErrHalted     = errors.New("core: machine halted")
 	ErrMaxSteps   = errors.New("core: step limit exceeded")
+	ErrCanceled   = errors.New("core: run canceled")
 	ErrStack      = errors.New("core: evaluation stack overflow or underflow")
 	ErrBadContext = errors.New("core: XFER to invalid context")
 	ErrTrap       = errors.New("core: unhandled trap")
@@ -124,6 +125,13 @@ type Machine struct {
 	metrics Metrics
 	rec     Recorder // per-transfer cost observer; swap via SetRecorder
 
+	// Per-run execution bounds (a serving layer's request budget and
+	// deadline). runBudget bounds the next Run's step count below the
+	// machine-global Config.MaxSteps; cancel, when set, is probed every
+	// cancelCheckInterval instructions. Both are cleared by Reset.
+	runBudget uint64
+	cancel    func() error
+
 	// per-transfer cost snapshots (set before each transfer opcode)
 	snapRefs uint64
 	snapCyc  uint64
@@ -172,8 +180,29 @@ func (m *Machine) Reset() {
 	m.cycles = 0
 	m.metrics = Metrics{}
 	m.snapRefs, m.snapCyc = 0, 0
+	m.runBudget = 0
+	m.cancel = nil
 	m.Output = nil
 }
+
+// SetRunBudget bounds the next Run (or Call) to at most steps executed
+// instructions, independent of the machine-global Config.MaxSteps — the
+// per-request budget a serving layer needs. The global limit still
+// applies; the effective bound is the smaller of the two. 0 removes the
+// override. Reset clears it, so a pooled machine never carries one run's
+// budget into the next request.
+func (m *Machine) SetRunBudget(steps uint64) { m.runBudget = steps }
+
+// RunBudget reports the current per-run budget override (0 = none).
+func (m *Machine) RunBudget() uint64 { return m.runBudget }
+
+// SetCancel installs a cancellation probe checked every
+// cancelCheckInterval executed instructions during Run. When the probe
+// returns a non-nil error, Run stops with that error wrapped in
+// ErrCanceled; the machine stays in a consistent state and Reset returns
+// it to boot as usual. A nil probe (the default) costs nothing on the
+// step path. Reset clears it.
+func (m *Machine) SetCancel(probe func() error) { m.cancel = probe }
 
 // refs reports total charged references so far: every data-space
 // reference plus the non-prefetchable code-space reads.

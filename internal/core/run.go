@@ -51,11 +51,32 @@ func (m *Machine) CallNamed(module, proc string, args ...mem.Word) ([]mem.Word, 
 	return m.Call(desc, args...)
 }
 
-// Run executes until the machine halts, fails, or exceeds the step limit.
+// cancelCheckInterval is how often (in executed instructions) Run probes
+// the cancellation hook. A power of two so the check is a mask; at the
+// simulator's step rate the probe fires a few thousand times per second of
+// wall clock — fine-grained enough for request deadlines, cheap enough to
+// leave enabled on every serving call.
+const cancelCheckInterval = 1024
+
+// Run executes until the machine halts, fails, exceeds the step limit, or
+// is cut by the per-run budget or cancellation probe (SetRunBudget,
+// SetCancel). However the run ends, the machine's metrics account the work
+// actually done, and Reset still restores boot state.
 func (m *Machine) Run() error {
+	limit := m.cfg.MaxSteps
+	if m.runBudget > 0 {
+		if b := m.metrics.Instructions + m.runBudget; b < limit {
+			limit = b
+		}
+	}
 	for !m.halted {
-		if m.metrics.Instructions >= m.cfg.MaxSteps {
-			return fmt.Errorf("%w: %d", ErrMaxSteps, m.cfg.MaxSteps)
+		if m.metrics.Instructions >= limit {
+			return fmt.Errorf("%w: %d", ErrMaxSteps, limit)
+		}
+		if m.cancel != nil && m.metrics.Instructions%cancelCheckInterval == 0 {
+			if err := m.cancel(); err != nil {
+				return fmt.Errorf("%w: %v", ErrCanceled, err)
+			}
 		}
 		if err := m.Step(); err != nil {
 			return fmt.Errorf("%s at pc %06x: %w", m.prog.ProcName(m.pc), m.pc, err)

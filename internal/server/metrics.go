@@ -1,0 +1,90 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/stats"
+)
+
+// latencyBuckets are the upper bounds of the latency histogram exposition,
+// in seconds. Samples are recorded in microseconds; the list spans the
+// simulator's realistic per-request range (tens of µs to seconds).
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+// writeMetrics renders the Prometheus text exposition: the pool's exact
+// aggregate (the same counters a single-machine experiment reports) plus
+// the server-side admission and latency accounting.
+func (s *Server) writeMetrics(w io.Writer) {
+	mt := s.pool.Metrics()
+	runs := s.pool.Runs()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	// Pool aggregate: merged at Put time from every completed machine run,
+	// successful or not.
+	counter("fpc_pool_runs_total", "Machine runs merged into the pool aggregate.", runs)
+	counter("fpc_pool_instructions_total", "Simulated instructions executed across all pooled runs.", mt.Instructions)
+	counter("fpc_pool_cycles_total", "Simulated cycles across all pooled runs.", mt.Cycles)
+	counter("fpc_pool_memory_refs_total", "Charged memory references across all pooled runs.", mt.ChargedRefs)
+	counter("fpc_pool_calls_returns_total", "Calls and returns executed across all pooled runs.", mt.CallsAndReturns())
+	counter("fpc_pool_fast_transfers_total", "Calls and returns that ran at unconditional-jump cost.", mt.FastTransfers)
+	gauge("fpc_pool_fast_transfer_fraction", "Share of calls and returns at jump speed (the paper's headline).", mt.FastFraction())
+
+	s.mu.Lock()
+	c := s.c
+	queueDepth, inFlight := s.queueDepth, s.inFlight
+	lat := s.latency.Clone()
+	draining := s.draining
+	s.mu.Unlock()
+
+	counter("fpc_server_accepted_total", "Requests that got a run slot and executed.", c.accepted)
+	counter("fpc_server_completed_total", "Requests that returned 200.", c.completed)
+	counter("fpc_server_budget_exceeded_total", "Requests cut by step budget or deadline (504).", c.budgetExceeded)
+	counter("fpc_server_run_errors_total", "Requests whose run failed (500).", c.runErrors)
+	counter("fpc_server_bad_requests_total", "Malformed or unresolvable requests (400).", c.badRequests)
+	fmt.Fprintf(w, "# HELP fpc_server_rejected_total Requests shed before running, by reason.\n# TYPE fpc_server_rejected_total counter\n")
+	fmt.Fprintf(w, "fpc_server_rejected_total{reason=\"queue_full\"} %d\n", c.shedQueueFull)
+	fmt.Fprintf(w, "fpc_server_rejected_total{reason=\"queue_timeout\"} %d\n", c.shedQueueWait)
+	fmt.Fprintf(w, "fpc_server_rejected_total{reason=\"draining\"} %d\n", c.shedDraining)
+	fmt.Fprintf(w, "fpc_server_rejected_total{reason=\"client_gone\"} %d\n", c.canceledByPeer)
+	counter("fpc_server_steps_served_total", "Sum of per-request executed instructions (equals fpc_pool_instructions_total when only /call drives the pool).", c.stepsServed)
+	counter("fpc_server_cycles_served_total", "Sum of per-request simulated cycles.", c.cyclesServed)
+	gauge("fpc_server_queue_depth", "Requests currently waiting for a run slot.", float64(queueDepth))
+	gauge("fpc_server_in_flight", "Requests currently running on a machine.", float64(inFlight))
+	drainingVal := 0.0
+	if draining {
+		drainingVal = 1
+	}
+	gauge("fpc_server_draining", "1 while a graceful drain is in progress.", drainingVal)
+
+	writeLatencyHistogram(w, &lat)
+}
+
+// writeLatencyHistogram renders the stats.Histogram of per-request
+// latencies (µs samples) in Prometheus histogram exposition format.
+func writeLatencyHistogram(w io.Writer, h *stats.Histogram) {
+	const name = "fpc_server_latency_seconds"
+	fmt.Fprintf(w, "# HELP %s Wall-clock latency of executed requests.\n# TYPE %s histogram\n", name, name)
+	for _, le := range latencyBuckets {
+		n := h.CountAtMost(int(le * 1e6))
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, le, n)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.Sum())/1e6)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}

@@ -1,0 +1,378 @@
+// Package server is the network serving layer over the machine pool: an
+// HTTP/JSON daemon that runs pooled procedure calls with per-request step
+// budgets and wall-clock deadlines, bounded concurrency with a load-shedding
+// wait queue, graceful drain, and a Prometheus-text /metrics endpoint that
+// exposes the pool's exact aggregate accounting.
+//
+// The isolation story is the pool's: every request runs on a machine reset
+// to the shared image's boot snapshot, so a request can never observe
+// another request's frames, and a runaway or trapped run is cut at its
+// budget and the machine recycled cleanly.
+//
+// Endpoints:
+//
+//	POST /call     {"module":"m","proc":"p","args":[1,2],"budget":100000}
+//	GET  /healthz  "ok" while serving, 503 "draining" during drain
+//	GET  /metrics  Prometheus text exposition
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	fpc "repro"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a Server. The zero value of every field selects a
+// sensible default (see New).
+type Config struct {
+	// MaxInFlight bounds concurrently running machines. Default: GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a run slot; beyond it requests
+	// are shed immediately with 429. Default: 4×MaxInFlight.
+	MaxQueue int
+	// QueueTimeout bounds how long a request may wait for a run slot
+	// before being shed with 503. Default: 1s.
+	QueueTimeout time.Duration
+	// DefaultBudget is the per-request step budget when the request names
+	// none. Default: 5,000,000 instructions.
+	DefaultBudget uint64
+	// MaxBudget caps client-requested budgets (larger requests are
+	// clamped). Default: 50,000,000 instructions.
+	MaxBudget uint64
+	// RequestTimeout is the per-request wall-clock deadline; the run is
+	// canceled (504) when it passes. Default: 10s.
+	RequestTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = time.Second
+	}
+	if c.DefaultBudget == 0 {
+		c.DefaultBudget = 5_000_000
+	}
+	if c.MaxBudget == 0 {
+		c.MaxBudget = 50_000_000
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+}
+
+// CallRequest is the /call request body. Args are 16-bit machine words;
+// negative values are accepted as two's complement.
+type CallRequest struct {
+	Module string  `json:"module"`
+	Proc   string  `json:"proc"`
+	Args   []int64 `json:"args,omitempty"`
+	// Budget is this request's step budget; 0 uses the server default.
+	Budget uint64 `json:"budget,omitempty"`
+}
+
+// CallResponse is the /call response body. Steps/Cycles/Refs account the
+// work this request's machine run actually did — present on failures too
+// (a budget-cut run did real work), so that summing them across responses
+// reproduces the /metrics pool aggregate exactly.
+type CallResponse struct {
+	Results []uint16 `json:"results"`
+	Output  []uint16 `json:"output,omitempty"`
+	Steps   uint64   `json:"steps"`
+	Cycles  uint64   `json:"cycles"`
+	Refs    uint64   `json:"refs"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// Server serves pooled procedure calls over HTTP. Create with New, expose
+// with Handler, stop with Drain.
+type Server struct {
+	cfg  Config
+	pool *fpc.Pool
+	mux  *http.ServeMux
+
+	// slots is the in-flight semaphore: holding a token is the right to
+	// run a machine.
+	slots chan struct{}
+
+	mu         sync.Mutex
+	draining   bool
+	drained    chan struct{} // closed when draining && active == 0
+	active     int           // requests admitted and not yet finished
+	queueDepth int
+	inFlight   int
+	c          counters
+	latency    stats.Histogram // microseconds per completed machine run
+}
+
+// counters is the server-side metric set (the pool keeps its own).
+type counters struct {
+	accepted       uint64 // requests that got a run slot and ran
+	completed      uint64 // 200s
+	budgetExceeded uint64 // 504s (step budget or wall deadline)
+	runErrors      uint64 // 500s (trap, stack fault, ...)
+	badRequests    uint64 // 400s
+	shedQueueFull  uint64 // 429s
+	shedQueueWait  uint64 // 503s from queue-timeout
+	shedDraining   uint64 // 503s during drain
+	canceledByPeer uint64 // client went away while queued
+	stepsServed    uint64 // sum of per-request Steps
+	cyclesServed   uint64 // sum of per-request Cycles
+}
+
+// New builds a Server over pool with cfg (zero fields defaulted).
+func New(pool *fpc.Pool, cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:     cfg,
+		pool:    pool,
+		mux:     http.NewServeMux(),
+		slots:   make(chan struct{}, cfg.MaxInFlight),
+		drained: make(chan struct{}),
+	}
+	s.mux.HandleFunc("/call", s.handleCall)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Pool returns the pool the server runs on.
+func (s *Server) Pool() *fpc.Pool { return s.pool }
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP makes Server itself an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// enter admits a request: it fails once draining has begun, and otherwise
+// registers the request so Drain waits for it.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.c.shedDraining++
+		return false
+	}
+	s.active++
+	return true
+}
+
+// leave retires an admitted request, releasing Drain when the last one
+// finishes.
+func (s *Server) leave() {
+	s.mu.Lock()
+	s.active--
+	if s.draining && s.active == 0 {
+		select {
+		case <-s.drained:
+		default:
+			close(s.drained)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Drain begins a graceful shutdown: new requests are rejected with 503
+// while every already-admitted request (queued or running) is allowed to
+// finish. It returns when the server is idle or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.active == 0 {
+		select {
+		case <-s.drained:
+		default:
+			close(s.drained)
+		}
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether a drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleCall(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.enter() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.leave()
+
+	var req CallRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.reject(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	desc, args, budget, errMsg := s.admitRequest(&req)
+	if errMsg != "" {
+		s.reject(w, http.StatusBadRequest, errMsg)
+		return
+	}
+
+	// Admission: take a run slot, shedding when the queue is full or the
+	// wait outlasts QueueTimeout.
+	if !s.enqueue() {
+		s.countShed(&s.c.shedQueueFull)
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return
+	}
+	select {
+	case s.slots <- struct{}{}:
+		s.dequeue(true)
+	case <-time.After(s.cfg.QueueTimeout):
+		s.dequeue(false)
+		s.countShed(&s.c.shedQueueWait)
+		http.Error(w, "queue wait timed out", http.StatusServiceUnavailable)
+		return
+	case <-r.Context().Done():
+		s.dequeue(false)
+		s.countShed(&s.c.canceledByPeer)
+		return
+	}
+	defer func() {
+		<-s.slots
+		s.mu.Lock()
+		s.inFlight--
+		s.mu.Unlock()
+	}()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	start := time.Now()
+	cr, err := s.pool.CallContext(ctx, desc, budget, args...)
+	elapsed := time.Since(start)
+
+	resp := CallResponse{}
+	if cr != nil {
+		resp.Results = cr.Results
+		resp.Output = cr.Output
+		if cr.Metrics != nil {
+			resp.Steps = cr.Metrics.Instructions
+			resp.Cycles = cr.Metrics.Cycles
+			resp.Refs = cr.Metrics.ChargedRefs
+		}
+	}
+	status := http.StatusOK
+	s.mu.Lock()
+	s.c.accepted++
+	s.latency.Observe(int(elapsed.Microseconds()))
+	s.c.stepsServed += resp.Steps
+	s.c.cyclesServed += resp.Cycles
+	switch {
+	case err == nil:
+		s.c.completed++
+	case errors.Is(err, core.ErrMaxSteps), errors.Is(err, core.ErrCanceled):
+		s.c.budgetExceeded++
+		status = http.StatusGatewayTimeout
+		resp.Error = err.Error()
+	default:
+		s.c.runErrors++
+		status = http.StatusInternalServerError
+		resp.Error = err.Error()
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(&resp)
+}
+
+// admitRequest validates a request and resolves it against the image:
+// the procedure descriptor, the converted argument words, and the
+// clamped effective budget.
+func (s *Server) admitRequest(req *CallRequest) (desc fpc.Word, args []fpc.Word, budget uint64, errMsg string) {
+	if req.Module == "" || req.Proc == "" {
+		return 0, nil, 0, "module and proc are required"
+	}
+	desc, err := s.pool.Image().Program().FindProc(req.Module, req.Proc)
+	if err != nil {
+		return 0, nil, 0, err.Error()
+	}
+	args = make([]fpc.Word, len(req.Args))
+	for i, a := range req.Args {
+		if a < -32768 || a > 65535 {
+			return 0, nil, 0, fmt.Sprintf("arg %d out of 16-bit range: %d", i, a)
+		}
+		args[i] = fpc.Word(uint16(a))
+	}
+	budget = req.Budget
+	if budget == 0 {
+		budget = s.cfg.DefaultBudget
+	}
+	if budget > s.cfg.MaxBudget {
+		budget = s.cfg.MaxBudget
+	}
+	return desc, args, budget, ""
+}
+
+// enqueue reserves a queue position, refusing when the queue is full.
+func (s *Server) enqueue() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.queueDepth >= s.cfg.MaxQueue {
+		return false
+	}
+	s.queueDepth++
+	return true
+}
+
+// dequeue gives the queue position back; gotSlot moves the request into
+// the in-flight account.
+func (s *Server) dequeue(gotSlot bool) {
+	s.mu.Lock()
+	s.queueDepth--
+	if gotSlot {
+		s.inFlight++
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) countShed(c *uint64) {
+	s.mu.Lock()
+	*c++
+	s.mu.Unlock()
+}
+
+func (s *Server) reject(w http.ResponseWriter, status int, msg string) {
+	s.countShed(&s.c.badRequests)
+	http.Error(w, msg, status)
+}

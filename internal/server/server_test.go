@@ -1,0 +1,423 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	fpc "repro"
+	"repro/internal/server"
+)
+
+// srvSrc is the serving-shaped test module: a fast call, a tunable slow
+// call, and a runaway loop only a budget can end.
+const srvSrc = `
+module srv;
+proc fib(n) {
+  if (n < 2) { return n; }
+  return fib(n-1) + fib(n-2);
+}
+proc spin(n) {
+  var i = 0;
+  var acc = 0;
+  while (i < n) {
+    acc = acc + fib(10);
+    i = i + 1;
+  }
+  return acc & 0x7FFF;
+}
+proc forever() {
+  var i = 0;
+  while (1) { i = i + 1; }
+  return i;
+}
+proc main(n) { return fib(n); }
+`
+
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	mcfg := fpc.ConfigFastCalls
+	prog, err := fpc.Build(map[string]string{"srv": srvSrc}, "srv", "main", fpc.DefaultLinkOptions(mcfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := fpc.NewPool(prog, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(pool, cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// call POSTs one request and decodes the response body when it is JSON.
+func call(t *testing.T, ts *httptest.Server, req server.CallRequest) (int, server.CallResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/call", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cr server.CallResponse
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.Unmarshal(data, &cr)
+	return resp.StatusCode, cr
+}
+
+// scrapeMetrics fetches /metrics and returns the value of every
+// un-labeled sample line, plus the full body for labeled lookups.
+func scrapeMetrics(t *testing.T, ts *httptest.Server) (map[string]float64, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		vals[fields[0]] = v
+	}
+	return vals, string(data)
+}
+
+// TestServerMixedConcurrent is the acceptance scenario: 12 concurrent
+// clients mixing fast calls, slow calls and a runaway loop. Fast calls
+// return correct results, the runaway gets 504 at exactly its budget, and
+// the /metrics pool aggregate matches the sum of per-response work to the
+// instruction.
+func TestServerMixedConcurrent(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{
+		MaxInFlight:    4,
+		MaxQueue:       64,
+		QueueTimeout:   10 * time.Second,
+		DefaultBudget:  20_000_000,
+		RequestTimeout: 30 * time.Second,
+	})
+
+	const workers = 12
+	const perWorker = 6
+	const runawayBudget = 20_000
+	fib15 := uint16(610)
+	spin50 := uint16((50 * 55) & 0x7FFF)
+
+	var (
+		mu                        sync.Mutex
+		steps, cycles, refs       uint64
+		ran, oks, budgetCuts, bad int
+		failures                  []string
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				var status int
+				var cr server.CallResponse
+				var check func() string
+				switch (w + i) % 3 {
+				case 0: // fast call
+					status, cr = call(t, ts, server.CallRequest{Module: "srv", Proc: "fib", Args: []int64{15}})
+					check = func() string {
+						if status != http.StatusOK || len(cr.Results) != 1 || cr.Results[0] != fib15 {
+							return fmt.Sprintf("fib: status %d results %v", status, cr.Results)
+						}
+						return ""
+					}
+				case 1: // slow call
+					status, cr = call(t, ts, server.CallRequest{Module: "srv", Proc: "spin", Args: []int64{50}})
+					check = func() string {
+						if status != http.StatusOK || len(cr.Results) != 1 || cr.Results[0] != spin50 {
+							return fmt.Sprintf("spin: status %d results %v", status, cr.Results)
+						}
+						return ""
+					}
+				default: // runaway loop, cut by its budget
+					status, cr = call(t, ts, server.CallRequest{Module: "srv", Proc: "forever", Budget: runawayBudget})
+					check = func() string {
+						if status != http.StatusGatewayTimeout || cr.Error == "" || cr.Steps != runawayBudget {
+							return fmt.Sprintf("forever: status %d steps %d err %q", status, cr.Steps, cr.Error)
+						}
+						return ""
+					}
+				}
+				mu.Lock()
+				ran++
+				steps += cr.Steps
+				cycles += cr.Cycles
+				refs += cr.Refs
+				switch status {
+				case http.StatusOK:
+					oks++
+				case http.StatusGatewayTimeout:
+					budgetCuts++
+				default:
+					bad++
+				}
+				if msg := check(); msg != "" {
+					failures = append(failures, msg)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, f := range failures {
+		t.Error(f)
+	}
+	if bad != 0 {
+		t.Fatalf("%d requests got unexpected statuses", bad)
+	}
+	if oks == 0 || budgetCuts == 0 {
+		t.Fatalf("mix degenerated: %d oks, %d budget cuts", oks, budgetCuts)
+	}
+
+	vals, body := scrapeMetrics(t, ts)
+	if got := vals["fpc_pool_runs_total"]; got != float64(ran) {
+		t.Errorf("pool runs = %v, want %d", got, ran)
+	}
+	// The exact-aggregate acceptance check: pool totals == Σ per-response.
+	if got := vals["fpc_pool_instructions_total"]; got != float64(steps) {
+		t.Errorf("pool instructions = %v, responses sum to %d", got, steps)
+	}
+	if got := vals["fpc_pool_cycles_total"]; got != float64(cycles) {
+		t.Errorf("pool cycles = %v, responses sum to %d", got, cycles)
+	}
+	if got := vals["fpc_pool_memory_refs_total"]; got != float64(refs) {
+		t.Errorf("pool refs = %v, responses sum to %d", got, refs)
+	}
+	if got := vals["fpc_server_steps_served_total"]; got != float64(steps) {
+		t.Errorf("server steps served = %v, responses sum to %d", got, steps)
+	}
+	if got := vals["fpc_server_accepted_total"]; got != float64(ran) {
+		t.Errorf("accepted = %v, want %d", got, ran)
+	}
+	if got := vals["fpc_server_completed_total"]; got != float64(oks) {
+		t.Errorf("completed = %v, want %d", got, oks)
+	}
+	if got := vals["fpc_server_budget_exceeded_total"]; got != float64(budgetCuts) {
+		t.Errorf("budget exceeded = %v, want %d", got, budgetCuts)
+	}
+	if got := vals["fpc_server_latency_seconds_count"]; got != float64(ran) {
+		t.Errorf("latency count = %v, want %d", got, ran)
+	}
+	if !strings.Contains(body, "fpc_server_latency_seconds_bucket{le=\"+Inf\"}") {
+		t.Error("latency histogram missing +Inf bucket")
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+}
+
+// waitMetric polls /metrics until name reaches at least want.
+func waitMetric(t *testing.T, ts *httptest.Server, name string, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		vals, _ := scrapeMetrics(t, ts)
+		if vals[name] >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("metric %s never reached %v", name, want)
+}
+
+// TestServerSaturation: with one run slot and a one-deep queue, a long
+// run saturates the server — the queued request sheds on queue-timeout
+// (503) and further requests shed immediately (429).
+func TestServerSaturation(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{
+		MaxInFlight:    1,
+		MaxQueue:       1,
+		QueueTimeout:   250 * time.Millisecond,
+		DefaultBudget:  100_000_000,
+		RequestTimeout: 60 * time.Second,
+	})
+
+	// A: occupies the only slot for the duration of a 100M-step budget
+	// (~a second of wall clock; longer than every queue timeout below).
+	statusA := make(chan int, 1)
+	go func() {
+		s, _ := call(t, ts, server.CallRequest{Module: "srv", Proc: "forever"})
+		statusA <- s
+	}()
+	waitMetric(t, ts, "fpc_server_in_flight", 1)
+
+	// B: fills the one queue position, then times out after 250ms.
+	statusB := make(chan int, 1)
+	go func() {
+		s, _ := call(t, ts, server.CallRequest{Module: "srv", Proc: "fib", Args: []int64{10}})
+		statusB <- s
+	}()
+	waitMetric(t, ts, "fpc_server_queue_depth", 1)
+
+	// C..F: the queue is full — shed immediately with 429. (A straggler
+	// that arrives after B's queue position times out may instead take
+	// the position and shed with 503; both are load-shed outcomes.)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	shed := map[int]int{}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, _ := call(t, ts, server.CallRequest{Module: "srv", Proc: "fib", Args: []int64{10}})
+			mu.Lock()
+			shed[s]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if n := shed[http.StatusTooManyRequests] + shed[http.StatusServiceUnavailable]; n != 4 {
+		t.Fatalf("burst statuses = %v, want all four shed with 429/503", shed)
+	}
+	if shed[http.StatusTooManyRequests] == 0 {
+		t.Fatalf("burst statuses = %v, want at least one queue-full 429", shed)
+	}
+	if s := <-statusB; s != http.StatusServiceUnavailable {
+		t.Fatalf("queued request = %d, want 503 on queue timeout", s)
+	}
+	if s := <-statusA; s != http.StatusGatewayTimeout {
+		t.Fatalf("runaway = %d, want 504 at budget", s)
+	}
+
+	vals, _ := scrapeMetrics(t, ts)
+	if vals["fpc_server_queue_depth"] != 0 || vals["fpc_server_in_flight"] != 0 {
+		t.Errorf("gauges did not return to zero: %v / %v",
+			vals["fpc_server_queue_depth"], vals["fpc_server_in_flight"])
+	}
+}
+
+// TestServerDrain: a drain lets the in-flight call finish with its
+// correct result while new calls and health checks get 503.
+func TestServerDrain(t *testing.T) {
+	s, ts := newTestServer(t, server.Config{
+		MaxInFlight:    2,
+		DefaultBudget:  50_000_000,
+		RequestTimeout: 30 * time.Second,
+	})
+
+	spin2000 := uint16((2000 * 55) & 0x7FFF)
+	type result struct {
+		status int
+		cr     server.CallResponse
+	}
+	slow := make(chan result, 1)
+	go func() {
+		st, cr := call(t, ts, server.CallRequest{Module: "srv", Proc: "spin", Args: []int64{2000}})
+		slow <- result{st, cr}
+	}()
+	waitMetric(t, ts, "fpc_server_in_flight", 1)
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	waitMetric(t, ts, "fpc_server_draining", 1)
+
+	// New work is rejected while draining.
+	if st, _ := call(t, ts, server.CallRequest{Module: "srv", Proc: "fib", Args: []int64{5}}); st != http.StatusServiceUnavailable {
+		t.Fatalf("call during drain = %d, want 503", st)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain = %d, want 503", resp.StatusCode)
+	}
+
+	// The in-flight call still finishes, correctly.
+	r := <-slow
+	if r.status != http.StatusOK || len(r.cr.Results) != 1 || r.cr.Results[0] != spin2000 {
+		t.Fatalf("drained call: status %d results %v, want 200 [%d]", r.status, r.cr.Results, spin2000)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	vals, _ := scrapeMetrics(t, ts)
+	if vals["fpc_server_completed_total"] != 1 {
+		t.Errorf("completed = %v, want 1", vals["fpc_server_completed_total"])
+	}
+	if vals["fpc_server_rejected_total{reason=\"draining\"}"] == 0 {
+		// labeled series are parsed as their own keys by scrapeMetrics
+		t.Error("draining rejection not counted")
+	}
+}
+
+// TestServerBadRequests: malformed bodies and unresolvable procedures are
+// 400s, wrong method 405.
+func TestServerBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	resp, err := http.Post(ts.URL+"/call", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body = %d", resp.StatusCode)
+	}
+	if st, _ := call(t, ts, server.CallRequest{Module: "srv", Proc: "nothere"}); st != http.StatusBadRequest {
+		t.Errorf("unknown proc = %d", st)
+	}
+	if st, _ := call(t, ts, server.CallRequest{Module: "srv", Proc: "fib", Args: []int64{1 << 20}}); st != http.StatusBadRequest {
+		t.Errorf("oversized arg = %d", st)
+	}
+	if st, _ := call(t, ts, server.CallRequest{Proc: "fib"}); st != http.StatusBadRequest {
+		t.Errorf("missing module = %d", st)
+	}
+	resp, err = http.Get(ts.URL + "/call")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /call = %d", resp.StatusCode)
+	}
+	vals, _ := scrapeMetrics(t, ts)
+	if vals["fpc_server_bad_requests_total"] != 4 {
+		t.Errorf("bad requests = %v, want 4", vals["fpc_server_bad_requests_total"])
+	}
+}

@@ -172,13 +172,19 @@ func (h *Histogram) FractionAtMost(v int) float64 {
 	if h.total == 0 {
 		return 0
 	}
+	return float64(h.CountAtMost(v)) / float64(h.total)
+}
+
+// CountAtMost reports how many samples are ≤ v — the cumulative bucket
+// count a Prometheus-style histogram exposition needs.
+func (h *Histogram) CountAtMost(v int) uint64 {
 	var n uint64
 	for k, c := range h.counts {
 		if k <= v {
 			n += c
 		}
 	}
-	return float64(n) / float64(h.total)
+	return n
 }
 
 // CountOf reports how many samples equal v exactly.

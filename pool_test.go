@@ -1,13 +1,49 @@
 package fpc_test
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	fpc "repro"
+	"repro/internal/core"
 	"repro/internal/workload"
 )
+
+// servingSrc is a multi-procedure module in the serving shape: a fast
+// call, a runaway loop only a budget can end, a run that traps, and an
+// OUT-emitting procedure.
+const servingSrc = `
+module srv;
+proc fib(n) {
+  if (n < 2) { return n; }
+  return fib(n-1) + fib(n-2);
+}
+proc forever() {
+  var i = 0;
+  while (1) { i = i + 1; }
+  return i;
+}
+proc fail(n) { return 100 / n; }
+proc emit(n) { out(n); out(n+1); return n; }
+proc main(n) { return fib(n); }
+`
+
+func buildServingPool(t *testing.T, cfg fpc.Config) (*fpc.Pool, *fpc.Program) {
+	t.Helper()
+	prog, err := fpc.Build(map[string]string{"srv": servingSrc}, "srv", "main", fpc.DefaultLinkOptions(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := fpc.NewPool(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool, prog
+}
 
 func buildPool(t *testing.T, cfg fpc.Config) (*fpc.Pool, *workload.Program, *fpc.Program) {
 	t.Helper()
@@ -213,6 +249,166 @@ proc main(n) { out(n); out(n+1); return n; }
 		if !reflect.DeepEqual(out, []fpc.Word{i, i + 1}) {
 			t.Fatalf("output %v for n=%d", out, i)
 		}
+	}
+}
+
+// TestPoolCallBudgetRunaway: the per-request budget must cut an infinite
+// loop compiled from the source language under every configuration, wrap
+// ErrMaxSteps, account the cut run in the pool aggregate, and leave the
+// pool serving correct results afterwards — differentially identical to a
+// fresh machine.
+func TestPoolCallBudgetRunaway(t *testing.T) {
+	configs := map[string]fpc.Config{
+		"mesa":      fpc.ConfigMesa,
+		"fastfetch": fpc.ConfigFastFetch,
+		"fastcalls": fpc.ConfigFastCalls,
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			pool, _ := buildServingPool(t, cfg)
+			forever, err := pool.Image().Program().FindProc("srv", "forever")
+			if err != nil {
+				t.Fatal(err)
+			}
+			fib, err := pool.Image().Program().FindProc("srv", "fib")
+			if err != nil {
+				t.Fatal(err)
+			}
+			const budget = 50_000
+			if _, err := pool.CallBudget(forever, budget); !errors.Is(err, core.ErrMaxSteps) {
+				t.Fatalf("err = %v, want ErrMaxSteps", err)
+			}
+			if got := pool.Metrics().Instructions; got != budget {
+				t.Fatalf("aggregate accounts %d instructions for the cut run, want %d", got, budget)
+			}
+			if pool.Runs() != 1 {
+				t.Fatalf("Runs = %d after a failed run, want 1", pool.Runs())
+			}
+
+			// The recycled machine must now serve a call exactly like a
+			// machine that never ran the runaway.
+			fresh, err := pool.Image().NewMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRes, err := fresh.Call(fib, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := pool.Call(fib, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res, wantRes) {
+				t.Fatalf("post-runaway results %v, want %v", res, wantRes)
+			}
+			agg := pool.Metrics()
+			want := fresh.Metrics()
+			if agg.Instructions != budget+want.Instructions {
+				t.Fatalf("aggregate = %d instructions, want %d (cut run + clean run)",
+					agg.Instructions, budget+want.Instructions)
+			}
+		})
+	}
+}
+
+// TestPoolPutAfterFailedCall: a machine handed back after a failed run
+// must come out of the pool byte-identical to a fresh boot — same
+// results, same metrics, same store bytes on its next run.
+func TestPoolPutAfterFailedCall(t *testing.T) {
+	pool, _ := buildServingPool(t, fpc.ConfigFastCalls)
+	failp, err := pool.Image().Program().FindProc("srv", "fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib, err := pool.Image().Program().FindProc("srv", "fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Call(failp, 0); err == nil { // 100/0 traps
+		t.Fatal("dividing by zero succeeded")
+	}
+	pool.Put(m)
+
+	m2, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.Call(fib, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := pool.Image().NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Call(fib, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recycled results %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(m2.Metrics(), fresh.Metrics()) {
+		t.Fatal("recycled machine's metrics diverged from a fresh machine's")
+	}
+	if !reflect.DeepEqual(m2.Mem().Snapshot(), fresh.Mem().Snapshot()) {
+		t.Fatal("recycled machine's store bytes diverged from a fresh machine's")
+	}
+	pool.Put(m2)
+}
+
+// TestPoolCallContext: a context deadline cuts a runaway run with
+// ErrCanceled; the CallResult still carries the partial work's metrics.
+func TestPoolCallContext(t *testing.T) {
+	pool, _ := buildServingPool(t, fpc.ConfigFastCalls)
+	forever, err := pool.Image().Program().FindProc("srv", "forever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	cr, err := pool.CallContext(ctx, forever, 0)
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if cr == nil || cr.Metrics == nil || cr.Metrics.Instructions == 0 {
+		t.Fatalf("canceled run lost its metrics: %+v", cr)
+	}
+	if got := pool.Metrics().Instructions; got != cr.Metrics.Instructions {
+		t.Fatalf("aggregate %d != per-call %d", got, cr.Metrics.Instructions)
+	}
+
+	// A budget and a live context compose: the budget cuts first here.
+	cr, err = pool.CallContext(context.Background(), forever, 10_000)
+	if !errors.Is(err, core.ErrMaxSteps) {
+		t.Fatalf("err = %v, want ErrMaxSteps", err)
+	}
+	if cr.Metrics.Instructions != 10_000 {
+		t.Fatalf("budgeted run did %d instructions, want 10000", cr.Metrics.Instructions)
+	}
+}
+
+// TestPoolCallNamedOutput: the named variant resolves and returns the
+// per-run output record.
+func TestPoolCallNamedOutput(t *testing.T) {
+	pool, _ := buildServingPool(t, fpc.ConfigFastCalls)
+	res, out, err := pool.CallNamedOutput("srv", "emit", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] != 7 {
+		t.Fatalf("results %v", res)
+	}
+	if !reflect.DeepEqual(out, []fpc.Word{7, 8}) {
+		t.Fatalf("output %v", out)
+	}
+	if _, _, err := pool.CallNamedOutput("srv", "nothere"); err == nil {
+		t.Fatal("missing proc accepted")
 	}
 }
 

@@ -1,0 +1,42 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the serving subsystem:
+# start fpcd on a local port, fire a short fpcload burst at it, scrape
+# /metrics, and assert the pool actually served runs.
+set -eu
+
+PORT="${FPCD_PORT:-18080}"
+ADDR="http://127.0.0.1:$PORT"
+BIN="$(mktemp -d)"
+trap 'kill "$FPCD_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+
+go build -o "$BIN/fpcd" ./cmd/fpcd
+go build -o "$BIN/fpcload" ./cmd/fpcload
+
+"$BIN/fpcd" -addr "127.0.0.1:$PORT" &
+FPCD_PID=$!
+
+# Wait for the daemon to come up.
+i=0
+until curl -fsS "$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "serve-smoke: fpcd never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$BIN/fpcload" -addr "$ADDR" -proc serve.fib -args 15 -workers 4 -n 200
+
+METRICS="$(curl -fsS "$ADDR/metrics")"
+RUNS="$(printf '%s\n' "$METRICS" | awk '$1 == "fpc_pool_runs_total" {print $2}')"
+echo "serve-smoke: fpc_pool_runs_total = ${RUNS:-<missing>}"
+if [ -z "$RUNS" ] || [ "$RUNS" -lt 200 ]; then
+    echo "serve-smoke: expected >= 200 pooled runs in /metrics" >&2
+    exit 1
+fi
+
+# Graceful drain: SIGTERM must finish cleanly.
+kill -TERM "$FPCD_PID"
+wait "$FPCD_PID"
+echo "serve-smoke: OK"
