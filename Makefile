@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench check serve-smoke
+.PHONY: build vet test race bench check serve-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -23,5 +23,13 @@ bench:
 # fpcload, scrape /metrics, assert non-zero pooled runs, drain on SIGTERM.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Differential fuzzing smoke: a deterministic 2000-seed sweep through the
+# four-way differential oracle (cmd/fpcfuzz), then a short coverage-guided
+# shift on each native fuzz target. Longer campaigns: raise -n / -fuzztime.
+fuzz-smoke:
+	$(GO) run ./cmd/fpcfuzz -n 2000
+	$(GO) test -fuzz=FuzzDifferential -fuzztime=30s -run '^$$' ./internal/difffuzz
+	$(GO) test -fuzz=FuzzPoolReuse -fuzztime=30s -run '^$$' ./internal/difffuzz
 
 check: build vet test race

@@ -97,6 +97,44 @@ func TestRunBudgetRespectsGlobalMax(t *testing.T) {
 	}
 }
 
+// finiteModule is a straight-line program of n NOOPs and a HALT — a run
+// executes exactly n+1 instructions and stops.
+func finiteModule(n int) *image.Module {
+	main := &image.Proc{Name: "main", NumArgs: 0, NumLocals: 0}
+	var a image.Asm
+	for i := 0; i < n; i++ {
+		a.Emit(isa.NOOP)
+	}
+	a.Emit(isa.HALT)
+	main.Body = a.Fragment()
+	return &image.Module{Name: "fin", Procs: []*image.Proc{main}}
+}
+
+// TestRunBudgetHugeNoOverflow: a budget near ^uint64(0) must behave as
+// "effectively unlimited", not wrap. Before the overflow guard,
+// Instructions + runBudget wrapped to Instructions-2 once a prior run had
+// accumulated a couple of instructions, making the limit tiny and failing
+// a healthy run with a spurious ErrMaxSteps.
+func TestRunBudgetHugeNoOverflow(t *testing.T) {
+	prog := linkOne(t, finiteModule(40), "main", linker.Options{})
+	m, err := New(prog, ConfigFastCalls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accumulate instructions so the wrapped sum lands below Instructions.
+	if _, err := m.Call(prog.Entry); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Metrics().Instructions
+	m.SetRunBudget(^uint64(0) - 1)
+	if _, err := m.Call(prog.Entry); err != nil {
+		t.Fatalf("huge budget failed a healthy run: %v", err)
+	}
+	if got := m.Metrics().Instructions; got != 2*before {
+		t.Fatalf("second run executed %d instructions, want %d", got-before, before)
+	}
+}
+
 // TestRunCancel: the cancellation probe is checked on the periodic
 // boundary; its error comes back wrapped in ErrCanceled, and Reset clears
 // the probe.
@@ -127,5 +165,63 @@ func TestRunCancel(t *testing.T) {
 	m.Reset()
 	if m.cancel != nil {
 		t.Fatal("Reset kept the cancellation probe")
+	}
+}
+
+// TestRunCancelArmedMidstream: SetCancel arms a countdown from the current
+// instruction count, so the first probe fires immediately and every later
+// probe within one cancelCheckInterval — even when arming happens at an
+// unaligned count. The old modulo probe only fired when Instructions was
+// an exact multiple of the interval, so a short run armed at an unaligned
+// count could finish without ever being probed.
+func TestRunCancelArmedMidstream(t *testing.T) {
+	prog := linkOne(t, finiteModule(40), "main", linker.Options{})
+	m, err := New(prog, ConfigFastCalls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Call(prog.Entry); err != nil { // 41 instructions: unaligned
+		t.Fatal(err)
+	}
+	armedAt := m.Metrics().Instructions
+	sentinel := errors.New("canceled now")
+	m.SetCancel(func() error { return sentinel })
+	if _, err := m.Call(prog.Entry); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled (probe skipped at unaligned count)", err)
+	}
+	if got := m.Metrics().Instructions; got != armedAt {
+		t.Fatalf("cut after %d extra instructions, want 0 (immediate probe)", got-armedAt)
+	}
+}
+
+// TestRunCancelWithinOneInterval: once armed, the gap between consecutive
+// probes is exactly cancelCheckInterval instructions regardless of the
+// (unaligned) count at which the probe was armed.
+func TestRunCancelWithinOneInterval(t *testing.T) {
+	prog := linkOne(t, spinModule(), "main", linker.Options{})
+	m, err := New(prog, ConfigFastCalls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetRunBudget(50)
+	if _, err := m.Call(prog.Entry); !errors.Is(err, ErrMaxSteps) {
+		t.Fatalf("err = %v, want ErrMaxSteps", err)
+	}
+	m.SetRunBudget(0)
+	sentinel := errors.New("second probe cancels")
+	probes := 0
+	m.SetCancel(func() error {
+		probes++
+		if probes >= 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err := m.Run(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// Probe 1 fires at 50 (arming), probe 2 one interval later.
+	if got := m.Metrics().Instructions; got != 50+cancelCheckInterval {
+		t.Fatalf("canceled at %d instructions, want %d", got, 50+cancelCheckInterval)
 	}
 }

@@ -128,9 +128,11 @@ type Machine struct {
 	// Per-run execution bounds (a serving layer's request budget and
 	// deadline). runBudget bounds the next Run's step count below the
 	// machine-global Config.MaxSteps; cancel, when set, is probed every
-	// cancelCheckInterval instructions. Both are cleared by Reset.
-	runBudget uint64
-	cancel    func() error
+	// cancelCheckInterval instructions, the next probe due when
+	// Instructions reaches cancelNext. Both are cleared by Reset.
+	runBudget  uint64
+	cancel     func() error
+	cancelNext uint64
 
 	// per-transfer cost snapshots (set before each transfer opcode)
 	snapRefs uint64
@@ -182,6 +184,7 @@ func (m *Machine) Reset() {
 	m.snapRefs, m.snapCyc = 0, 0
 	m.runBudget = 0
 	m.cancel = nil
+	m.cancelNext = 0
 	m.Output = nil
 }
 
@@ -197,12 +200,16 @@ func (m *Machine) SetRunBudget(steps uint64) { m.runBudget = steps }
 func (m *Machine) RunBudget() uint64 { return m.runBudget }
 
 // SetCancel installs a cancellation probe checked every
-// cancelCheckInterval executed instructions during Run. When the probe
-// returns a non-nil error, Run stops with that error wrapped in
-// ErrCanceled; the machine stays in a consistent state and Reset returns
-// it to boot as usual. A nil probe (the default) costs nothing on the
-// step path. Reset clears it.
-func (m *Machine) SetCancel(probe func() error) { m.cancel = probe }
+// cancelCheckInterval executed instructions during Run, the first check
+// due immediately — arming mid-computation never waits for an aligned
+// instruction count. When the probe returns a non-nil error, Run stops
+// with that error wrapped in ErrCanceled; the machine stays in a
+// consistent state and Reset returns it to boot as usual. A nil probe
+// (the default) costs nothing on the step path. Reset clears it.
+func (m *Machine) SetCancel(probe func() error) {
+	m.cancel = probe
+	m.cancelNext = m.metrics.Instructions
+}
 
 // refs reports total charged references so far: every data-space
 // reference plus the non-prefetchable code-space reads.

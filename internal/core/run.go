@@ -65,7 +65,10 @@ const cancelCheckInterval = 1024
 func (m *Machine) Run() error {
 	limit := m.cfg.MaxSteps
 	if m.runBudget > 0 {
-		if b := m.metrics.Instructions + m.runBudget; b < limit {
+		// Instructions + runBudget can wrap for budgets near ^uint64(0);
+		// a wrapped sum would make the limit tiny and fail a healthy run,
+		// so a budget that overflows simply cannot tighten the limit.
+		if b := m.metrics.Instructions + m.runBudget; b >= m.metrics.Instructions && b < limit {
 			limit = b
 		}
 	}
@@ -73,7 +76,11 @@ func (m *Machine) Run() error {
 		if m.metrics.Instructions >= limit {
 			return fmt.Errorf("%w: %d", ErrMaxSteps, limit)
 		}
-		if m.cancel != nil && m.metrics.Instructions%cancelCheckInterval == 0 {
+		if m.cancel != nil && m.metrics.Instructions >= m.cancelNext {
+			// The threshold (armed by SetCancel, re-armed here) is compared
+			// with >=, so the probe cannot be skipped even if an instruction
+			// path ever advances Instructions by more than one.
+			m.cancelNext = m.metrics.Instructions + cancelCheckInterval
 			if err := m.cancel(); err != nil {
 				return fmt.Errorf("%w: %v", ErrCanceled, err)
 			}

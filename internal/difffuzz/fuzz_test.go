@@ -1,0 +1,121 @@
+package difffuzz
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// FuzzDifferential is the main campaign: each fuzz input is a generator
+// seed; the derived program runs through the full four-way differential
+// and every metamorphic invariant. Run it with
+//
+//	go test -fuzz=FuzzDifferential ./internal/difffuzz -fuzztime=30s
+//
+// A failing seed is minimized before it is reported, so the failure
+// message carries the smallest program the minimizer could keep failing
+// with the same kind.
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(0); seed < 32; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := CheckSeed(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzPoolReuse drives one shared Pool with a random mix of full,
+// budget-cut, and repeated calls of a generated program, then checks the
+// pool's aggregate bookkeeping: every run merged (Runs exact), the
+// aggregate exactly the sum of the per-call metrics, and a machine that
+// served a cut run serving the next full run identically.
+func FuzzPoolReuse(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed, uint16(1+seed*37), uint8(seed%5))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, rawBudget uint16, extra uint8) {
+		p := workload.RandomProgram(seed)
+		cfg := fpc.ConfigFastCalls
+		prog, _, err := p.Build(fpc.DefaultLinkOptions(cfg))
+		if err != nil {
+			t.Skip("unbuildable seed")
+		}
+		img, err := fpc.LoadImage(prog, cfg)
+		if err != nil {
+			t.Skip("unloadable seed")
+		}
+		entry := img.Entry()
+
+		// The reference answer for a full run, from a fresh machine.
+		fresh, err := img.NewMachine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRes, runErr := fresh.Call(entry, p.Args...)
+		if runErr != nil {
+			t.Skip("seed does not complete under default limits")
+		}
+		wantOut := append([]fpc.Word(nil), fresh.Output...)
+		total := fresh.Metrics().Instructions
+
+		pool := fpc.NewPoolFromImage(img)
+		runs := 2 + int(extra)
+		budget := uint64(rawBudget)
+		sum := &core.Metrics{}
+		for i := 0; i < runs; i++ {
+			if i%2 == 1 {
+				// A budget-bounded run: either it completes (budget 0 means
+				// the machine default, and any budget >= total is roomy
+				// enough) or it is cut with ErrMaxSteps after exactly budget
+				// instructions.
+				cr, err := pool.CallContext(nil, entry, budget, p.Args...)
+				if cr == nil {
+					t.Fatalf("run %d: no CallResult (err=%v)", i, err)
+				}
+				sum.Merge(cr.Metrics)
+				if budget == 0 || budget >= total {
+					if err != nil {
+						t.Fatalf("run %d: budget %d (total %d) but err=%v", i, budget, total, err)
+					}
+				} else {
+					if !errors.Is(err, fpc.ErrMaxSteps) {
+						t.Fatalf("run %d: want ErrMaxSteps under budget %d < %d, got %v", i, budget, total, err)
+					}
+					if cr.Metrics.Instructions != budget {
+						t.Fatalf("run %d: cut after %d instructions, want exactly %d", i, cr.Metrics.Instructions, budget)
+					}
+				}
+				continue
+			}
+			// A full run on a recycled machine must replay the fresh run
+			// byte for byte, even right after a budget-cut run.
+			cr, err := pool.CallContext(nil, entry, 0, p.Args...)
+			if err != nil {
+				t.Fatalf("run %d: %v", i, err)
+			}
+			sum.Merge(cr.Metrics)
+			if !wordsEqual(cr.Results, wantRes) {
+				t.Fatalf("run %d: results %v, fresh machine had %v", i, cr.Results, wantRes)
+			}
+			if !wordsEqual(cr.Output, wantOut) {
+				t.Fatalf("run %d: output diverged from fresh machine", i)
+			}
+			if cr.Metrics.Instructions != total {
+				t.Fatalf("run %d: %d instructions, fresh machine had %d", i, cr.Metrics.Instructions, total)
+			}
+		}
+		if got := pool.Runs(); got != uint64(runs) {
+			t.Fatalf("pool.Runs() = %d, want %d", got, runs)
+		}
+		agg := pool.Metrics()
+		if !reflect.DeepEqual(agg, sum) {
+			t.Fatalf("pool aggregate %+v != sum of per-call metrics %+v", *agg, *sum)
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package difffuzz
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Minimize shrinks a failing program to a (locally) minimal source that
+// still fails the oracle the same way. It is line-based delta debugging
+// over the module sources: contiguous line ranges are deleted greedily,
+// largest first, and a candidate survives only when Check fails with the
+// same FailKind as the original — a deletion that merely breaks the build
+// is rejected, so the minimizer cannot wander from the bug it was given.
+//
+// Generated programs put every statement on its own line, so line ranges
+// align with statements and whole blocks; a dropped procedure takes its
+// call sites with it over later passes.
+func Minimize(p *workload.Program, orig error) *workload.Program {
+	kind := KindOf(orig)
+	if kind == "" {
+		return p
+	}
+	cur := cloneProgram(p)
+	stillFails := func(c *workload.Program) bool {
+		err := Check(c)
+		return err != nil && KindOf(err) == kind
+	}
+	if !stillFails(cur) {
+		// Non-reproducible (flaky) failure: leave the program untouched.
+		return p
+	}
+
+	changed := true
+	for rounds := 0; changed && rounds < 20; rounds++ {
+		changed = false
+		for _, mod := range moduleOrder(cur) {
+			lines := strings.Split(cur.Sources[mod], "\n")
+			for size := len(lines) / 2; size >= 1; size /= 2 {
+				for start := 0; start+size <= len(lines); {
+					cand := cloneProgram(cur)
+					kept := make([]string, 0, len(lines)-size)
+					kept = append(kept, lines[:start]...)
+					kept = append(kept, lines[start+size:]...)
+					cand.Sources[mod] = strings.Join(kept, "\n")
+					if stillFails(cand) {
+						cur = cand
+						lines = kept
+						changed = true
+						// same start now names the next range — retry there
+					} else {
+						start++
+					}
+				}
+				if size == 1 {
+					break
+				}
+			}
+		}
+	}
+	cur.Name = p.Name + " (minimized)"
+	return cur
+}
+
+func cloneProgram(p *workload.Program) *workload.Program {
+	c := *p
+	c.Sources = make(map[string]string, len(p.Sources))
+	for k, v := range p.Sources {
+		c.Sources[k] = v
+	}
+	c.Args = append([]mem.Word(nil), p.Args...)
+	return &c
+}
+
+// moduleOrder returns the module file names deterministically.
+func moduleOrder(p *workload.Program) []string {
+	names := make([]string, 0, len(p.Sources))
+	for n := range p.Sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,39 @@
+package difffuzz
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestCorpusDifferential pushes every hand-written workload program —
+// recursion, storage loops, coroutine pipelines, cross-module chatter,
+// retained frames, traps — through the full oracle. This is the fixed
+// half of the corpus; the random sweep below is the open half.
+func TestCorpusDifferential(t *testing.T) {
+	corpus := append(workload.Corpus(), workload.Retained(10))
+	for _, p := range corpus {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			if err := Check(p); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDifferentialSweep is the deterministic slice of the fuzz campaign
+// that runs on every `go test ./...`: the first sweepSeeds random programs
+// through the full oracle. `make fuzz-smoke` extends the same sweep to
+// 2000 seeds via cmd/fpcfuzz, and `go test -fuzz` explores beyond it.
+func TestDifferentialSweep(t *testing.T) {
+	seeds := int64(150)
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		if err := CheckSeed(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -430,6 +430,47 @@ proc main() {
 	}
 }
 
+// Retained exercises frames that outlive their own return (§4's retained
+// activation records): keeper retains itself and hands back its context;
+// main holds two retained frames live at once and frees them in creation
+// order, so the frame heap sees non-LIFO lifetimes on every iteration.
+// Not part of Corpus() — the experiment suite measures over that set —
+// but used directly by the Reset-reuse and differential tests.
+func Retained(n int) *Program {
+	want := mem.Word(0)
+	for i := 0; i < n; i++ {
+		want += mem.Word(3*i + 1 + 3*(i+7) + 1)
+	}
+	return &Program{
+		Name: fmt.Sprintf("retained(%d)", n),
+		Sources: map[string]string{"keep": fmt.Sprintf(`
+module keep;
+const N = %d;
+proc keeper(x) {
+  var t = x * 3 + 1;
+  retain();
+  return myctx(), t;
+}
+proc main() {
+  var sum = 0;
+  var i = 0;
+  while (i < N) {
+    var a, x;
+    var b, y;
+    a, x = keeper(i);
+    b, y = keeper(i + 7);
+    sum = sum + x + y;
+    free(a);
+    free(b);
+    i = i + 1;
+  }
+  return sum;
+}
+`, n)},
+		Module: "keep", Proc: "main", Want: &want,
+	}
+}
+
 // Interfaces is cross-module chatter: a client calling procedures spread
 // across several modules through their link vectors.
 func Interfaces(n int) *Program {

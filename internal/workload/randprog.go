@@ -7,13 +7,30 @@ import (
 )
 
 // RandomProgram generates a random, terminating program in the source
-// language. It is the generator behind the differential fuzz test: the
-// same program must produce identical results and output on the I1
-// reference interpreter and on every machine configuration, under both
-// linkages. The generator favors the features where the implementations
-// can diverge: nested calls (the §5.2 spill discipline), cross-module
-// calls (the LV path), division (traps), globals, and short-circuit
-// conditions.
+// language. It is the generator behind the differential fuzzing subsystem
+// (internal/difffuzz): the same program must produce identical results and
+// output on the I1 reference interpreter and on every machine
+// configuration, under both linkages. The generator favors the features
+// where the implementations can diverge:
+//
+//   - nested local and external calls (the §5.2 spill discipline and the
+//     §5.1 link-vector path, DIRECTCALL under early binding);
+//   - coroutine pipelines through general XFERs (cocreate / transfer /
+//     retctx / free), optionally created across module boundaries so a
+//     link-vector slot holds a non-procedure context (F3);
+//   - trap handler contexts (settrap / trap) plus genuine division-by-zero
+//     traps striking mid-expression;
+//   - retained frames surviving their own return (retain / myctx / free);
+//   - deep recursion driving the frame heap, return stack and register
+//     banks into their overflow paths;
+//   - heap records (alloc / store / load / dealloc) with data-dependent
+//     OUT streams;
+//   - division (traps), globals, and short-circuit conditions.
+//
+// Every program terminates by construction: loops are bounded by
+// constants, the plain call graph is acyclic, recursion depth is a
+// bounded literal, and coroutines — internally infinite — are driven a
+// bounded number of times and then freed.
 func RandomProgram(seed int64) *Program {
 	rng := rand.New(rand.NewSource(seed))
 	g := &randGen{rng: rng}
@@ -22,9 +39,21 @@ func RandomProgram(seed int64) *Program {
 
 type randGen struct {
 	rng    *rand.Rand
-	procs  []randProc // callable procedures generated so far
+	procs  []randProc // callable plain procedures generated so far
 	locals []string
 	glob   string // the current module's global variable
+
+	// Feature plan for this program, drawn once per seed.
+	useCoroutines bool
+	usePipeline   bool // two-stage coroutine pipeline (producer + filter)
+	coInLib       bool // create the producer across the module boundary
+	useTraps      bool
+	useDivTraps   bool // possibly-zero divisors alongside explicit trap()
+	useRetained   bool
+	useDeepRec    bool
+	useHeap       bool
+
+	trapsArmed bool // settrap already executed on every path reaching here
 }
 
 type randProc struct {
@@ -34,6 +63,15 @@ type randProc struct {
 }
 
 func (g *randGen) program(seed int64) *Program {
+	g.useCoroutines = g.rng.Intn(2) == 0
+	g.usePipeline = g.useCoroutines && g.rng.Intn(2) == 0
+	g.coInLib = g.useCoroutines && g.rng.Intn(2) == 0
+	g.useTraps = g.rng.Intn(2) == 0
+	g.useDivTraps = g.useTraps && g.rng.Intn(2) == 0
+	g.useRetained = g.rng.Intn(3) == 0
+	g.useDeepRec = g.rng.Intn(3) == 0
+	g.useHeap = g.rng.Intn(2) == 0
+
 	// Two modules: lib (leaf procedures) and main (driver), so external
 	// calls get exercised.
 	var lib strings.Builder
@@ -43,17 +81,58 @@ func (g *randGen) program(seed int64) *Program {
 	for i := 0; i < nLib; i++ {
 		g.proc(&lib, "lib", fmt.Sprintf("lf%d", i))
 	}
+	if g.useDeepRec {
+		g.deepProc(&lib)
+	}
+	if g.coInLib {
+		g.producerProc(&lib, "co_prod")
+	}
 	g.glob = "mg"
 
 	var main strings.Builder
 	main.WriteString("module main;\nimport lib;\nvar mg = 1;\n")
+	if g.useTraps {
+		main.WriteString("var tg = 0;\n")
+	}
 	nMain := 2 + g.rng.Intn(3)
 	for i := 0; i < nMain; i++ {
 		g.proc(&main, "main", fmt.Sprintf("mf%d", i))
 	}
+	if g.useTraps {
+		g.handlerProc(&main)
+	}
+	if g.useRetained {
+		g.keeperProc(&main)
+	}
+	if g.useCoroutines && !g.coInLib {
+		g.producerProc(&main, "co_prod")
+	}
+	if g.usePipeline {
+		g.filterProc(&main)
+	}
 
-	// The driver calls every generated procedure and mixes the results.
-	main.WriteString("proc main() {\n  var acc = 0;\n")
+	g.driver(&main)
+
+	return &Program{
+		Name:    fmt.Sprintf("random(%d)", seed),
+		Sources: map[string]string{"lib": lib.String(), "main": main.String()},
+		Module:  "main", Proc: "main",
+	}
+}
+
+// driver writes the main procedure: it arms the trap handler, drives every
+// generated feature, calls every plain procedure, and mixes everything
+// into acc, emitting the running value on the OUT stream as it goes.
+func (g *randGen) driver(b *strings.Builder) {
+	b.WriteString("proc main() {\n  var acc = 0;\n")
+	g.locals = []string{"acc"}
+	if g.useTraps {
+		b.WriteString("  settrap(th);\n")
+		g.trapsArmed = true
+	}
+
+	// Call every plain procedure and mix the results (the original
+	// generator's backbone).
 	for _, p := range g.procs {
 		qual := p.name
 		if p.module == "lib" {
@@ -63,18 +142,158 @@ func (g *randGen) program(seed int64) *Program {
 		for i := range args {
 			args[i] = fmt.Sprint(g.rng.Intn(20))
 		}
-		fmt.Fprintf(&main, "  acc = (acc ^ %s(%s)) & 0x7FFF;\n  out(acc);\n", qual, strings.Join(args, ", "))
+		fmt.Fprintf(b, "  acc = (acc ^ %s(%s)) & 0x7FFF;\n  out(acc);\n", qual, strings.Join(args, ", "))
 	}
-	main.WriteString("  return acc;\n}\n")
 
-	return &Program{
-		Name:    fmt.Sprintf("random(%d)", seed),
-		Sources: map[string]string{"lib": lib.String(), "main": main.String()},
-		Module:  "main", Proc: "main",
+	// Interleave the feature blocks in a seed-dependent order.
+	blocks := []func(*strings.Builder){}
+	if g.useDeepRec {
+		blocks = append(blocks, g.deepBlock)
 	}
+	if g.useCoroutines {
+		blocks = append(blocks, g.coroutineBlock)
+	}
+	if g.useRetained {
+		blocks = append(blocks, g.retainedBlock)
+	}
+	if g.useHeap {
+		blocks = append(blocks, g.heapBlock)
+	}
+	if g.useTraps {
+		blocks = append(blocks, g.trapBlock)
+	}
+	g.rng.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+	for _, blk := range blocks {
+		blk(b)
+	}
+
+	// A few trailing random statements over the driver's locals.
+	for i := 0; i < 1+g.rng.Intn(3); i++ {
+		g.stmt(b, 1)
+	}
+	b.WriteString("  out(acc);\n  return acc;\n}\n")
+	g.trapsArmed = false
 }
 
-// proc writes one random procedure and registers it as callable.
+// deepProc writes a bounded recursive procedure: one frame per level, deep
+// enough to overflow the return stack and register banks and to push the
+// frame heap toward its size-class reuse paths.
+func (g *randGen) deepProc(b *strings.Builder) {
+	step := 1 + g.rng.Intn(7)
+	fmt.Fprintf(b, "proc deep(n, a) {\n")
+	fmt.Fprintf(b, "  if (n == 0) { return a & 0xFFF; }\n")
+	fmt.Fprintf(b, "  return (deep(n - 1, (a + %d) & 0xFFF) + %d) & 0xFFF;\n}\n", step, 1+g.rng.Intn(3))
+}
+
+func (g *randGen) deepBlock(b *strings.Builder) {
+	depth := 24 + g.rng.Intn(280) // past the 8-entry return stack and banks
+	fmt.Fprintf(b, "  acc = (acc ^ lib.deep(%d, %d)) & 0x7FFF;\n  out(acc);\n", depth, g.rng.Intn(64))
+}
+
+// producerProc writes a coroutine body: it learns its consumer with
+// retctx, then yields a value stream forever — the driver bounds it.
+func (g *randGen) producerProc(b *strings.Builder, name string) {
+	fmt.Fprintf(b, "proc %s(start) {\n", name)
+	b.WriteString("  var who = retctx();\n  var v = start;\n")
+	b.WriteString("  while (1) {\n")
+	fmt.Fprintf(b, "    transfer(who, (v * %d + %d) & 0x3FFF);\n", 1+g.rng.Intn(5), g.rng.Intn(9))
+	fmt.Fprintf(b, "    v = v + %d;\n  }\n}\n", 1+g.rng.Intn(4))
+}
+
+// filterProc writes the middle stage of a pipeline: it creates its own
+// producer (possibly across the module boundary) and transforms its
+// stream — two levels of general XFER per value.
+func (g *randGen) filterProc(b *strings.Builder) {
+	src := "co_prod"
+	if g.coInLib {
+		src = "lib.co_prod"
+	}
+	b.WriteString("proc co_filt(start) {\n")
+	b.WriteString("  var who = retctx();\n")
+	fmt.Fprintf(b, "  var src = cocreate(%s);\n", src)
+	fmt.Fprintf(b, "  var v = transfer(src, start);\n")
+	b.WriteString("  while (1) {\n")
+	fmt.Fprintf(b, "    transfer(who, (v ^ %d) & 0x3FFF);\n", g.rng.Intn(256))
+	b.WriteString("    v = transfer(src, 0);\n  }\n}\n")
+}
+
+func (g *randGen) coroutineBlock(b *strings.Builder) {
+	target := "co_prod"
+	if g.usePipeline {
+		target = "co_filt"
+	} else if g.coInLib {
+		target = "lib.co_prod"
+	}
+	n := 1 + g.rng.Intn(12)
+	fmt.Fprintf(b, "  var co = cocreate(%s);\n", target)
+	fmt.Fprintf(b, "  var ci = 0;\n")
+	fmt.Fprintf(b, "  while (ci < %d) {\n", n)
+	fmt.Fprintf(b, "    acc = (acc ^ transfer(co, %d)) & 0x7FFF;\n", 1+g.rng.Intn(16))
+	b.WriteString("    out(acc);\n    ci = ci + 1;\n  }\n")
+	b.WriteString("  free(co);\n")
+	g.locals = append(g.locals, "ci")
+}
+
+// keeperProc writes a procedure whose frame outlives its return: it
+// retains itself and hands its context back; the driver frees it later.
+func (g *randGen) keeperProc(b *strings.Builder) {
+	b.WriteString("proc keeper(x) {\n")
+	fmt.Fprintf(b, "  var t = (x * %d + %d) & 0xFFF;\n", 1+g.rng.Intn(9), g.rng.Intn(32))
+	b.WriteString("  retain();\n  return myctx(), t;\n}\n")
+}
+
+func (g *randGen) retainedBlock(b *strings.Builder) {
+	fmt.Fprintf(b, "  var kc, kv;\n  kc, kv = keeper(%d);\n", g.rng.Intn(40))
+	b.WriteString("  acc = (acc + kv) & 0x7FFF;\n  out(acc);\n")
+	// A little interleaved work while the retained frame is live.
+	for i := 0; i < g.rng.Intn(3); i++ {
+		g.stmt(b, 1)
+	}
+	b.WriteString("  free(kc);\n")
+	g.locals = append(g.locals, "kv")
+}
+
+// heapBlock allocates a record, fills it with a data-dependent pattern,
+// folds it back into acc, and frees it. Pointers stay opaque — they are
+// indexed and dereferenced but never observed as values, so the I1
+// interpreter's address space can differ from the machine's.
+func (g *randGen) heapBlock(b *strings.Builder) {
+	k := 2 + g.rng.Intn(20)
+	mult, add := 1+g.rng.Intn(9), g.rng.Intn(64)
+	fmt.Fprintf(b, "  var ha = alloc(%d);\n  var hi = 0;\n", k)
+	fmt.Fprintf(b, "  while (hi < %d) {\n", k)
+	fmt.Fprintf(b, "    store(ha + hi, (hi * %d + %d + acc) & 0x7FFF);\n", mult, add)
+	b.WriteString("    hi = hi + 1;\n  }\n")
+	fmt.Fprintf(b, "  hi = 0;\n  while (hi < %d) {\n", k)
+	b.WriteString("    acc = (acc + load(ha + hi)) & 0x7FFF;\n    hi = hi + 1;\n  }\n")
+	b.WriteString("  out(acc);\n  dealloc(ha);\n")
+	g.locals = append(g.locals, "hi")
+}
+
+// trapBlock raises explicit traps and, optionally, genuine
+// division-by-zero traps striking mid-expression; the handler installed by
+// the driver substitutes its result each time.
+func (g *randGen) trapBlock(b *strings.Builder) {
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(b, "  acc = (acc + trap(%d)) & 0x7FFF;\n", 1+g.rng.Intn(100))
+	}
+	if g.useDivTraps {
+		// (expr & 3) is zero a quarter of the time: a real divide-by-zero
+		// trap inside a larger expression, driven by run-time data.
+		fmt.Fprintf(b, "  acc = (acc + (%s / (%s & 3))) & 0x7FFF;\n", g.expr(2), g.expr(1))
+		fmt.Fprintf(b, "  acc = (acc + (%s %% (acc & 3))) & 0x7FFF;\n", g.expr(2))
+	}
+	b.WriteString("  out(acc);\n")
+}
+
+// handlerProc writes the trap handler: it counts invocations in a global
+// and folds the trap code into its result.
+func (g *randGen) handlerProc(b *strings.Builder) {
+	fmt.Fprintf(b, "proc th(code) {\n  tg = (tg + 1) & 0xFF;\n  return (code * %d + tg) & 0xFFF;\n}\n", 1+g.rng.Intn(5))
+}
+
+// proc writes one random plain procedure and registers it as callable.
 func (g *randGen) proc(b *strings.Builder, module, name string) {
 	nargs := 1 + g.rng.Intn(3)
 	params := make([]string, nargs)
@@ -100,7 +319,7 @@ func (g *randGen) proc(b *strings.Builder, module, name string) {
 
 func (g *randGen) stmt(b *strings.Builder, indent int) {
 	pad := strings.Repeat("  ", indent)
-	switch g.rng.Intn(5) {
+	switch g.rng.Intn(6) {
 	case 0: // assignment
 		fmt.Fprintf(b, "%s%s = %s;\n", pad, g.local(), g.expr(3))
 	case 1: // out
@@ -125,6 +344,12 @@ func (g *randGen) stmt(b *strings.Builder, indent int) {
 		fmt.Fprintf(b, "%s}\n", pad)
 	case 4: // global mix
 		fmt.Fprintf(b, "%s%s = (%s + %s) & 0xFFF;\n", pad, g.glob, g.glob, g.expr(1))
+	case 5: // trap mid-statement when the handler is armed, else another out
+		if g.trapsArmed {
+			fmt.Fprintf(b, "%s%s = (%s + trap(%d)) & 0x7FFF;\n", pad, g.local(), g.local(), 1+g.rng.Intn(40))
+		} else {
+			fmt.Fprintf(b, "%sout(%s & 0x3FFF);\n", pad, g.expr(1))
+		}
 	}
 }
 
@@ -154,7 +379,8 @@ func (g *randGen) expr(depth int) string {
 	case 2:
 		return fmt.Sprintf("(%s * %s)", g.expr(depth-1), g.expr(depth-1))
 	case 3:
-		// divisor forced nonzero so the fuzz exercises arithmetic, not traps
+		// divisor forced nonzero so plain expressions exercise arithmetic,
+		// not traps; trapBlock generates the possibly-zero divisors.
 		return fmt.Sprintf("(%s / ((%s & 7) + 1))", g.expr(depth-1), g.expr(depth-1))
 	case 4:
 		return fmt.Sprintf("(%s %% ((%s & 7) + 1))", g.expr(depth-1), g.expr(depth-1))

@@ -86,12 +86,16 @@ type CallResult struct {
 // call is the one checkout-run-recycle path every Call* variant goes
 // through: budget and cancellation are armed on the pooled machine, the
 // run's artifacts are captured, and the machine is recycled (Put resets
-// it, clearing the per-run bounds) no matter how the run ended.
+// it, clearing the per-run bounds) no matter how the run ended. The
+// recycle is deferred so even a panicking run (a panicking Config.Trap
+// handler or cancel probe) hands its machine and metrics back before the
+// panic propagates — a pooled machine can never leak.
 func (p *Pool) call(ctx context.Context, desc Word, budget uint64, args ...Word) (*CallResult, error) {
 	m, err := p.Get()
 	if err != nil {
 		return nil, err
 	}
+	defer p.Put(m)
 	if budget > 0 {
 		m.SetRunBudget(budget)
 	}
@@ -99,13 +103,11 @@ func (p *Pool) call(ctx context.Context, desc Word, budget uint64, args ...Word)
 		m.SetCancel(ctx.Err)
 	}
 	results, err := m.Call(desc, args...)
-	cr := &CallResult{
+	return &CallResult{
 		Results: results,
 		Output:  append([]Word(nil), m.Output...),
 		Metrics: m.Metrics(),
-	}
-	p.Put(m)
-	return cr, err
+	}, err
 }
 
 // resolve looks up "Module.proc" in the image's program.

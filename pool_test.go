@@ -362,6 +362,65 @@ func TestPoolPutAfterFailedCall(t *testing.T) {
 	pool.Put(m2)
 }
 
+// TestPoolPanicRecycles: a run that panics (here through a panicking
+// Go-level Config.Trap handler) must still hand its machine back to the
+// pool with its metrics merged, then re-panic. Before the deferred
+// recycle, a panicking run skipped Put, permanently consuming a pooled
+// machine and silently dropping its work from the aggregate.
+func TestPoolPanicRecycles(t *testing.T) {
+	cfg := fpc.ConfigFastCalls
+	cfg.Trap = func(m *fpc.Machine, code int) error { panic("trap handler exploded") }
+	prog, err := fpc.Build(map[string]string{"srv": servingSrc}, "srv", "main", fpc.DefaultLinkOptions(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := fpc.NewPool(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failp, err := pool.Image().Program().FindProc("srv", "fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib, err := pool.Image().Program().FindProc("srv", "fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("the run's panic did not propagate through Pool.Call")
+			}
+		}()
+		pool.Call(failp, 0) // 100/0 traps; the Go trap handler panics
+	}()
+
+	if pool.Runs() != 1 {
+		t.Fatalf("Runs = %d after a panicking run, want 1 (machine leaked)", pool.Runs())
+	}
+	if pool.Metrics().Instructions == 0 {
+		t.Fatal("panicking run's work missing from the pool aggregate")
+	}
+
+	// The recycled machine serves the next call exactly like a fresh boot.
+	fresh, err := pool.Image().NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Call(fib, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Call(fib, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-panic results %v, want %v", got, want)
+	}
+}
+
 // TestPoolCallContext: a context deadline cuts a runaway run with
 // ErrCanceled; the CallResult still carries the partial work's metrics.
 func TestPoolCallContext(t *testing.T) {

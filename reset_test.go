@@ -121,6 +121,59 @@ func TestResetDifferentialCheckMode(t *testing.T) {
 	}
 }
 
+// TestResetReuseNonLIFO: the two workloads with non-LIFO frame lifetimes
+// — the coroutine pipeline (suspended contexts freed from outside) and
+// retained frames (activations surviving their own return) — are exactly
+// the programs where a stale frame-heap free list or shadow entry would
+// survive a sloppy Reset. A machine dirtied by two full runs and then
+// Reset must replay a fresh boot byte for byte: results, the OUT stream,
+// and every metrics counter, under every configuration with heap checking
+// on.
+func TestResetReuseNonLIFO(t *testing.T) {
+	for _, p := range []*workload.Program{workload.Coroutines(9), workload.Retained(8)} {
+		for _, c := range resetConfigs {
+			p, c := p, c
+			t.Run(p.Name+"/"+c.name, func(t *testing.T) {
+				cfg := c.cfg
+				cfg.HeapCheck = true
+				prog, _, err := p.Build(fpc.DefaultLinkOptions(cfg))
+				if err != nil {
+					t.Fatal(err)
+				}
+				img, err := fpc.LoadImage(prog, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh, err := img.NewMachine()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := runOnce(t, fresh, prog.Entry, p.Args)
+				if p.Want != nil && (len(want.results) != 1 || want.results[0] != *p.Want) {
+					t.Fatalf("fresh run: results = %v, want [%d]", want.results, *p.Want)
+				}
+
+				reused, err := img.NewMachine()
+				if err != nil {
+					t.Fatal(err)
+				}
+				runOnce(t, reused, prog.Entry, p.Args)
+				reused.Reset()
+				runOnce(t, reused, prog.Entry, p.Args)
+				reused.Reset()
+				got := runOnce(t, reused, prog.Entry, p.Args)
+
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("reused machine diverged from fresh boot:\nfresh  %+v\nreused %+v", want, got)
+				}
+				if err := reused.Heap().CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
 // TestResetRepeated: many Reset/Call cycles on one machine stay stable.
 func TestResetRepeated(t *testing.T) {
 	p := workload.Fib(12)
