@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench check serve-smoke fuzz-smoke
+.PHONY: build vet test race bench bench-json check serve-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,14 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Record the dispatch-engine and pool-throughput benchmarks into
+# BENCH_dispatch.json: the "current" block is replaced with fresh
+# measurements; the committed "baseline" block (the decode-per-step
+# engine before the decode-once refactor) is preserved for comparison.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkPoolThroughput$$|BenchmarkMachine|BenchmarkInterpreterDispatch' -count 3 . \
+		| $(GO) run ./scripts/benchjson -out BENCH_dispatch.json
 
 # End-to-end smoke of the serving subsystem: start fpcd, drive it with
 # fpcload, scrape /metrics, assert non-zero pooled runs, drain on SIGTERM.

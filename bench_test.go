@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/frames"
+	"repro/internal/isa"
 	"repro/internal/linker"
 	"repro/internal/mem"
 	"repro/internal/workload"
@@ -316,6 +317,9 @@ func BenchmarkCompile(b *testing.B) {
 }
 
 // BenchmarkInterpreterDispatch times raw simulated instruction dispatch.
+// Each iteration Resets the machine, so the cumulative step limit never
+// cuts a long benchmark run; metrics after the loop describe the final
+// (representative) run.
 func BenchmarkInterpreterDispatch(b *testing.B) {
 	p := workload.Sieve(200)
 	prog, _, err := p.Build(linker.Options{})
@@ -327,12 +331,100 @@ func BenchmarkInterpreterDispatch(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
-	var instrs uint64
 	for i := 0; i < b.N; i++ {
+		m.Reset()
 		if _, err := m.Call(prog.Entry); err != nil {
 			b.Fatal(err)
 		}
 	}
-	instrs = m.Metrics().Instructions
-	b.ReportMetric(float64(instrs)/float64(b.N), "siminstrs/op")
+	b.ReportMetric(float64(m.Metrics().Instructions), "siminstrs/op")
+}
+
+// dispatchTrace step-drives fib(15) once and records the byte pc of every
+// executed instruction — the input for the frontend microbenchmarks.
+func dispatchTrace(b *testing.B, prog *fpc.Program) []uint32 {
+	b.Helper()
+	m, err := core.New(prog, core.ConfigMesa)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Start(prog.Entry, 15); err != nil {
+		b.Fatal(err)
+	}
+	var trace []uint32
+	for !m.Halted() {
+		trace = append(trace, m.PC())
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return trace
+}
+
+// BenchmarkDispatch measures the decode-once engine. The per-config
+// subbenchmarks time whole fib(15) runs (Reset + Call per iteration) on
+// I2/I3/I4; the frontend pair replays one recorded pc trace through the
+// byte-at-a-time decoder and through the predecoded table, isolating
+// exactly the work predecoding removes from the hot path.
+func BenchmarkDispatch(b *testing.B) {
+	cfgs := []struct {
+		name  string
+		cfg   fpc.Config
+		early bool
+	}{
+		{"mesa", fpc.ConfigMesa, false},
+		{"fastfetch", fpc.ConfigFastFetch, true},
+		{"fastcalls", fpc.ConfigFastCalls, true},
+	}
+	for _, c := range cfgs {
+		b.Run(c.name, func(b *testing.B) {
+			prog := buildFib(b, c.early)
+			m, err := core.New(prog, c.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Reset()
+				if _, err := m.Call(prog.Entry, 15); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(m.Metrics().Instructions), "siminstrs/op")
+		})
+	}
+
+	prog := buildFib(b, false)
+	trace := dispatchTrace(b, prog)
+	b.Run("frontend-decode", func(b *testing.B) {
+		var sink uint32
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, pc := range trace {
+				in, _, err := isa.Decode(prog.Code, int(pc))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += uint32(in.Op) + uint32(in.Arg)
+			}
+		}
+		_ = sink
+		b.ReportMetric(float64(len(trace)), "siminstrs/op")
+	})
+	b.Run("frontend-predecoded", func(b *testing.B) {
+		insts, err := isa.Predecode(prog.Code)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sink uint32
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, pc := range trace {
+				in := &insts[pc]
+				sink += uint32(in.Op) + uint32(in.Arg)
+			}
+		}
+		_ = sink
+		b.ReportMetric(float64(len(trace)), "siminstrs/op")
+	})
 }

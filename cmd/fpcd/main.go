@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -67,6 +68,7 @@ func main() {
 	maxBudget := flag.Uint64("max-budget", 50_000_000, "cap on client-requested step budgets")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request wall-clock deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight calls on shutdown")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 
 	cfg, err := machineConfig(*configName)
@@ -110,6 +112,18 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("fpcd: serving %s.%s on %s (config %s)\n", entryModule, entryProc, *addr, *configName)
+
+	// Profiling stays off the serving listener: the pprof handlers hang off
+	// http.DefaultServeMux, which the serving mux never touches, and bind
+	// to their own (normally loopback) address.
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Printf("fpcd: pprof on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "fpcd: pprof:", err)
+			}
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

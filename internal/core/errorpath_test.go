@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/linker"
+)
+
+// badImageProg links a program whose main body is the recognizable
+// three-byte sequence LIB 0x5A; RET, and returns it with the byte offset
+// of that sequence so tests can overwrite it with malformed encodings.
+func badImageProg(t *testing.T) (*image.Program, int) {
+	t.Helper()
+	p := &image.Proc{Name: "main", NumArgs: 0, NumLocals: 0}
+	var a image.Asm
+	a.Emit(isa.LIB, 0x5A)
+	a.Emit(isa.RET)
+	p.Body = a.Fragment()
+	mod := &image.Module{Name: "bad", Procs: []*image.Proc{p}}
+	prog := linkOne(t, mod, "main", linker.Options{})
+	i := bytes.Index(prog.Code, []byte{byte(isa.LIB), 0x5A, byte(isa.RET)})
+	if i < 0 {
+		t.Fatal("main body not found in linked code")
+	}
+	return prog, i
+}
+
+// patchJW overwrites the three bytes at i with a JW jumping to target.
+func patchJW(code []byte, i, target int) {
+	rel := int16(target - i)
+	code[i] = byte(isa.JW)
+	code[i+1] = byte(uint16(rel))
+	code[i+2] = byte(uint16(rel) >> 8)
+}
+
+// TestRunErrorFidelity: when execution reaches a malformed or truncated
+// encoding — or leaves the code space — the engine reports exactly the
+// byte pc and error text isa.Decode produces for that pc, wrapped with
+// the procedure name. Predecoding must not change what failures look
+// like.
+func TestRunErrorFidelity(t *testing.T) {
+	run := func(t *testing.T, prog *image.Program, failPC int) {
+		t.Helper()
+		m, err := New(prog, ConfigFastCalls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = m.CallNamed("bad", "main")
+		if err == nil {
+			t.Fatal("malformed image ran cleanly")
+		}
+		_, _, derr := isa.Decode(prog.Code, failPC)
+		if derr == nil {
+			t.Fatalf("pc %d: expected Decode to fail", failPC)
+		}
+		want := fmt.Sprintf("%s at pc %06x: %s", prog.ProcName(uint32(failPC)), failPC, derr)
+		if err.Error() != want {
+			t.Fatalf("error = %q, want %q", err, want)
+		}
+	}
+
+	t.Run("bad opcode", func(t *testing.T) {
+		prog, i := badImageProg(t)
+		prog.Code[i+2] = 0xEE // LIB executes, then dispatch hits the bad byte
+		run(t, prog, i+2)
+	})
+
+	t.Run("truncated instruction", func(t *testing.T) {
+		prog, i := badImageProg(t)
+		end := len(prog.Code)
+		prog.Code = append(prog.Code, byte(isa.JW), 0x01) // JW missing its second operand byte
+		patchJW(prog.Code, i, end)
+		run(t, prog, end)
+	})
+
+	t.Run("pc outside code", func(t *testing.T) {
+		prog, i := badImageProg(t)
+		patchJW(prog.Code, i, len(prog.Code))
+		m, err := New(prog, ConfigFastCalls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = m.CallNamed("bad", "main")
+		pc := len(prog.Code)
+		want := fmt.Sprintf("%s at pc %06x: %s", prog.ProcName(uint32(pc)), pc,
+			isa.ErrPCRange(pc, len(prog.Code)))
+		if err == nil || err.Error() != want {
+			t.Fatalf("error = %v, want %q", err, want)
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/frames"
 	"repro/internal/ifu"
 	"repro/internal/image"
+	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/regbank"
 )
@@ -26,6 +27,10 @@ type LoadedImage struct {
 	heapBoot frames.State // allocator register state at the snapshot point
 	bootFree []mem.Addr   // free-frame stack contents at the snapshot point
 	stdFSI   int          // size class of the standard frame; -1 disabled
+	// insts is the predecoded instruction stream: one slot per code byte,
+	// built once here and shared read-only by every machine (the
+	// decode-once engine's input; see isa.Predecode).
+	insts []isa.Inst
 }
 
 // LoadImage loads prog once under cfg: it validates and normalizes the
@@ -50,6 +55,11 @@ func LoadImage(prog *image.Program, cfg Config) (*LoadedImage, error) {
 	}
 
 	img := &LoadedImage{prog: prog, cfg: cfg, stdFSI: -1}
+	insts, err := isa.Predecode(prog.Code)
+	if err != nil {
+		return nil, err
+	}
+	img.insts = insts
 	store := mem.New()
 	prog.Load(store)
 	h, err := frames.New(store, img.heapConfig())
@@ -96,6 +106,11 @@ func (img *LoadedImage) Config() Config { return img.cfg }
 // Entry returns the program's start descriptor.
 func (img *LoadedImage) Entry() mem.Word { return img.prog.Entry }
 
+// Insts returns the shared predecoded instruction stream, one slot per
+// code byte. Callers must treat it as read-only: it is shared by every
+// machine booted over this image.
+func (img *LoadedImage) Insts() []isa.Inst { return img.insts }
+
 // NewMachine boots a fresh machine over the shared image: one snapshot
 // memcpy plus cheap register allocation, no linking or loading.
 func (img *LoadedImage) NewMachine() (*Machine, error) {
@@ -105,6 +120,7 @@ func (img *LoadedImage) NewMachine() (*Machine, error) {
 		prog:      img.prog,
 		m:         mem.New(),
 		code:      img.prog.Code,
+		insts:     img.insts,
 		rs:        ifu.New(img.cfg.ReturnStackDepth),
 		banks:     regbank.New(img.cfg.RegBanks, img.cfg.BankWords),
 		stackBank: -1,

@@ -7,6 +7,7 @@ import (
 	"repro/internal/frames"
 	"repro/internal/ifu"
 	"repro/internal/image"
+	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/regbank"
 )
@@ -87,6 +88,9 @@ type Machine struct {
 	m    *mem.Memory
 	heap *frames.Heap
 	code []byte
+	// insts is the image's shared predecoded instruction stream, indexed
+	// by byte pc — the decode-once engine's read-only dispatch input.
+	insts []isa.Inst
 
 	// Processor registers.
 	pc        uint32 // absolute code byte address

@@ -3,20 +3,22 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/regbank"
 )
 
-// Call transfers to a procedure descriptor from outside the machine (the
-// role the paper's creation context plays for the whole computation) and
-// runs until the computation returns to NIL or HALTs. The final argument
-// record — the entry procedure's results — is returned.
-func (m *Machine) Call(desc mem.Word, args ...mem.Word) ([]mem.Word, error) {
+// Start arms the machine to run desc with args — Call's setup without the
+// run loop — so a caller can drive execution one Step at a time (tracing,
+// opcode-coverage accounting, differential step-vs-run oracles). The
+// transfer into desc is performed; the machine is then ready for Step or
+// Run.
+func (m *Machine) Start(desc mem.Word, args ...mem.Word) error {
 	if m.prog == nil {
-		return nil, ErrNotBooted
+		return ErrNotBooted
 	}
 	if len(args) > EvalStackDepth {
-		return nil, fmt.Errorf("%w: %d arguments", ErrStack, len(args))
+		return fmt.Errorf("%w: %d arguments", ErrStack, len(args))
 	}
 	m.halted = false
 	m.sp = 0
@@ -33,7 +35,15 @@ func (m *Machine) Call(desc mem.Word, args ...mem.Word) ([]mem.Word, error) {
 		m.stackBank = m.acquireBank(regbank.OwnerStack)
 	}
 	m.snapshot()
-	if err := m.xferIn(desc, KindXfer); err != nil {
+	return m.xferIn(desc, KindXfer)
+}
+
+// Call transfers to a procedure descriptor from outside the machine (the
+// role the paper's creation context plays for the whole computation) and
+// runs until the computation returns to NIL or HALTs. The final argument
+// record — the entry procedure's results — is returned.
+func (m *Machine) Call(desc mem.Word, args ...mem.Word) ([]mem.Word, error) {
+	if err := m.Start(desc, args...); err != nil {
 		return nil, err
 	}
 	if err := m.Run(); err != nil {
@@ -62,6 +72,13 @@ const cancelCheckInterval = 1024
 // is cut by the per-run budget or cancellation probe (SetRunBudget,
 // SetCancel). However the run ends, the machine's metrics account the work
 // actually done, and Reset still restores boot state.
+//
+// The loop is the decode-once engine's fast path: the budget and cancel
+// countdowns are batched into a pause point ahead of time, so the inner
+// loop executes predecoded instructions with nothing between them but a
+// table index and the handler call. Each handler advances Instructions by
+// exactly one, which is what makes the batching exact: the inner loop
+// stops on precisely the instruction the per-step checks would have.
 func (m *Machine) Run() error {
 	limit := m.cfg.MaxSteps
 	if m.runBudget > 0 {
@@ -72,21 +89,44 @@ func (m *Machine) Run() error {
 			limit = b
 		}
 	}
+	insts := m.insts
+	ncode := uint32(len(m.code))
 	for !m.halted {
 		if m.metrics.Instructions >= limit {
 			return fmt.Errorf("%w: %d", ErrMaxSteps, limit)
 		}
-		if m.cancel != nil && m.metrics.Instructions >= m.cancelNext {
-			// The threshold (armed by SetCancel, re-armed here) is compared
-			// with >=, so the probe cannot be skipped even if an instruction
-			// path ever advances Instructions by more than one.
-			m.cancelNext = m.metrics.Instructions + cancelCheckInterval
-			if err := m.cancel(); err != nil {
-				return fmt.Errorf("%w: %v", ErrCanceled, err)
+		stop := limit
+		if m.cancel != nil {
+			if m.metrics.Instructions >= m.cancelNext {
+				// The threshold (armed by SetCancel, re-armed here) is compared
+				// with >=, so the probe cannot be skipped even if an instruction
+				// path ever advances Instructions by more than one.
+				m.cancelNext = m.metrics.Instructions + cancelCheckInterval
+				if err := m.cancel(); err != nil {
+					return fmt.Errorf("%w: %v", ErrCanceled, err)
+				}
+			}
+			if m.cancelNext < stop {
+				stop = m.cancelNext
 			}
 		}
-		if err := m.Step(); err != nil {
-			return fmt.Errorf("%s at pc %06x: %w", m.prog.ProcName(m.pc), m.pc, err)
+		for n := stop - m.metrics.Instructions; n > 0 && !m.halted; n-- {
+			pc := m.pc
+			if pc >= ncode {
+				return fmt.Errorf("%s at pc %06x: %w", m.prog.ProcName(pc), pc,
+					isa.ErrPCRange(int(pc), int(ncode)))
+			}
+			in := &insts[pc]
+			if !in.Valid() {
+				return fmt.Errorf("%s at pc %06x: %w", m.prog.ProcName(pc), pc,
+					in.Err(m.code, int(pc)))
+			}
+			m.pc = pc + uint32(in.Size)
+			m.metrics.Instructions++
+			m.cycles += CycDispatch
+			if err := handlers[in.Op](m, in); err != nil {
+				return fmt.Errorf("%s at pc %06x: %w", m.prog.ProcName(m.pc), m.pc, err)
+			}
 		}
 	}
 	return nil

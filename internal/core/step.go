@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/frames"
 	"repro/internal/image"
 	"repro/internal/isa"
@@ -10,327 +8,509 @@ import (
 	"repro/internal/regbank"
 )
 
+// The decode-once execution engine. The shared LoadedImage predecodes the
+// immutable byte stream at load time (isa.Predecode); executing one
+// instruction is then a table index plus one indirect call through the
+// per-opcode handler table below — no isa.Decode, no operand assembly and
+// no range-check switch on the hot path. Step is the single-instruction
+// wrapper over the same handlers Run's inner loop drives.
+
 // Step executes one instruction. It returns ErrHalted once the machine has
 // halted.
 func (m *Machine) Step() error {
 	if m.halted {
 		return ErrHalted
 	}
-	in, n, err := isa.Decode(m.code, int(m.pc))
-	if err != nil {
-		return err
+	pc := m.pc
+	if pc >= uint32(len(m.code)) {
+		return isa.ErrPCRange(int(pc), len(m.code))
 	}
-	opAddr := m.pc
-	m.pc += uint32(n)
+	in := &m.insts[pc]
+	if !in.Valid() {
+		return in.Err(m.code, int(pc))
+	}
+	m.pc = pc + uint32(in.Size)
 	m.metrics.Instructions++
 	m.cycles += CycDispatch
-
-	switch op := in.Op; {
-	case op == isa.NOOP:
-		return nil
-	case op == isa.HALT:
-		m.halted = true
-		return nil
-	case op == isa.OUT:
-		v, err := m.pop()
-		if err != nil {
-			return err
-		}
-		m.Output = append(m.Output, v)
-		return nil
-
-	// Locals.
-	case op >= isa.LL0 && op <= isa.LL7:
-		m.metrics.LocalVarRefs++
-		return m.push(m.frameLoad(m.lf, image.FrameHeaderWords+int(op-isa.LL0)))
-	case op >= isa.SL0 && op <= isa.SL7:
-		m.metrics.LocalVarRefs++
-		v, err := m.pop()
-		if err != nil {
-			return err
-		}
-		m.frameStore(m.lf, image.FrameHeaderWords+int(op-isa.SL0), v)
-		return nil
-	case op == isa.LLB:
-		m.metrics.LocalVarRefs++
-		return m.push(m.frameLoad(m.lf, image.FrameHeaderWords+int(in.Arg)))
-	case op == isa.SLB:
-		m.metrics.LocalVarRefs++
-		v, err := m.pop()
-		if err != nil {
-			return err
-		}
-		m.frameStore(m.lf, image.FrameHeaderWords+int(in.Arg), v)
-		return nil
-	case op == isa.LAB:
-		return m.localAddress(int(in.Arg))
-
-	// Globals (word 0,1 of the global frame hold the code base).
-	case op >= isa.LG0 && op <= isa.LG3:
-		m.metrics.GlobalVarRefs++
-		return m.push(m.read(m.gf + 2 + mem.Addr(op-isa.LG0)))
-	case op == isa.LGB:
-		m.metrics.GlobalVarRefs++
-		return m.push(m.read(m.gf + 2 + mem.Addr(in.Arg)))
-	case op == isa.SGB:
-		m.metrics.GlobalVarRefs++
-		v, err := m.pop()
-		if err != nil {
-			return err
-		}
-		m.write(m.gf+2+mem.Addr(in.Arg), v)
-		return nil
-
-	// Literals.
-	case op == isa.LIN1:
-		return m.push(0xFFFF)
-	case op >= isa.LI0 && op <= isa.LI7:
-		return m.push(mem.Word(op - isa.LI0))
-	case op == isa.LIB, op == isa.LIW:
-		return m.push(mem.Word(in.Arg))
-
-	// Arithmetic and logic.
-	case op >= isa.ADD && op <= isa.SHR:
-		return m.arith(op)
-
-	// Stack manipulation.
-	case op == isa.DUP:
-		v, err := m.pop()
-		if err != nil {
-			return err
-		}
-		if err := m.push(v); err != nil {
-			return err
-		}
-		return m.push(v)
-	case op == isa.POP:
-		_, err := m.pop()
-		return err
-	case op == isa.EXCH:
-		b, err := m.pop()
-		if err != nil {
-			return err
-		}
-		a, err := m.pop()
-		if err != nil {
-			return err
-		}
-		if err := m.push(b); err != nil {
-			return err
-		}
-		return m.push(a)
-
-	// Memory through pointers.
-	case op == isa.LDIND:
-		m.metrics.PointerRefs++
-		a, err := m.pop()
-		if err != nil {
-			return err
-		}
-		return m.push(m.read(a))
-	case op == isa.STIND:
-		m.metrics.PointerRefs++
-		a, err := m.pop()
-		if err != nil {
-			return err
-		}
-		v, err := m.pop()
-		if err != nil {
-			return err
-		}
-		m.write(a, v)
-		return nil
-	case op == isa.RFB:
-		m.metrics.PointerRefs++
-		p, err := m.pop()
-		if err != nil {
-			return err
-		}
-		return m.push(m.read(p + mem.Addr(in.Arg)))
-	case op == isa.WFB:
-		m.metrics.PointerRefs++
-		p, err := m.pop()
-		if err != nil {
-			return err
-		}
-		v, err := m.pop()
-		if err != nil {
-			return err
-		}
-		m.write(p+mem.Addr(in.Arg), v)
-		return nil
-
-	// Jumps (relative to the jump opcode address).
-	case op == isa.JB, op == isa.JW:
-		m.pc = uint32(int64(opAddr) + int64(in.Arg))
-		m.cycles += CycRefill
-		return nil
-	case op == isa.JZB, op == isa.JNZB:
-		v, err := m.pop()
-		if err != nil {
-			return err
-		}
-		if (v == 0) == (op == isa.JZB) {
-			m.pc = uint32(int64(opAddr) + int64(in.Arg))
-			m.cycles += CycRefill
-		}
-		return nil
-	case op >= isa.JEB && op <= isa.JGEB:
-		b, err := m.pop()
-		if err != nil {
-			return err
-		}
-		a, err := m.pop()
-		if err != nil {
-			return err
-		}
-		if isa.Compare(op, a, b) {
-			m.pc = uint32(int64(opAddr) + int64(in.Arg))
-			m.cycles += CycRefill
-		}
-		return nil
-
-	// Calls and transfers.
-	case op >= isa.EFC0 && op <= isa.EFC7:
-		return m.externalCall(int(op - isa.EFC0))
-	case op == isa.EFCB:
-		return m.externalCall(int(in.Arg))
-	case op >= isa.LFC0 && op <= isa.LFC3:
-		return m.localCall(int(op - isa.LFC0))
-	case op == isa.LFCB:
-		return m.localCall(int(in.Arg))
-	case op == isa.DCALL:
-		return m.directCall(uint32(in.Arg))
-	case op == isa.SDCALL:
-		return m.directCall(uint32(int64(opAddr) + int64(in.Arg)))
-	case op == isa.RET:
-		m.snapshot()
-		return m.doReturn()
-	case op == isa.XFERO:
-		ctx, err := m.pop()
-		if err != nil {
-			return err
-		}
-		m.snapshot()
-		if err := m.xferOut(); err != nil {
-			return err
-		}
-		return m.xferIn(ctx, KindXfer)
-	case op == isa.COCREATE:
-		desc, err := m.pop()
-		if err != nil {
-			return err
-		}
-		return m.doCocreate(desc)
-	case op == isa.LRC:
-		return m.push(m.retCtx)
-	case op == isa.LLF:
-		return m.push(image.FramePtr(m.lf))
-	case op == isa.RETAIN:
-		m.heap.SetFlag(m.lf, frames.FlagRetained)
-		m.curRet = true
-		return nil
-	case op == isa.FREE:
-		ctx, err := m.pop()
-		if err != nil {
-			return err
-		}
-		return m.doFree(ctx)
-
-	// Heap access for long records and retained storage.
-	case op == isa.AFB:
-		lf, err := m.heap.Alloc(int(in.Arg))
-		if err != nil {
-			return m.allocTrap(err)
-		}
-		return m.push(image.FramePtr(lf))
-	case op == isa.FFREE:
-		p, err := m.pop()
-		if err != nil {
-			return err
-		}
-		return m.heap.Free(mem.Addr(p))
-
-	case op == isa.TRAPB:
-		handled, err := m.trapXfer(int(in.Arg))
-		if err != nil {
-			return err
-		}
-		if !handled {
-			// A Go-level handler resolved the trap; supply the default
-			// result so the stack discipline holds.
-			return m.push(0)
-		}
-		return nil
-	case op == isa.STRAP:
-		ctx, err := m.pop()
-		if err != nil {
-			return err
-		}
-		m.trapCtx = ctx
-		return nil
-	}
-	return fmt.Errorf("core: unimplemented opcode %s at %06x", in.Op, opAddr)
+	return handlers[in.Op](m, in)
 }
 
-func (m *Machine) arith(op isa.Op) error {
-	if op == isa.NEG || op == isa.NOT {
-		a, err := m.pop()
-		if err != nil {
-			return err
+// handlerFunc executes one predecoded instruction. The program counter has
+// already been advanced past the instruction and the dispatch cycle
+// charged when a handler runs.
+type handlerFunc func(*Machine, *isa.Inst) error
+
+// handlers is the threaded dispatch table, indexed by opcode. Every
+// defined opcode has a non-nil entry (asserted by TestHandlerTableTotal);
+// undefined opcodes never reach the table because predecode marks them
+// invalid.
+var handlers [isa.NumOps]handlerFunc
+
+func init() {
+	set := func(f handlerFunc, lo, hi isa.Op) {
+		for op := lo; op <= hi; op++ {
+			handlers[op] = f
 		}
-		if op == isa.NEG {
-			return m.push(isa.Neg(a))
-		}
-		return m.push(^a)
 	}
-	b, err := m.pop()
+	one := func(f handlerFunc, op isa.Op) { handlers[op] = f }
+
+	one(hNoop, isa.NOOP)
+	one(hHalt, isa.HALT)
+	one(hOut, isa.OUT)
+	set(hLoadLocal, isa.LL0, isa.LL7)
+	set(hStoreLocal, isa.SL0, isa.SL7)
+	one(hLoadLocal, isa.LLB)
+	one(hStoreLocal, isa.SLB)
+	one(hLocalAddr, isa.LAB)
+	set(hLoadGlobal, isa.LG0, isa.LG3)
+	one(hLoadGlobal, isa.LGB)
+	one(hStoreGlobal, isa.SGB)
+	set(hLit, isa.LIN1, isa.LIW)
+	one(hAdd, isa.ADD)
+	one(hSub, isa.SUB)
+	one(hMul, isa.MUL)
+	one(hDiv, isa.DIV)
+	one(hMod, isa.MOD)
+	one(hNeg, isa.NEG)
+	one(hAnd, isa.AND)
+	one(hOr, isa.OR)
+	one(hXor, isa.XOR)
+	one(hNot, isa.NOT)
+	one(hShl, isa.SHL)
+	one(hShr, isa.SHR)
+	one(hDup, isa.DUP)
+	one(hPop, isa.POP)
+	one(hExch, isa.EXCH)
+	one(hLdind, isa.LDIND)
+	one(hStind, isa.STIND)
+	one(hReadField, isa.RFB)
+	one(hWriteField, isa.WFB)
+	set(hJump, isa.JB, isa.JW)
+	one(hJumpZero, isa.JZB)
+	one(hJumpNonzero, isa.JNZB)
+	set(hCompareJump, isa.JEB, isa.JGEB)
+	set(hExternalCall, isa.EFC0, isa.EFCB)
+	set(hLocalCall, isa.LFC0, isa.LFCB)
+	set(hDirectCall, isa.DCALL, isa.SDCALL)
+	one(hReturn, isa.RET)
+	one(hXfer, isa.XFERO)
+	one(hCocreate, isa.COCREATE)
+	one(hLoadRetCtx, isa.LRC)
+	one(hLoadFrame, isa.LLF)
+	one(hRetain, isa.RETAIN)
+	one(hFree, isa.FREE)
+	one(hAllocFrame, isa.AFB)
+	one(hFreeFrame, isa.FFREE)
+	one(hTrap, isa.TRAPB)
+	one(hSetTrap, isa.STRAP)
+}
+
+func hNoop(m *Machine, _ *isa.Inst) error { return nil }
+
+func hHalt(m *Machine, _ *isa.Inst) error {
+	m.halted = true
+	return nil
+}
+
+func hOut(m *Machine, _ *isa.Inst) error {
+	v, err := m.pop()
 	if err != nil {
 		return err
 	}
+	m.Output = append(m.Output, v)
+	return nil
+}
+
+// Locals. Predecode folded the fast forms' index into Arg.
+
+func hLoadLocal(m *Machine, in *isa.Inst) error {
+	m.metrics.LocalVarRefs++
+	return m.push(m.frameLoad(m.lf, image.FrameHeaderWords+int(in.Arg)))
+}
+
+func hStoreLocal(m *Machine, in *isa.Inst) error {
+	m.metrics.LocalVarRefs++
+	v, err := m.pop()
+	if err != nil {
+		return err
+	}
+	m.frameStore(m.lf, image.FrameHeaderWords+int(in.Arg), v)
+	return nil
+}
+
+func hLocalAddr(m *Machine, in *isa.Inst) error { return m.localAddress(int(in.Arg)) }
+
+// Globals (word 0,1 of the global frame hold the code base).
+
+func hLoadGlobal(m *Machine, in *isa.Inst) error {
+	m.metrics.GlobalVarRefs++
+	return m.push(m.read(m.gf + 2 + mem.Addr(in.Arg)))
+}
+
+func hStoreGlobal(m *Machine, in *isa.Inst) error {
+	m.metrics.GlobalVarRefs++
+	v, err := m.pop()
+	if err != nil {
+		return err
+	}
+	m.write(m.gf+2+mem.Addr(in.Arg), v)
+	return nil
+}
+
+// Literals: LIN1 and LI0..LI7 carry their value in Arg after folding.
+
+func hLit(m *Machine, in *isa.Inst) error { return m.push(mem.Word(in.Arg)) }
+
+// Arithmetic and logic. pop2 pops the two operands of a binary operation.
+
+func (m *Machine) pop2() (a, b mem.Word, err error) {
+	if b, err = m.pop(); err != nil {
+		return
+	}
+	a, err = m.pop()
+	return
+}
+
+func hAdd(m *Machine, _ *isa.Inst) error {
+	a, b, err := m.pop2()
+	if err != nil {
+		return err
+	}
+	return m.push(isa.Add(a, b))
+}
+
+func hSub(m *Machine, _ *isa.Inst) error {
+	a, b, err := m.pop2()
+	if err != nil {
+		return err
+	}
+	return m.push(isa.Sub(a, b))
+}
+
+func hMul(m *Machine, _ *isa.Inst) error {
+	a, b, err := m.pop2()
+	if err != nil {
+		return err
+	}
+	return m.push(isa.Mul(a, b))
+}
+
+func hDiv(m *Machine, _ *isa.Inst) error {
+	a, b, err := m.pop2()
+	if err != nil {
+		return err
+	}
+	v, ok := isa.Div(a, b)
+	if !ok {
+		return m.divZero()
+	}
+	return m.push(v)
+}
+
+func hMod(m *Machine, _ *isa.Inst) error {
+	a, b, err := m.pop2()
+	if err != nil {
+		return err
+	}
+	v, ok := isa.Mod(a, b)
+	if !ok {
+		return m.divZero()
+	}
+	return m.push(v)
+}
+
+// divZero routes a division by zero: to the trap handler when one is
+// installed (the handler context now runs; its results will land on the
+// stack exactly where this operation's result would have), the default
+// result 0 otherwise.
+func (m *Machine) divZero() error {
+	handled, err := m.trapXfer(TrapDivZero)
+	if err != nil {
+		return err
+	}
+	if handled {
+		return nil
+	}
+	return m.push(0)
+}
+
+func hNeg(m *Machine, _ *isa.Inst) error {
 	a, err := m.pop()
 	if err != nil {
 		return err
 	}
-	var v mem.Word
-	ok := true
-	switch op {
-	case isa.ADD:
-		v = isa.Add(a, b)
-	case isa.SUB:
-		v = isa.Sub(a, b)
-	case isa.MUL:
-		v = isa.Mul(a, b)
-	case isa.DIV:
-		v, ok = isa.Div(a, b)
-	case isa.MOD:
-		v, ok = isa.Mod(a, b)
-	case isa.AND:
-		v = a & b
-	case isa.OR:
-		v = a | b
-	case isa.XOR:
-		v = a ^ b
-	case isa.SHL:
-		v = isa.Shl(a, b)
-	case isa.SHR:
-		v = isa.Shr(a, b)
-	default:
-		return fmt.Errorf("core: bad arithmetic op %s", op)
+	return m.push(isa.Neg(a))
+}
+
+func hAnd(m *Machine, _ *isa.Inst) error {
+	a, b, err := m.pop2()
+	if err != nil {
+		return err
 	}
-	if !ok {
-		handled, err := m.trapXfer(TrapDivZero)
-		if err != nil {
-			return err
-		}
-		if handled {
-			// The handler context now runs; its results will land on the
-			// stack exactly where this operation's result would have.
-			return nil
-		}
-		v = 0
+	return m.push(a & b)
+}
+
+func hOr(m *Machine, _ *isa.Inst) error {
+	a, b, err := m.pop2()
+	if err != nil {
+		return err
+	}
+	return m.push(a | b)
+}
+
+func hXor(m *Machine, _ *isa.Inst) error {
+	a, b, err := m.pop2()
+	if err != nil {
+		return err
+	}
+	return m.push(a ^ b)
+}
+
+func hNot(m *Machine, _ *isa.Inst) error {
+	a, err := m.pop()
+	if err != nil {
+		return err
+	}
+	return m.push(^a)
+}
+
+func hShl(m *Machine, _ *isa.Inst) error {
+	a, b, err := m.pop2()
+	if err != nil {
+		return err
+	}
+	return m.push(isa.Shl(a, b))
+}
+
+func hShr(m *Machine, _ *isa.Inst) error {
+	a, b, err := m.pop2()
+	if err != nil {
+		return err
+	}
+	return m.push(isa.Shr(a, b))
+}
+
+// Stack manipulation.
+
+func hDup(m *Machine, _ *isa.Inst) error {
+	v, err := m.pop()
+	if err != nil {
+		return err
+	}
+	if err := m.push(v); err != nil {
+		return err
 	}
 	return m.push(v)
+}
+
+func hPop(m *Machine, _ *isa.Inst) error {
+	_, err := m.pop()
+	return err
+}
+
+func hExch(m *Machine, _ *isa.Inst) error {
+	a, b, err := m.pop2()
+	if err != nil {
+		return err
+	}
+	if err := m.push(b); err != nil {
+		return err
+	}
+	return m.push(a)
+}
+
+// Memory through pointers.
+
+func hLdind(m *Machine, _ *isa.Inst) error {
+	m.metrics.PointerRefs++
+	a, err := m.pop()
+	if err != nil {
+		return err
+	}
+	return m.push(m.read(a))
+}
+
+func hStind(m *Machine, _ *isa.Inst) error {
+	m.metrics.PointerRefs++
+	a, err := m.pop()
+	if err != nil {
+		return err
+	}
+	v, err := m.pop()
+	if err != nil {
+		return err
+	}
+	m.write(a, v)
+	return nil
+}
+
+func hReadField(m *Machine, in *isa.Inst) error {
+	m.metrics.PointerRefs++
+	p, err := m.pop()
+	if err != nil {
+		return err
+	}
+	return m.push(m.read(p + mem.Addr(in.Arg)))
+}
+
+func hWriteField(m *Machine, in *isa.Inst) error {
+	m.metrics.PointerRefs++
+	p, err := m.pop()
+	if err != nil {
+		return err
+	}
+	v, err := m.pop()
+	if err != nil {
+		return err
+	}
+	m.write(p+mem.Addr(in.Arg), v)
+	return nil
+}
+
+// Jumps: the absolute target was computed at predecode time.
+
+func hJump(m *Machine, in *isa.Inst) error {
+	m.pc = in.Target
+	m.cycles += CycRefill
+	return nil
+}
+
+func hJumpZero(m *Machine, in *isa.Inst) error {
+	v, err := m.pop()
+	if err != nil {
+		return err
+	}
+	if v == 0 {
+		m.pc = in.Target
+		m.cycles += CycRefill
+	}
+	return nil
+}
+
+func hJumpNonzero(m *Machine, in *isa.Inst) error {
+	v, err := m.pop()
+	if err != nil {
+		return err
+	}
+	if v != 0 {
+		m.pc = in.Target
+		m.cycles += CycRefill
+	}
+	return nil
+}
+
+func hCompareJump(m *Machine, in *isa.Inst) error {
+	a, b, err := m.pop2()
+	if err != nil {
+		return err
+	}
+	if isa.Compare(in.Op, a, b) {
+		m.pc = in.Target
+		m.cycles += CycRefill
+	}
+	return nil
+}
+
+// Calls and transfers. The fast forms' slot was folded into Arg.
+
+func hExternalCall(m *Machine, in *isa.Inst) error { return m.externalCall(int(in.Arg)) }
+
+func hLocalCall(m *Machine, in *isa.Inst) error { return m.localCall(int(in.Arg)) }
+
+// hDirectCall is the engine's counterpart of the paper's fastest transfer:
+// with the inline header pre-read at predecode time, entering the callee
+// needs no decode work and no code reads at all. A header outside the code
+// space falls back to directCall, which reproduces the exact out-of-range
+// error the byte-decoding engine raised.
+func hDirectCall(m *Machine, in *isa.Inst) error {
+	if !in.CallOK {
+		return m.directCall(in.Target)
+	}
+	m.snapshot()
+	return m.enterProc(mem.Addr(in.GF), 0, false, in.Target+isa.HeaderSkip, int(in.FSI), KindDirectCall)
+}
+
+func hReturn(m *Machine, _ *isa.Inst) error {
+	m.snapshot()
+	return m.doReturn()
+}
+
+func hXfer(m *Machine, _ *isa.Inst) error {
+	ctx, err := m.pop()
+	if err != nil {
+		return err
+	}
+	m.snapshot()
+	if err := m.xferOut(); err != nil {
+		return err
+	}
+	return m.xferIn(ctx, KindXfer)
+}
+
+func hCocreate(m *Machine, _ *isa.Inst) error {
+	desc, err := m.pop()
+	if err != nil {
+		return err
+	}
+	return m.doCocreate(desc)
+}
+
+func hLoadRetCtx(m *Machine, _ *isa.Inst) error { return m.push(m.retCtx) }
+
+func hLoadFrame(m *Machine, _ *isa.Inst) error { return m.push(image.FramePtr(m.lf)) }
+
+func hRetain(m *Machine, _ *isa.Inst) error {
+	m.heap.SetFlag(m.lf, frames.FlagRetained)
+	m.curRet = true
+	return nil
+}
+
+func hFree(m *Machine, _ *isa.Inst) error {
+	ctx, err := m.pop()
+	if err != nil {
+		return err
+	}
+	return m.doFree(ctx)
+}
+
+// Heap access for long records and retained storage.
+
+func hAllocFrame(m *Machine, in *isa.Inst) error {
+	lf, err := m.heap.Alloc(int(in.Arg))
+	if err != nil {
+		return m.allocTrap(err)
+	}
+	return m.push(image.FramePtr(lf))
+}
+
+func hFreeFrame(m *Machine, _ *isa.Inst) error {
+	p, err := m.pop()
+	if err != nil {
+		return err
+	}
+	return m.heap.Free(mem.Addr(p))
+}
+
+func hTrap(m *Machine, in *isa.Inst) error {
+	handled, err := m.trapXfer(int(in.Arg))
+	if err != nil {
+		return err
+	}
+	if !handled {
+		// A Go-level handler resolved the trap; supply the default
+		// result so the stack discipline holds.
+		return m.push(0)
+	}
+	return nil
+}
+
+func hSetTrap(m *Machine, _ *isa.Inst) error {
+	ctx, err := m.pop()
+	if err != nil {
+		return err
+	}
+	m.trapCtx = ctx
+	return nil
 }
 
 // externalCall is the §5.1 EXTERNALCALL: the link vector hangs below the
@@ -371,9 +551,10 @@ func (m *Machine) localCall(ev int) error {
 	return m.enterProc(m.gf, m.codeBase, true, m.codeBase+uint32(evOff)+1, int(fsib), KindLocalCall)
 }
 
-// directCall is the §6 DIRECTCALL/SHORTDIRECTCALL: the callee's global
-// frame and frame size index sit inline at the target, prefetched by the
-// IFU, so the transfer needs no data references to find its destination.
+// directCall is the §6 DIRECTCALL/SHORTDIRECTCALL general path, kept for
+// headers predecode could not resolve: the callee's global frame and frame
+// size index sit inline at the target, prefetched by the IFU, so the
+// transfer needs no data references to find its destination.
 func (m *Machine) directCall(hdr uint32) error {
 	m.snapshot()
 	gfw, err := m.codePeek16(hdr)

@@ -15,7 +15,13 @@
 //   - a Pool's aggregate metrics equal the exact sum of its per-run
 //     metrics, failed runs included;
 //   - the fast-transfer count (calls+returns at unconditional-jump cost)
-//     only improves I2 → I3 → I4 on the same early-bound build.
+//     only improves I2 → I3 → I4 on the same early-bound build;
+//   - the predecoded instruction table (isa.Predecode, the decode-once
+//     engine's input) agrees with isa.Decode at every byte offset of every
+//     built image — opcode, length, folded operand, jump target, call
+//     header and the exact error text of every undecodable slot;
+//   - driving a machine one Step at a time reproduces the Run-driven
+//     machine exactly: results, output and every metrics counter.
 //
 // The paper asserts (§6, §8) that the optimized implementations "behave
 // identically — only space and speed change"; this package turns that
@@ -30,6 +36,7 @@ import (
 	fpc "repro"
 	"repro/internal/core"
 	"repro/internal/interp"
+	"repro/internal/isa"
 	"repro/internal/linker"
 	"repro/internal/mem"
 	"repro/internal/workload"
@@ -42,16 +49,18 @@ type FailKind string
 
 // Failure kinds.
 const (
-	KindBuild       FailKind = "build"       // generated program fails to parse/compile/link
-	KindReference   FailKind = "reference"   // the I1 interpreter fails
-	KindRun         FailKind = "run"         // a machine configuration fails to run
-	KindDiverge     FailKind = "diverge"     // results/output/halt state differ from I1
-	KindReset       FailKind = "reset"       // Reset-reuse not byte-identical to fresh
-	KindBudget      FailKind = "budget"      // budget-cut / resume-from-scratch inconsistency
-	KindCancel      FailKind = "cancel"      // an armed quiet probe perturbed the run
-	KindPool        FailKind = "pool"        // pool aggregate != Σ per-run metrics
-	KindInvariant   FailKind = "invariant"   // heap shadow invariant violated
+	KindBuild        FailKind = "build"        // generated program fails to parse/compile/link
+	KindReference    FailKind = "reference"    // the I1 interpreter fails
+	KindRun          FailKind = "run"          // a machine configuration fails to run
+	KindDiverge      FailKind = "diverge"      // results/output/halt state differ from I1
+	KindReset        FailKind = "reset"        // Reset-reuse not byte-identical to fresh
+	KindBudget       FailKind = "budget"       // budget-cut / resume-from-scratch inconsistency
+	KindCancel       FailKind = "cancel"       // an armed quiet probe perturbed the run
+	KindPool         FailKind = "pool"         // pool aggregate != Σ per-run metrics
+	KindInvariant    FailKind = "invariant"    // heap shadow invariant violated
 	KindMonotonicity FailKind = "monotonicity" // fast transfers regressed I2→I3→I4
+	KindPredecode    FailKind = "predecode"    // predecoded table disagrees with byte-at-a-time Decode
+	KindStepRun      FailKind = "steprun"      // Step-driven execution diverges from Run-driven
 )
 
 // Failure is one oracle violation.
@@ -152,6 +161,11 @@ func Check(p *workload.Program) error {
 		if err != nil {
 			return failf(KindBuild, "early=%v: %v", early, err)
 		}
+		// The predecoded table is a pure function of the code bytes, so one
+		// check per linkage covers every configuration.
+		if err := checkPredecode(prog.Code); err != nil {
+			return err
+		}
 		for _, c := range configs {
 			cfg := c.cfg
 			cfg.HeapCheck = true
@@ -192,6 +206,77 @@ func Check(p *workload.Program) error {
 	return checkMonotone(p)
 }
 
+// checkPredecode verifies the decode-once engine's input against the
+// byte-at-a-time decoder it replaced: at every byte offset of the built
+// image, the predecoded slot and isa.Decode must agree — on the opcode,
+// the encoded length, the operand after fast-form folding, the absolute
+// jump target, the pre-read DIRECTCALL header, and (for slots where no
+// instruction decodes) the exact error text.
+func checkPredecode(code []byte) error {
+	insts, err := isa.Predecode(code)
+	if err != nil {
+		return failf(KindPredecode, "Predecode: %v", err)
+	}
+	if len(insts) != len(code) {
+		return failf(KindPredecode, "table has %d slots for %d code bytes", len(insts), len(code))
+	}
+	for pc := range code {
+		in := &insts[pc]
+		dec, n, derr := isa.Decode(code, pc)
+		if derr != nil {
+			if in.Valid() {
+				return failf(KindPredecode, "pc %d: slot decodes %v where Decode fails: %v", pc, in.Op, derr)
+			}
+			perr := in.Err(code, pc)
+			if perr == nil || perr.Error() != derr.Error() {
+				return failf(KindPredecode, "pc %d: slot error %q, Decode error %q", pc, perr, derr)
+			}
+			continue
+		}
+		if !in.Valid() {
+			return failf(KindPredecode, "pc %d: slot invalid where Decode reads %v", pc, dec.Op)
+		}
+		if in.Op != dec.Op || int(in.Size) != n {
+			return failf(KindPredecode, "pc %d: slot %v/%d, Decode %v/%d", pc, in.Op, in.Size, dec.Op, n)
+		}
+		want := dec.Arg
+		if info := isa.InfoOf(dec.Op); info.HasEmb {
+			want = info.EmbArg
+		}
+		if in.Arg != want {
+			return failf(KindPredecode, "pc %d: %v operand %d, want %d", pc, in.Op, in.Arg, want)
+		}
+		switch {
+		case dec.Op.IsJump():
+			if in.Target != uint32(int64(pc)+int64(want)) {
+				return failf(KindPredecode, "pc %d: %v target %d, want %d",
+					pc, in.Op, in.Target, uint32(int64(pc)+int64(want)))
+			}
+		case dec.Op == isa.DCALL, dec.Op == isa.SDCALL:
+			hdr := uint32(want)
+			if dec.Op == isa.SDCALL {
+				hdr = uint32(int64(pc) + int64(want))
+			}
+			if in.Target != hdr {
+				return failf(KindPredecode, "pc %d: %v header addr %d, want %d", pc, in.Op, in.Target, hdr)
+			}
+			ok := int64(hdr)+2 < int64(len(code))
+			if in.CallOK != ok {
+				return failf(KindPredecode, "pc %d: %v CallOK=%v, header %d in %d code bytes",
+					pc, in.Op, in.CallOK, hdr, len(code))
+			}
+			if ok {
+				gf := uint16(code[hdr]) | uint16(code[hdr+1])<<8
+				if in.GF != gf || in.FSI != code[hdr+2] {
+					return failf(KindPredecode, "pc %d: %v header GF/FSI %d/%d, code says %d/%d",
+						pc, in.Op, in.GF, in.FSI, gf, code[hdr+2])
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // checkMetamorphic runs the reuse / budget / cancel / pool invariants for
 // one configuration.
 func checkMetamorphic(p *workload.Program, name string, cfg core.Config, ref record) error {
@@ -212,6 +297,36 @@ func checkMetamorphic(p *workload.Program, name string, cfg core.Config, ref rec
 			name, freshRec.results, freshRec.output, ref.results, ref.output)
 	}
 	freshMet := fresh.Metrics()
+
+	// Step vs Run: driving the same image one Step at a time must
+	// reproduce the Run-driven machine exactly — results, output and every
+	// metrics counter — since Step and Run's inner loop share the handler
+	// table.
+	stepped, err := img.NewMachine()
+	if err != nil {
+		return failf(KindRun, "%s: %v", name, err)
+	}
+	if err := stepped.Start(img.Entry(), p.Args...); err != nil {
+		return failf(KindStepRun, "%s: Start: %v", name, err)
+	}
+	for i := uint64(0); !stepped.Halted(); i++ {
+		if i > freshMet.Instructions {
+			return failf(KindStepRun, "%s: step-driven run past %d instructions without halting",
+				name, freshMet.Instructions)
+		}
+		if err := stepped.Step(); err != nil {
+			return failf(KindStepRun, "%s: step %d: %v", name, i, err)
+		}
+	}
+	steppedRec := record{results: stepped.Results(), output: append([]mem.Word(nil), stepped.Output...)}
+	if !steppedRec.equal(freshRec) {
+		return failf(KindStepRun, "%s: stepped %v/%v, run %v/%v",
+			name, steppedRec.results, steppedRec.output, freshRec.results, freshRec.output)
+	}
+	if !reflect.DeepEqual(stepped.Metrics(), freshMet) {
+		return failf(KindStepRun, "%s: stepped metrics diverge from run:\nstepped %+v\nrun     %+v",
+			name, stepped.Metrics(), freshMet)
+	}
 
 	// Reset reuse: dirty the machine, Reset, re-run — byte-identical to
 	// the fresh boot in results, output and every metrics counter.

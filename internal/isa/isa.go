@@ -176,71 +176,84 @@ func (k OperandKind) Size() int {
 	return 0
 }
 
-// Info describes one opcode.
+// Info is one row of the static per-opcode metadata table: encoding
+// (operand width), execution (handler class, stack effect) and the
+// embedded operand of the one-byte fast forms. Name and Operand are
+// declared in the literal table below; the derived columns are filled by
+// meta.go's init from the opcode ranges.
 type Info struct {
 	Name    string
 	Operand OperandKind
+	Class   Class
+	// Pops and Pushes are the evaluation-stack effect; VarEffect (-1)
+	// marks an effect that depends on machine state.
+	Pops, Pushes int8
+	// EmbArg is the operand embedded in a one-byte fast form (LL3 → 3,
+	// EFC5 → 5, LIN1 → 0xFFFF); HasEmb marks it valid. Predecode folds it
+	// into Inst.Arg so one handler serves fast and general forms alike.
+	EmbArg int32
+	HasEmb bool
 }
 
 // Len reports the total encoded length in bytes.
 func (i Info) Len() int { return 1 + i.Operand.Size() }
 
 var infos = [NumOps]Info{
-	NOOP: {"NOOP", OpdNone},
-	HALT: {"HALT", OpdNone},
-	OUT:  {"OUT", OpdNone},
-	LL0:  {"LL0", OpdNone}, LL1: {"LL1", OpdNone}, LL2: {"LL2", OpdNone}, LL3: {"LL3", OpdNone},
-	LL4: {"LL4", OpdNone}, LL5: {"LL5", OpdNone}, LL6: {"LL6", OpdNone}, LL7: {"LL7", OpdNone},
-	SL0: {"SL0", OpdNone}, SL1: {"SL1", OpdNone}, SL2: {"SL2", OpdNone}, SL3: {"SL3", OpdNone},
-	SL4: {"SL4", OpdNone}, SL5: {"SL5", OpdNone}, SL6: {"SL6", OpdNone}, SL7: {"SL7", OpdNone},
-	LLB: {"LLB", OpdU8},
-	SLB: {"SLB", OpdU8},
-	LAB: {"LAB", OpdU8},
-	LG0: {"LG0", OpdNone}, LG1: {"LG1", OpdNone}, LG2: {"LG2", OpdNone}, LG3: {"LG3", OpdNone},
-	LGB:  {"LGB", OpdU8},
-	SGB:  {"SGB", OpdU8},
-	LIN1: {"LIN1", OpdNone},
-	LI0:  {"LI0", OpdNone}, LI1: {"LI1", OpdNone}, LI2: {"LI2", OpdNone}, LI3: {"LI3", OpdNone},
-	LI4: {"LI4", OpdNone}, LI5: {"LI5", OpdNone}, LI6: {"LI6", OpdNone}, LI7: {"LI7", OpdNone},
-	LIB: {"LIB", OpdU8},
-	LIW: {"LIW", OpdU16},
-	ADD: {"ADD", OpdNone}, SUB: {"SUB", OpdNone}, MUL: {"MUL", OpdNone},
-	DIV: {"DIV", OpdNone}, MOD: {"MOD", OpdNone}, NEG: {"NEG", OpdNone},
-	AND: {"AND", OpdNone}, OR: {"OR", OpdNone}, XOR: {"XOR", OpdNone},
-	NOT: {"NOT", OpdNone}, SHL: {"SHL", OpdNone}, SHR: {"SHR", OpdNone},
-	DUP: {"DUP", OpdNone}, POP: {"POP", OpdNone}, EXCH: {"EXCH", OpdNone},
-	LDIND: {"LDIND", OpdNone},
-	STIND: {"STIND", OpdNone},
-	RFB:   {"RFB", OpdU8},
-	WFB:   {"WFB", OpdU8},
-	JB:    {"JB", OpdS8},
-	JW:    {"JW", OpdS16},
-	JZB:   {"JZB", OpdS8},
-	JNZB:  {"JNZB", OpdS8},
-	JEB:   {"JEB", OpdS8},
-	JNEB:  {"JNEB", OpdS8},
-	JLB:   {"JLB", OpdS8},
-	JLEB:  {"JLEB", OpdS8},
-	JGB:   {"JGB", OpdS8},
-	JGEB:  {"JGEB", OpdS8},
-	EFC0:  {"EFC0", OpdNone}, EFC1: {"EFC1", OpdNone}, EFC2: {"EFC2", OpdNone}, EFC3: {"EFC3", OpdNone},
-	EFC4: {"EFC4", OpdNone}, EFC5: {"EFC5", OpdNone}, EFC6: {"EFC6", OpdNone}, EFC7: {"EFC7", OpdNone},
-	EFCB: {"EFCB", OpdU8},
-	LFC0: {"LFC0", OpdNone}, LFC1: {"LFC1", OpdNone}, LFC2: {"LFC2", OpdNone}, LFC3: {"LFC3", OpdNone},
-	LFCB:     {"LFCB", OpdU8},
-	DCALL:    {"DCALL", OpdU24},
-	SDCALL:   {"SDCALL", OpdS16},
-	RET:      {"RET", OpdNone},
-	XFERO:    {"XFERO", OpdNone},
-	COCREATE: {"COCREATE", OpdNone},
-	LRC:      {"LRC", OpdNone},
-	LLF:      {"LLF", OpdNone},
-	RETAIN:   {"RETAIN", OpdNone},
-	FREE:     {"FREE", OpdNone},
-	AFB:      {"AFB", OpdU8},
-	FFREE:    {"FFREE", OpdNone},
-	TRAPB:    {"TRAPB", OpdU8},
-	STRAP:    {"STRAP", OpdNone},
+	NOOP: {Name: "NOOP", Operand: OpdNone},
+	HALT: {Name: "HALT", Operand: OpdNone},
+	OUT:  {Name: "OUT", Operand: OpdNone},
+	LL0:  {Name: "LL0", Operand: OpdNone}, LL1: {Name: "LL1", Operand: OpdNone}, LL2: {Name: "LL2", Operand: OpdNone}, LL3: {Name: "LL3", Operand: OpdNone},
+	LL4: {Name: "LL4", Operand: OpdNone}, LL5: {Name: "LL5", Operand: OpdNone}, LL6: {Name: "LL6", Operand: OpdNone}, LL7: {Name: "LL7", Operand: OpdNone},
+	SL0: {Name: "SL0", Operand: OpdNone}, SL1: {Name: "SL1", Operand: OpdNone}, SL2: {Name: "SL2", Operand: OpdNone}, SL3: {Name: "SL3", Operand: OpdNone},
+	SL4: {Name: "SL4", Operand: OpdNone}, SL5: {Name: "SL5", Operand: OpdNone}, SL6: {Name: "SL6", Operand: OpdNone}, SL7: {Name: "SL7", Operand: OpdNone},
+	LLB: {Name: "LLB", Operand: OpdU8},
+	SLB: {Name: "SLB", Operand: OpdU8},
+	LAB: {Name: "LAB", Operand: OpdU8},
+	LG0: {Name: "LG0", Operand: OpdNone}, LG1: {Name: "LG1", Operand: OpdNone}, LG2: {Name: "LG2", Operand: OpdNone}, LG3: {Name: "LG3", Operand: OpdNone},
+	LGB:  {Name: "LGB", Operand: OpdU8},
+	SGB:  {Name: "SGB", Operand: OpdU8},
+	LIN1: {Name: "LIN1", Operand: OpdNone},
+	LI0:  {Name: "LI0", Operand: OpdNone}, LI1: {Name: "LI1", Operand: OpdNone}, LI2: {Name: "LI2", Operand: OpdNone}, LI3: {Name: "LI3", Operand: OpdNone},
+	LI4: {Name: "LI4", Operand: OpdNone}, LI5: {Name: "LI5", Operand: OpdNone}, LI6: {Name: "LI6", Operand: OpdNone}, LI7: {Name: "LI7", Operand: OpdNone},
+	LIB: {Name: "LIB", Operand: OpdU8},
+	LIW: {Name: "LIW", Operand: OpdU16},
+	ADD: {Name: "ADD", Operand: OpdNone}, SUB: {Name: "SUB", Operand: OpdNone}, MUL: {Name: "MUL", Operand: OpdNone},
+	DIV: {Name: "DIV", Operand: OpdNone}, MOD: {Name: "MOD", Operand: OpdNone}, NEG: {Name: "NEG", Operand: OpdNone},
+	AND: {Name: "AND", Operand: OpdNone}, OR: {Name: "OR", Operand: OpdNone}, XOR: {Name: "XOR", Operand: OpdNone},
+	NOT: {Name: "NOT", Operand: OpdNone}, SHL: {Name: "SHL", Operand: OpdNone}, SHR: {Name: "SHR", Operand: OpdNone},
+	DUP: {Name: "DUP", Operand: OpdNone}, POP: {Name: "POP", Operand: OpdNone}, EXCH: {Name: "EXCH", Operand: OpdNone},
+	LDIND: {Name: "LDIND", Operand: OpdNone},
+	STIND: {Name: "STIND", Operand: OpdNone},
+	RFB:   {Name: "RFB", Operand: OpdU8},
+	WFB:   {Name: "WFB", Operand: OpdU8},
+	JB:    {Name: "JB", Operand: OpdS8},
+	JW:    {Name: "JW", Operand: OpdS16},
+	JZB:   {Name: "JZB", Operand: OpdS8},
+	JNZB:  {Name: "JNZB", Operand: OpdS8},
+	JEB:   {Name: "JEB", Operand: OpdS8},
+	JNEB:  {Name: "JNEB", Operand: OpdS8},
+	JLB:   {Name: "JLB", Operand: OpdS8},
+	JLEB:  {Name: "JLEB", Operand: OpdS8},
+	JGB:   {Name: "JGB", Operand: OpdS8},
+	JGEB:  {Name: "JGEB", Operand: OpdS8},
+	EFC0:  {Name: "EFC0", Operand: OpdNone}, EFC1: {Name: "EFC1", Operand: OpdNone}, EFC2: {Name: "EFC2", Operand: OpdNone}, EFC3: {Name: "EFC3", Operand: OpdNone},
+	EFC4: {Name: "EFC4", Operand: OpdNone}, EFC5: {Name: "EFC5", Operand: OpdNone}, EFC6: {Name: "EFC6", Operand: OpdNone}, EFC7: {Name: "EFC7", Operand: OpdNone},
+	EFCB: {Name: "EFCB", Operand: OpdU8},
+	LFC0: {Name: "LFC0", Operand: OpdNone}, LFC1: {Name: "LFC1", Operand: OpdNone}, LFC2: {Name: "LFC2", Operand: OpdNone}, LFC3: {Name: "LFC3", Operand: OpdNone},
+	LFCB:     {Name: "LFCB", Operand: OpdU8},
+	DCALL:    {Name: "DCALL", Operand: OpdU24},
+	SDCALL:   {Name: "SDCALL", Operand: OpdS16},
+	RET:      {Name: "RET", Operand: OpdNone},
+	XFERO:    {Name: "XFERO", Operand: OpdNone},
+	COCREATE: {Name: "COCREATE", Operand: OpdNone},
+	LRC:      {Name: "LRC", Operand: OpdNone},
+	LLF:      {Name: "LLF", Operand: OpdNone},
+	RETAIN:   {Name: "RETAIN", Operand: OpdNone},
+	FREE:     {Name: "FREE", Operand: OpdNone},
+	AFB:      {Name: "AFB", Operand: OpdU8},
+	FFREE:    {Name: "FFREE", Operand: OpdNone},
+	TRAPB:    {Name: "TRAPB", Operand: OpdU8},
+	STRAP:    {Name: "STRAP", Operand: OpdNone},
 }
 
 // InfoOf returns the metadata for op.
@@ -304,20 +317,38 @@ func Append(buf []byte, i Instr) []byte {
 	return buf
 }
 
+// The decode failure errors. The predecoded execution engine reports the
+// same failures lazily, from the same constructors, so a malformed byte
+// stream fails with byte-for-byte the error Decode would have raised at
+// run time.
+
+// ErrPCRange reports a program counter outside the code space.
+func ErrPCRange(pc, n int) error {
+	return fmt.Errorf("isa: pc %d outside code of %d bytes", pc, n)
+}
+
+func errBadOp(b byte, pc int) error {
+	return fmt.Errorf("isa: bad opcode %#02x at %d", b, pc)
+}
+
+func errTruncated(name string, pc int) error {
+	return fmt.Errorf("isa: truncated %s at %d", name, pc)
+}
+
 // Decode reads the instruction at code[pc:]. It returns the instruction
 // with its operand sign-extended as appropriate, and the encoded size.
 func Decode(code []byte, pc int) (Instr, int, error) {
 	if pc < 0 || pc >= len(code) {
-		return Instr{}, 0, fmt.Errorf("isa: pc %d outside code of %d bytes", pc, len(code))
+		return Instr{}, 0, ErrPCRange(pc, len(code))
 	}
 	op := Op(code[pc])
 	if op >= NumOps {
-		return Instr{}, 0, fmt.Errorf("isa: bad opcode %#02x at %d", code[pc], pc)
+		return Instr{}, 0, errBadOp(code[pc], pc)
 	}
 	info := infos[op]
 	n := info.Len()
 	if pc+n > len(code) {
-		return Instr{}, 0, fmt.Errorf("isa: truncated %s at %d", info.Name, pc)
+		return Instr{}, 0, errTruncated(info.Name, pc)
 	}
 	var arg int32
 	switch info.Operand {

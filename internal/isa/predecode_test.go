@@ -1,0 +1,177 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomStream encodes a random but well-formed instruction stream and
+// returns it with the byte offset of every instruction start.
+func randomStream(rng *rand.Rand, n int) ([]byte, []int) {
+	var code []byte
+	var starts []int
+	for i := 0; i < n; i++ {
+		op := Op(rng.Intn(int(NumOps)))
+		var arg int32
+		switch InfoOf(op).Operand {
+		case OpdU8:
+			arg = rng.Int31n(1 << 8)
+		case OpdS8:
+			arg = rng.Int31n(1<<8) - (1 << 7)
+		case OpdU16:
+			arg = rng.Int31n(1 << 16)
+		case OpdS16:
+			arg = rng.Int31n(1<<16) - (1 << 15)
+		case OpdU24:
+			arg = rng.Int31n(1 << 24)
+		}
+		starts = append(starts, len(code))
+		code = Append(code, Instr{Op: op, Arg: arg})
+	}
+	return code, starts
+}
+
+// TestPredecodeMatchesDecode: at every instruction start of a random
+// well-formed stream, the predecoded slot agrees with Decode on opcode,
+// length and (fast-form folding aside) operand.
+func TestPredecodeMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		code, starts := randomStream(rng, 50)
+		insts, err := Predecode(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(insts) != len(code) {
+			t.Fatalf("%d slots for %d bytes", len(insts), len(code))
+		}
+		for _, pc := range starts {
+			dec, n, err := Decode(code, pc)
+			if err != nil {
+				t.Fatalf("pc %d: %v", pc, err)
+			}
+			in := &insts[pc]
+			if !in.Valid() || in.Op != dec.Op || int(in.Size) != n {
+				t.Fatalf("pc %d: slot %v/%d valid=%v, Decode %v/%d", pc, in.Op, in.Size, in.Valid(), dec.Op, n)
+			}
+			want := dec.Arg
+			if info := InfoOf(dec.Op); info.HasEmb {
+				want = info.EmbArg
+			}
+			if in.Arg != want {
+				t.Fatalf("pc %d: %v arg %d, want %d", pc, in.Op, in.Arg, want)
+			}
+		}
+	}
+}
+
+// TestPredecodeFolding: the one-byte fast forms predecode to the same
+// resolved operand their general forms carry explicitly.
+func TestPredecodeFolding(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want int32
+	}{
+		{LL0, 0}, {LL3, 3}, {LL7, 7},
+		{SL0, 0}, {SL5, 5},
+		{LG0, 0}, {LG3, 3},
+		{LI0, 0}, {LI7, 7},
+		{LIN1, 0xFFFF},
+		{EFC0, 0}, {EFC5, 5}, {EFC7, 7},
+		{LFC0, 0}, {LFC3, 3},
+	}
+	for _, c := range cases {
+		insts, err := Predecode([]byte{byte(c.op)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in := &insts[0]; !in.Valid() || in.Arg != c.want {
+			t.Errorf("%s folds to %d (valid=%v), want %d", c.op, in.Arg, in.Valid(), c.want)
+		}
+	}
+}
+
+// TestPredecodeJumpTargets: jump slots carry the absolute target address,
+// forward and backward.
+func TestPredecodeJumpTargets(t *testing.T) {
+	code := EncodeAll([]Instr{
+		{Op: NOOP},           // pc 0
+		{Op: JB, Arg: 5},     // pc 1 → 6
+		{Op: JW, Arg: -1},    // pc 3 → 2
+		{Op: JZB, Arg: -6},   // pc 6 → 0
+		{Op: JNZB, Arg: 100}, // pc 8 → 108
+		{Op: JLB, Arg: 2},    // pc 10 → 12
+	})
+	insts, err := Predecode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		pc     int
+		target uint32
+	}{{1, 6}, {3, 2}, {6, 0}, {8, 108}, {10, 12}} {
+		if got := insts[c.pc].Target; got != c.target {
+			t.Errorf("jump at %d: target %d, want %d", c.pc, got, c.target)
+		}
+	}
+}
+
+// TestPredecodeCallHeaders: DCALL/SDCALL slots pre-read the inline (GF,
+// FSI) header; a header outside the code space leaves CallOK false so the
+// handler can reproduce the runtime error.
+func TestPredecodeCallHeaders(t *testing.T) {
+	// Lay out: DCALL hdr(8) | SDCALL +3(→ hdr 8) | pad | header at 8.
+	code := EncodeAll([]Instr{
+		{Op: DCALL, Arg: 8},  // pc 0
+		{Op: SDCALL, Arg: 4}, // pc 4 → 8
+		{Op: NOOP},           // pc 7
+	})
+	code = append(code, 0x34, 0x12, 0x05) // header at 8: GF=0x1234, FSI=5
+	insts, err := Predecode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range []int{0, 4} {
+		in := &insts[pc]
+		if !in.CallOK || in.Target != 8 || in.GF != 0x1234 || in.FSI != 5 {
+			t.Errorf("call at %d: ok=%v target=%d GF=%#x FSI=%d, want ok target=8 GF=0x1234 FSI=5",
+				pc, in.CallOK, in.Target, in.GF, in.FSI)
+		}
+	}
+
+	// A header past the end of code must not resolve.
+	bad, err := Predecode(EncodeAll([]Instr{{Op: DCALL, Arg: 1000}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := &bad[0]; in.CallOK {
+		t.Errorf("out-of-range header resolved: %+v", in)
+	}
+}
+
+// TestPredecodeBadSlots: undecodable bytes predecode to invalid slots
+// whose Err reproduces Decode's error text exactly.
+func TestPredecodeBadSlots(t *testing.T) {
+	code := []byte{byte(NOOP), 0xEE, byte(LIW), 0x01} // bad opcode at 1, truncated LIW at 2
+	insts, err := Predecode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range []int{1, 2} {
+		in := &insts[pc]
+		_, _, derr := Decode(code, pc)
+		if derr == nil {
+			t.Fatalf("pc %d: expected a Decode error", pc)
+		}
+		if in.Valid() {
+			t.Fatalf("pc %d: slot valid where Decode fails: %v", pc, derr)
+		}
+		perr := in.Err(code, pc)
+		if perr == nil || perr.Error() != derr.Error() {
+			t.Errorf("pc %d: slot error %q, Decode error %q", pc, perr, derr)
+		}
+	}
+	if !insts[0].Valid() {
+		t.Error("leading NOOP did not predecode")
+	}
+}

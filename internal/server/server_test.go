@@ -269,12 +269,14 @@ func TestServerSaturation(t *testing.T) {
 		MaxInFlight:    1,
 		MaxQueue:       1,
 		QueueTimeout:   250 * time.Millisecond,
-		DefaultBudget:  100_000_000,
+		DefaultBudget:  400_000_000,
+		MaxBudget:      400_000_000,
 		RequestTimeout: 60 * time.Second,
 	})
 
-	// A: occupies the only slot for the duration of a 100M-step budget
-	// (~a second of wall clock; longer than every queue timeout below).
+	// A: occupies the only slot for the duration of a 400M-step budget
+	// (a couple of seconds of wall clock; comfortably longer than every
+	// queue timeout below, whatever the engine's step rate).
 	statusA := make(chan int, 1)
 	go func() {
 		s, _ := call(t, ts, server.CallRequest{Module: "srv", Proc: "forever"})
@@ -336,14 +338,17 @@ func TestServerDrain(t *testing.T) {
 		RequestTimeout: 30 * time.Second,
 	})
 
-	spin2000 := uint16((2000 * 55) & 0x7FFF)
+	// The spin count is sized so the call stays in flight for hundreds of
+	// milliseconds even on a fast engine — long enough for the metric
+	// polls below to observe it — while staying inside the step budget.
+	spinWant := uint16((20000 * 55) & 0x7FFF)
 	type result struct {
 		status int
 		cr     server.CallResponse
 	}
 	slow := make(chan result, 1)
 	go func() {
-		st, cr := call(t, ts, server.CallRequest{Module: "srv", Proc: "spin", Args: []int64{2000}})
+		st, cr := call(t, ts, server.CallRequest{Module: "srv", Proc: "spin", Args: []int64{20000}})
 		slow <- result{st, cr}
 	}()
 	waitMetric(t, ts, "fpc_server_in_flight", 1)
@@ -371,8 +376,8 @@ func TestServerDrain(t *testing.T) {
 
 	// The in-flight call still finishes, correctly.
 	r := <-slow
-	if r.status != http.StatusOK || len(r.cr.Results) != 1 || r.cr.Results[0] != spin2000 {
-		t.Fatalf("drained call: status %d results %v, want 200 [%d]", r.status, r.cr.Results, spin2000)
+	if r.status != http.StatusOK || len(r.cr.Results) != 1 || r.cr.Results[0] != spinWant {
+		t.Fatalf("drained call: status %d results %v, want 200 [%d]", r.status, r.cr.Results, spinWant)
 	}
 	if err := <-drained; err != nil {
 		t.Fatalf("drain: %v", err)

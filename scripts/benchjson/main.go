@@ -1,0 +1,141 @@
+// Command benchjson turns `go test -bench` text output into a committed
+// JSON record of dispatch-engine performance. It reads benchmark output
+// from stdin, averages repeated runs of the same benchmark, and writes the
+// result as the "current" block of the output file. The "baseline" block —
+// the pre-refactor numbers a change is judged against — is preserved when
+// the file already has one, and seeded from the measured numbers on the
+// very first run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -count 3 . | go run ./scripts/benchjson -out BENCH_dispatch.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Block is one recorded measurement set.
+type Block struct {
+	Commit     string                        `json:"commit,omitempty"`
+	Date       string                        `json:"date,omitempty"`
+	Note       string                        `json:"note,omitempty"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// File is the whole record: the fixed comparison point plus the latest
+// measurement.
+type File struct {
+	Baseline *Block `json:"baseline,omitempty"`
+	Current  *Block `json:"current,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_dispatch.json", "output file (merged in place)")
+	note := flag.String("note", "", "note stored with the current block")
+	flag.Parse()
+
+	bench, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(bench) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	var f File
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	cur := &Block{Commit: gitHead(), Date: time.Now().Format("2006-01-02"), Note: *note, Benchmarks: bench}
+	f.Current = cur
+	if f.Baseline == nil {
+		seed := *cur
+		seed.Note = "seeded from first measurement"
+		f.Baseline = &seed
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(bench), *out)
+}
+
+// parse reads `go test -bench` output and returns, per benchmark name
+// (Benchmark prefix and -P GOMAXPROCS suffix stripped), the mean of each
+// reported metric across repeats.
+func parse(r io.Reader) (map[string]map[string]float64, error) {
+	sums := map[string]map[string]float64{}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// fields[1] is the iteration count; the rest are "value unit" pairs.
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		if sums[name] == nil {
+			sums[name] = map[string]float64{}
+		}
+		for unit, v := range metrics {
+			sums[name][unit] += v
+		}
+		counts[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, m := range sums {
+		for unit := range m {
+			m[unit] /= float64(counts[name])
+		}
+	}
+	return sums, nil
+}
+
+// gitHead returns the short commit hash, or "" outside a git checkout.
+func gitHead() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
