@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json check serve-smoke fuzz-smoke
+.PHONY: build vet test race bench bench-json check serve-smoke fuzz-smoke verify-corpus
 
 build:
 	$(GO) build ./...
 
+# vet runs go vet plus the repo's own invariant pass (internal/lint):
+# opcode/metadata/handler-table coverage and the one-retire-per-dispatch
+# discipline.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/fpclint
 
 test:
 	$(GO) test ./...
@@ -39,5 +43,12 @@ fuzz-smoke:
 	$(GO) run ./cmd/fpcfuzz -n 2000
 	$(GO) test -fuzz=FuzzDifferential -fuzztime=30s -run '^$$' ./internal/difffuzz
 	$(GO) test -fuzz=FuzzPoolReuse -fuzztime=30s -run '^$$' ./internal/difffuzz
+
+# Verifier soundness smoke: sweep seeds 0..9999 through the differential
+# oracle, which now also checks that (a) every generated program is admitted
+# by the static verifier under both linkage policies and (b) certified
+# (bounds-check-free) execution is byte-identical to checked execution.
+verify-corpus:
+	$(GO) run ./cmd/fpcfuzz -n 10000
 
 check: build vet test race

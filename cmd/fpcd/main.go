@@ -69,6 +69,7 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request wall-clock deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight calls on shutdown")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+	verifyFlag := flag.Bool("verify", true, "verify-at-admission: statically verify the served program at startup (fatal if rejected) and every /run submission (400 on rejection, zero budget spent)")
 	flag.Parse()
 
 	cfg, err := machineConfig(*configName)
@@ -95,9 +96,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pool, err := fpc.NewPool(prog, cfg)
-	if err != nil {
-		fatal(err)
+	var pool *fpc.Pool
+	if *verifyFlag {
+		// The daemon's own program goes through the same gate /run
+		// submissions will: a program the verifier rejects never serves.
+		img, err := fpc.LoadImageVerified(prog, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		pool = fpc.NewPoolFromImage(img)
+		if img.Certified() {
+			fmt.Println("fpcd: program verified, stack bounds certified (fast dispatch)")
+		} else {
+			fmt.Println("fpcd: program verified (checked dispatch)")
+		}
+	} else {
+		pool, err = fpc.NewPool(prog, cfg)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	srv := server.New(pool, server.Config{
 		MaxInFlight:    *inflight,
@@ -106,6 +123,7 @@ func main() {
 		DefaultBudget:  *budget,
 		MaxBudget:      *maxBudget,
 		RequestTimeout: *timeout,
+		Verify:         *verifyFlag,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

@@ -1,0 +1,30 @@
+// Command fpclint runs the repo's own static-analysis pass (internal/lint)
+// over the tree: opcode/metadata/handler-table coverage and the
+// instruction-retirement discipline. It prints each diagnostic and exits
+// non-zero if any fire, so `make vet` and CI fail on a violated invariant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root (the directory holding internal/)")
+	flag.Parse()
+	diags, err := lint.Check(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpclint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fpclint: %d invariant violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/linker"
 	"repro/internal/mem"
+	"repro/internal/verify"
 )
 
 // Word is the machine word: 16 bits, as on the Mesa machines.
@@ -135,6 +136,30 @@ func NewMachine(prog *Program, cfg Config) (*Machine, error) {
 // number of machines (and Pools) share.
 func LoadImage(prog *Program, cfg Config) (*LoadedImage, error) {
 	return core.LoadImage(prog, cfg)
+}
+
+// VerifyReport is the static verifier's structured result: per-pc
+// diagnostics with reason codes, per-procedure stack summaries, the
+// conservative call graph, and the stack-bounds certificate.
+type VerifyReport = verify.Report
+
+// VerifyError is returned by LoadImageVerified for a rejected program.
+type VerifyError = core.VerifyError
+
+// Verify runs the link-time verifier over a linked program without
+// loading it. The report says whether the program is admitted and whether
+// its evaluation-stack bounds are certified.
+func Verify(prog *Program) *VerifyReport {
+	return verify.Program(prog)
+}
+
+// LoadImageVerified is LoadImage behind the verifier: a rejected program
+// fails with a *VerifyError (inspect its Report), and an admitted program
+// whose stack bounds are certified gets the fast handler table — machines
+// booted from the image skip the per-instruction stack-bounds checks
+// (LoadedImage.Certified reports the choice).
+func LoadImageVerified(prog *Program, cfg Config) (*LoadedImage, error) {
+	return core.LoadImage(prog, cfg, core.WithVerify())
 }
 
 // DefaultLinkOptions returns the linkage policy matched to cfg. Machines

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// The certified dispatch table. When the static verifier grants the
+// stack-bounds certificate (verify.Report.CertStackBounds), every
+// reachable instruction provably keeps the evaluation stack inside
+// [0, EvalStackDepth] — so the per-instruction push/pop bounds checks the
+// checked table performs are dead code. This table replaces exactly the
+// handlers whose ONLY error source is a stack bounds check with unchecked
+// variants; everything that can fail some other way (calls, transfers,
+// frame allocation, division by zero) keeps its checked implementation.
+// A certified and a checked machine therefore execute byte-identical
+// instruction streams with identical metrics — the difffuzz certificate
+// oracle runs both and compares everything.
+//
+// The unchecked primitives still sit in front of a hard backstop: the
+// evaluation stack is a fixed Go array, so if a certificate were ever
+// wrong, the slide out of bounds panics loudly instead of corrupting
+// neighbouring machine state.
+
+func (m *Machine) pushU(v mem.Word) {
+	m.stack[m.sp] = v
+	m.sp++
+}
+
+func (m *Machine) popU() mem.Word {
+	m.sp--
+	return m.stack[m.sp]
+}
+
+func (m *Machine) pop2U() (a, b mem.Word) {
+	b = m.popU()
+	a = m.popU()
+	return
+}
+
+// certHandlers is filled by initCertHandlers, which step.go's init calls
+// after the checked table is complete (so the copy sees every entry).
+var certHandlers [isa.NumOps]handlerFunc
+
+func initCertHandlers() {
+	certHandlers = handlers
+
+	one := func(f handlerFunc, op isa.Op) { certHandlers[op] = f }
+	set := func(f handlerFunc, lo, hi isa.Op) {
+		for op := lo; op <= hi; op++ {
+			certHandlers[op] = f
+		}
+	}
+
+	one(cOut, isa.OUT)
+	set(cLoadLocal, isa.LL0, isa.LL7)
+	set(cStoreLocal, isa.SL0, isa.SL7)
+	one(cLoadLocal, isa.LLB)
+	one(cStoreLocal, isa.SLB)
+	set(cLoadGlobal, isa.LG0, isa.LG3)
+	one(cLoadGlobal, isa.LGB)
+	one(cStoreGlobal, isa.SGB)
+	set(cLit, isa.LIN1, isa.LIW)
+	one(cAdd, isa.ADD)
+	one(cSub, isa.SUB)
+	one(cMul, isa.MUL)
+	one(cDiv, isa.DIV)
+	one(cMod, isa.MOD)
+	one(cNeg, isa.NEG)
+	one(cAnd, isa.AND)
+	one(cOr, isa.OR)
+	one(cXor, isa.XOR)
+	one(cNot, isa.NOT)
+	one(cShl, isa.SHL)
+	one(cShr, isa.SHR)
+	one(cDup, isa.DUP)
+	one(cPop, isa.POP)
+	one(cExch, isa.EXCH)
+	one(cLdind, isa.LDIND)
+	one(cReadField, isa.RFB)
+	one(cJumpZero, isa.JZB)
+	one(cJumpNonzero, isa.JNZB)
+	set(cCompareJump, isa.JEB, isa.JGEB)
+}
+
+func cOut(m *Machine, _ *isa.Inst) error {
+	m.Output = append(m.Output, m.popU())
+	return nil
+}
+
+func cLoadLocal(m *Machine, in *isa.Inst) error {
+	m.metrics.LocalVarRefs++
+	m.pushU(m.frameLoad(m.lf, image.FrameHeaderWords+int(in.Arg)))
+	return nil
+}
+
+func cStoreLocal(m *Machine, in *isa.Inst) error {
+	m.metrics.LocalVarRefs++
+	m.frameStore(m.lf, image.FrameHeaderWords+int(in.Arg), m.popU())
+	return nil
+}
+
+func cLoadGlobal(m *Machine, in *isa.Inst) error {
+	m.metrics.GlobalVarRefs++
+	m.pushU(m.read(m.gf + 2 + mem.Addr(in.Arg)))
+	return nil
+}
+
+func cStoreGlobal(m *Machine, in *isa.Inst) error {
+	m.metrics.GlobalVarRefs++
+	m.write(m.gf+2+mem.Addr(in.Arg), m.popU())
+	return nil
+}
+
+func cLit(m *Machine, in *isa.Inst) error {
+	m.pushU(mem.Word(in.Arg))
+	return nil
+}
+
+func cAdd(m *Machine, _ *isa.Inst) error {
+	a, b := m.pop2U()
+	m.pushU(isa.Add(a, b))
+	return nil
+}
+
+func cSub(m *Machine, _ *isa.Inst) error {
+	a, b := m.pop2U()
+	m.pushU(isa.Sub(a, b))
+	return nil
+}
+
+func cMul(m *Machine, _ *isa.Inst) error {
+	a, b := m.pop2U()
+	m.pushU(isa.Mul(a, b))
+	return nil
+}
+
+// cDiv/cMod keep the checked division-by-zero route: a zero divisor is a
+// trap, not a stack fault, and the certificate says nothing about it.
+func cDiv(m *Machine, _ *isa.Inst) error {
+	a, b := m.pop2U()
+	v, ok := isa.Div(a, b)
+	if !ok {
+		return m.divZero()
+	}
+	m.pushU(v)
+	return nil
+}
+
+func cMod(m *Machine, _ *isa.Inst) error {
+	a, b := m.pop2U()
+	v, ok := isa.Mod(a, b)
+	if !ok {
+		return m.divZero()
+	}
+	m.pushU(v)
+	return nil
+}
+
+func cNeg(m *Machine, _ *isa.Inst) error {
+	m.pushU(isa.Neg(m.popU()))
+	return nil
+}
+
+func cAnd(m *Machine, _ *isa.Inst) error {
+	a, b := m.pop2U()
+	m.pushU(a & b)
+	return nil
+}
+
+func cOr(m *Machine, _ *isa.Inst) error {
+	a, b := m.pop2U()
+	m.pushU(a | b)
+	return nil
+}
+
+func cXor(m *Machine, _ *isa.Inst) error {
+	a, b := m.pop2U()
+	m.pushU(a ^ b)
+	return nil
+}
+
+func cNot(m *Machine, _ *isa.Inst) error {
+	m.pushU(^m.popU())
+	return nil
+}
+
+func cShl(m *Machine, _ *isa.Inst) error {
+	a, b := m.pop2U()
+	m.pushU(isa.Shl(a, b))
+	return nil
+}
+
+func cShr(m *Machine, _ *isa.Inst) error {
+	a, b := m.pop2U()
+	m.pushU(isa.Shr(a, b))
+	return nil
+}
+
+func cDup(m *Machine, _ *isa.Inst) error {
+	v := m.popU()
+	m.pushU(v)
+	m.pushU(v)
+	return nil
+}
+
+func cPop(m *Machine, _ *isa.Inst) error {
+	m.popU()
+	return nil
+}
+
+func cExch(m *Machine, _ *isa.Inst) error {
+	a, b := m.pop2U()
+	m.pushU(b)
+	m.pushU(a)
+	return nil
+}
+
+func cLdind(m *Machine, _ *isa.Inst) error {
+	m.metrics.PointerRefs++
+	m.pushU(m.read(m.popU()))
+	return nil
+}
+
+func cReadField(m *Machine, in *isa.Inst) error {
+	m.metrics.PointerRefs++
+	m.pushU(m.read(m.popU() + mem.Addr(in.Arg)))
+	return nil
+}
+
+func cJumpZero(m *Machine, in *isa.Inst) error {
+	if m.popU() == 0 {
+		m.pc = in.Target
+		m.cycles += CycRefill
+	}
+	return nil
+}
+
+func cJumpNonzero(m *Machine, in *isa.Inst) error {
+	if m.popU() != 0 {
+		m.pc = in.Target
+		m.cycles += CycRefill
+	}
+	return nil
+}
+
+func cCompareJump(m *Machine, in *isa.Inst) error {
+	a, b := m.pop2U()
+	if isa.Compare(in.Op, a, b) {
+		m.pc = in.Target
+		m.cycles += CycRefill
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/regbank"
+	"repro/internal/verify"
 )
 
 // LoadedImage is a linked Program loaded exactly once: the code space plus
@@ -31,13 +32,55 @@ type LoadedImage struct {
 	// built once here and shared read-only by every machine (the
 	// decode-once engine's input; see isa.Predecode).
 	insts []isa.Inst
+
+	// report is the static verifier's result when WithVerify was requested
+	// (nil otherwise). certified selects the unchecked handler table for
+	// every machine booted over this image: it requires the verifier's
+	// stack-bounds certificate AND no Go-level trap hook (a cfg.Trap
+	// callback may resume a trapping instruction with machine state the
+	// static analysis never saw).
+	report    *verify.Report
+	certified bool
+}
+
+// LoadOption configures LoadImage.
+type LoadOption func(*loadOpts)
+
+type loadOpts struct{ verify bool }
+
+// WithVerify makes LoadImage run the static verifier over the program
+// before accepting it. A program the verifier rejects fails the load with a
+// *VerifyError carrying the full report. When the verifier additionally
+// grants the stack-bounds certificate (and no cfg.Trap hook is installed),
+// machines over this image run the certified handler table, skipping the
+// per-instruction evaluation-stack bounds checks.
+func WithVerify() LoadOption {
+	return func(o *loadOpts) { o.verify = true }
+}
+
+// VerifyError is the load failure for a program the verifier rejected; the
+// Report holds the per-pc diagnostics.
+type VerifyError struct {
+	Report *verify.Report
+}
+
+func (e *VerifyError) Error() string {
+	errs := e.Report.Errors()
+	if len(errs) == 0 {
+		return "core: program rejected by verifier"
+	}
+	return fmt.Sprintf("core: program rejected by verifier: %s (%d diagnostics)", errs[0], len(e.Report.Diags))
 }
 
 // LoadImage loads prog once under cfg: it validates and normalizes the
 // configuration, boots a scratch store (initial data, frame heap,
 // free-frame prefill — boot-time traffic is not part of any run) and
 // captures the snapshot every machine over this image will boot from.
-func LoadImage(prog *image.Program, cfg Config) (*LoadedImage, error) {
+func LoadImage(prog *image.Program, cfg Config, opts ...LoadOption) (*LoadedImage, error) {
+	var lo loadOpts
+	for _, o := range opts {
+		o(&lo)
+	}
 	if cfg.BankWords == 0 {
 		cfg.BankWords = 16
 	}
@@ -55,6 +98,14 @@ func LoadImage(prog *image.Program, cfg Config) (*LoadedImage, error) {
 	}
 
 	img := &LoadedImage{prog: prog, cfg: cfg, stdFSI: -1}
+	if lo.verify {
+		rep := verify.Program(prog)
+		if !rep.Admitted() {
+			return nil, &VerifyError{Report: rep}
+		}
+		img.report = rep
+		img.certified = rep.CertStackBounds && cfg.Trap == nil
+	}
 	insts, err := isa.Predecode(prog.Code)
 	if err != nil {
 		return nil, err
@@ -111,6 +162,14 @@ func (img *LoadedImage) Entry() mem.Word { return img.prog.Entry }
 // machine booted over this image.
 func (img *LoadedImage) Insts() []isa.Inst { return img.insts }
 
+// VerifyReport returns the static verifier's report, or nil when the image
+// was loaded without WithVerify.
+func (img *LoadedImage) VerifyReport() *verify.Report { return img.report }
+
+// Certified reports whether machines over this image run the certified
+// handler table (verifier stack-bounds certificate held and no trap hook).
+func (img *LoadedImage) Certified() bool { return img.certified }
+
 // NewMachine boots a fresh machine over the shared image: one snapshot
 // memcpy plus cheap register allocation, no linking or loading.
 func (img *LoadedImage) NewMachine() (*Machine, error) {
@@ -126,6 +185,10 @@ func (img *LoadedImage) NewMachine() (*Machine, error) {
 		stackBank: -1,
 		stdFSI:    img.stdFSI,
 		curFSI:    -1,
+		h:         &handlers,
+	}
+	if img.certified {
+		m.h = &certHandlers
 	}
 	m.rec = histRecorder{&m.metrics}
 	m.m.LoadFrom(img.boot)

@@ -12,10 +12,10 @@ import (
 	"repro/internal/regbank"
 )
 
-// EvalStackDepth is the evaluation-stack capacity in words. With 16-word
-// register banks and three linkage slots per frame, 13 stack words rename
-// cleanly into a callee's first locals (Mesa used a depth of 14).
-const EvalStackDepth = 13
+// EvalStackDepth is the evaluation-stack capacity in words — an alias of
+// the architectural constant isa.EvalStackDepth (the verifier and the
+// engine must agree on it, and the verifier cannot import core).
+const EvalStackDepth = isa.EvalStackDepth
 
 // Config selects which of the paper's optimizations are active.
 type Config struct {
@@ -91,6 +91,10 @@ type Machine struct {
 	// insts is the image's shared predecoded instruction stream, indexed
 	// by byte pc — the decode-once engine's read-only dispatch input.
 	insts []isa.Inst
+	// h is the dispatch table this machine runs: the checked default, or
+	// the certified table (no per-instruction stack-bounds checks) when
+	// the image carries the verifier's stack-bounds certificate.
+	h *[isa.NumOps]handlerFunc
 
 	// Processor registers.
 	pc        uint32 // absolute code byte address

@@ -90,6 +90,7 @@ func (m *Machine) Run() error {
 		}
 	}
 	insts := m.insts
+	dispatch := m.dispatch()
 	ncode := uint32(len(m.code))
 	for !m.halted {
 		if m.metrics.Instructions >= limit {
@@ -124,7 +125,7 @@ func (m *Machine) Run() error {
 			m.pc = pc + uint32(in.Size)
 			m.metrics.Instructions++
 			m.cycles += CycDispatch
-			if err := handlers[in.Op](m, in); err != nil {
+			if err := dispatch[in.Op](m, in); err != nil {
 				return fmt.Errorf("%s at pc %06x: %w", m.prog.ProcName(m.pc), m.pc, err)
 			}
 		}

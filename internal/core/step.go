@@ -32,7 +32,17 @@ func (m *Machine) Step() error {
 	m.pc = pc + uint32(in.Size)
 	m.metrics.Instructions++
 	m.cycles += CycDispatch
-	return handlers[in.Op](m, in)
+	return m.dispatch()[in.Op](m, in)
+}
+
+// dispatch returns the machine's handler table, defaulting to the checked
+// table for machines built before the image choice existed (tests
+// constructing Machine values directly).
+func (m *Machine) dispatch() *[isa.NumOps]handlerFunc {
+	if m.h == nil {
+		return &handlers
+	}
+	return m.h
 }
 
 // handlerFunc executes one predecoded instruction. The program counter has
@@ -103,6 +113,11 @@ func init() {
 	one(hFreeFrame, isa.FFREE)
 	one(hTrap, isa.TRAPB)
 	one(hSetTrap, isa.STRAP)
+
+	// The certified table copies this one, so it must be built after every
+	// entry above is in place (file-level init order is not guaranteed to
+	// favour cert.go).
+	initCertHandlers()
 }
 
 func hNoop(m *Machine, _ *isa.Inst) error { return nil }

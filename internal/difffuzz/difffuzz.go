@@ -37,8 +37,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/isa"
+	"repro/internal/image"
 	"repro/internal/linker"
 	"repro/internal/mem"
+	"repro/internal/verify"
 	"repro/internal/workload"
 )
 
@@ -61,6 +63,8 @@ const (
 	KindMonotonicity FailKind = "monotonicity" // fast transfers regressed I2→I3→I4
 	KindPredecode    FailKind = "predecode"    // predecoded table disagrees with byte-at-a-time Decode
 	KindStepRun      FailKind = "steprun"      // Step-driven execution diverges from Run-driven
+	KindVerify       FailKind = "verify"       // static verifier rejects (or panics on) compiler output
+	KindCertify      FailKind = "certify"      // certified (unchecked) execution diverges from checked
 )
 
 // Failure is one oracle violation.
@@ -194,7 +198,12 @@ func Check(p *workload.Program) error {
 		}
 	}
 
-	// Phase 2: metamorphic invariants on each configuration under its
+	// Phase 2: the static-verification soundness oracle.
+	if err := checkVerify(p); err != nil {
+		return err
+	}
+
+	// Phase 3: metamorphic invariants on each configuration under its
 	// default (serving) linkage.
 	for _, c := range configs {
 		if err := checkMetamorphic(p, c.name, c.cfg, ref); err != nil {
@@ -202,8 +211,104 @@ func Check(p *workload.Program) error {
 		}
 	}
 
-	// Phase 3: fast-transfer monotonicity on one shared early-bound build.
+	// Phase 4: fast-transfer monotonicity on one shared early-bound build.
 	return checkMonotone(p)
+}
+
+// checkVerify is the static-verification soundness oracle. Two claims are
+// continuously fuzzed:
+//
+//  1. Admission completeness on trusted producers: every program the
+//     compiler+linker emit must be admitted by the verifier, under both
+//     linkage policies. A rejection here is a verifier false positive.
+//  2. Certificate soundness: when the verifier certifies the
+//     evaluation-stack bounds, a machine running the certified handler
+//     table (stack bounds checks skipped) must behave byte-identically to
+//     the checked machine on every configuration — same results, output,
+//     halt state, error and every metrics counter. In particular a
+//     certified program must never trip the ErrStack class the
+//     certificate excludes: the checked run would surface it as a
+//     divergence (or the unchecked run as a panic, caught here).
+func checkVerify(p *workload.Program) error {
+	for _, early := range []bool{false, true} {
+		prog, _, err := p.Build(linker.Options{EarlyBind: early})
+		if err != nil {
+			return failf(KindBuild, "early=%v: %v", early, err)
+		}
+		rep, err := safeVerify(prog)
+		if err != nil {
+			return err
+		}
+		if !rep.Admitted() {
+			return failf(KindVerify, "early=%v: compiler output rejected:\n%s", early, rep)
+		}
+		if !rep.CertStackBounds {
+			continue
+		}
+		for _, c := range configs {
+			cfg := c.cfg
+			cfg.HeapCheck = true
+			checked, err := core.LoadImage(prog, cfg)
+			if err != nil {
+				return failf(KindRun, "%s early=%v: load: %v", c.name, early, err)
+			}
+			certified, err := core.LoadImage(prog, cfg, core.WithVerify())
+			if err != nil {
+				return failf(KindCertify, "%s early=%v: verified load: %v", c.name, early, err)
+			}
+			if !certified.Certified() {
+				return failf(KindCertify, "%s early=%v: certificate granted but image not certified", c.name, early)
+			}
+			if err := diffCertified(c.name, early, checked, certified, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// diffCertified runs p on a checked and a certified machine and demands
+// byte-identical behaviour. A panic on the certified side (the unchecked
+// primitives' array backstop) is the loudest possible unsoundness signal.
+func diffCertified(name string, early bool, checked, certified *core.LoadedImage, p *workload.Program) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = failf(KindCertify, "%s early=%v: certified run panicked: %v", name, early, r)
+		}
+	}()
+	mc, gc, errC := runFresh(checked, p)
+	mu, gu, errU := runFresh(certified, p)
+	switch {
+	case (errC == nil) != (errU == nil):
+		return failf(KindCertify, "%s early=%v: checked err %v, certified err %v", name, early, errC, errU)
+	case errC != nil:
+		if errC.Error() != errU.Error() {
+			return failf(KindCertify, "%s early=%v: checked err %q, certified err %q", name, early, errC, errU)
+		}
+		return nil
+	}
+	if !gc.equal(gu) {
+		return failf(KindCertify, "%s early=%v: checked %v/%v, certified %v/%v",
+			name, early, gc.results, gc.output, gu.results, gu.output)
+	}
+	if mc.Halted() != mu.Halted() {
+		return failf(KindCertify, "%s early=%v: halted %v vs %v", name, early, mc.Halted(), mu.Halted())
+	}
+	if !reflect.DeepEqual(mc.Metrics().Clone(), mu.Metrics().Clone()) {
+		return failf(KindCertify, "%s early=%v: certified metrics diverge from checked", name, early)
+	}
+	return nil
+}
+
+// safeVerify shields the oracle from verifier panics: a crash on linker
+// output is itself a verifier bug worth minimizing.
+func safeVerify(prog *image.Program) (rep *verify.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = failf(KindVerify, "verifier panic: %v", r)
+		}
+	}()
+	return verify.Program(prog), nil
 }
 
 // checkPredecode verifies the decode-once engine's input against the

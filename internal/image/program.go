@@ -108,8 +108,19 @@ func (p *Program) ProcName(pc uint32) string {
 func (p *Program) CodeBytes() int { return len(p.Code) }
 
 // Disassemble renders every procedure of every instance.
-func (p *Program) Disassemble() string {
+func (p *Program) Disassemble() string { return p.DisassembleAnnotated(nil) }
+
+// DisassembleAnnotated renders the listing with an optional per-pc
+// annotation appended to each instruction line (the verifier's
+// stack-depth bounds in fpcdis -verify). note may be nil.
+func (p *Program) DisassembleAnnotated(note func(pc uint32) string) string {
 	var b strings.Builder
+	annot := func(pc uint32) string {
+		if note == nil {
+			return ""
+		}
+		return note(pc)
+	}
 	for _, in := range p.Instances {
 		fmt.Fprintf(&b, "module %s  (gfi %d, GF %04x, code base %06x)\n",
 			in.Module.Name, in.GFIBase, in.GF, in.CodeBase)
@@ -137,7 +148,7 @@ func (p *Program) Disassemble() string {
 					fmt.Fprintf(&b, "    %06x: <%v>\n", pc, err)
 					break
 				}
-				fmt.Fprintf(&b, "    %06x: %s\n", pc, instr)
+				fmt.Fprintf(&b, "    %06x: %s%s\n", pc, instr, annot(pc))
 				pc += uint32(n)
 			}
 		}

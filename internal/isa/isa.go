@@ -25,6 +25,14 @@ package isa
 
 import "fmt"
 
+// EvalStackDepth is the evaluation-stack capacity in words. With 16-word
+// register banks and three linkage slots per frame, 13 stack words rename
+// cleanly into a callee's first locals (Mesa used a depth of 14). It lives
+// here, with the instruction set, because it is an architectural constant
+// of the encoding: the static verifier bounds per-pc stack depths against
+// it without importing the execution engine.
+const EvalStackDepth = 13
+
 // Op is a one-byte opcode.
 type Op byte
 

@@ -62,6 +62,7 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "fpc_server_rejected_total{reason=\"queue_timeout\"} %d\n", c.shedQueueWait)
 	fmt.Fprintf(w, "fpc_server_rejected_total{reason=\"draining\"} %d\n", c.shedDraining)
 	fmt.Fprintf(w, "fpc_server_rejected_total{reason=\"client_gone\"} %d\n", c.canceledByPeer)
+	counter("fpcd_verify_rejected_total", "Submitted /run programs rejected by the link-time verifier (400, zero machine steps spent).", c.verifyRejected)
 	counter("fpc_server_steps_served_total", "Sum of per-request executed instructions (equals fpc_pool_instructions_total when only /call drives the pool).", c.stepsServed)
 	counter("fpc_server_cycles_served_total", "Sum of per-request simulated cycles.", c.cyclesServed)
 	gauge("fpc_server_queue_depth", "Requests currently waiting for a run slot.", float64(queueDepth))

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	fpc "repro"
+	"repro/internal/core"
+)
+
+// The /run endpoint: one-shot program submission. Where /call runs a
+// procedure of the program the daemon was started with, /run accepts a
+// whole program (module sources), builds it, and — in verify-at-admission
+// mode — puts it through the link-time verifier BEFORE a machine or any
+// step budget is committed. A program the verifier rejects costs the
+// server a compile and a static analysis, never a simulated instruction:
+// the rejection is a 400 carrying the verifier's diagnostics, counted by
+// fpcd_verify_rejected_total, not a 504 discovered after the budget burns.
+
+// RunRequest is the /run request body. Modules maps module name to source
+// text; Entry is "module.proc".
+type RunRequest struct {
+	Modules map[string]string `json:"modules"`
+	Entry   string            `json:"entry"`
+	Args    []int64           `json:"args,omitempty"`
+	// Budget is this request's step budget; 0 uses the server default.
+	Budget uint64 `json:"budget,omitempty"`
+}
+
+// RunResponse is the /run response body. On verifier rejection only Error
+// and Diagnostics are set — Steps is zero because no machine ever ran.
+type RunResponse struct {
+	Results []uint16 `json:"results,omitempty"`
+	Output  []uint16 `json:"output,omitempty"`
+	Steps   uint64   `json:"steps"`
+	Cycles  uint64   `json:"cycles"`
+	Refs    uint64   `json:"refs"`
+	// Certified reports whether the run used the verifier-certified fast
+	// dispatch table (stack-bounds checks elided).
+	Certified   bool     `json:"certified,omitempty"`
+	Error       string   `json:"error,omitempty"`
+	Diagnostics []string `json:"diagnostics,omitempty"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.enter() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.leave()
+
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.reject(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Modules) == 0 {
+		s.reject(w, http.StatusBadRequest, "modules are required")
+		return
+	}
+	entMod, entProc, ok := strings.Cut(req.Entry, ".")
+	if !ok || entMod == "" || entProc == "" {
+		s.reject(w, http.StatusBadRequest, `entry must be "module.proc"`)
+		return
+	}
+	args, errMsg := convertArgs(req.Args)
+	if errMsg != "" {
+		s.reject(w, http.StatusBadRequest, errMsg)
+		return
+	}
+	budget := s.clampBudget(req.Budget)
+
+	// Build with the linkage policy matched to the serving machine config,
+	// the same way fpcd links its own program.
+	cfg := s.pool.Image().Config()
+	prog, err := fpc.Build(req.Modules, entMod, entProc, fpc.DefaultLinkOptions(cfg))
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "build: "+err.Error())
+		return
+	}
+
+	// Verify-at-admission: the verifier's word decides before any budget
+	// is spent. Admitted programs load through the same verifier call so a
+	// certificate, when granted, selects the fast dispatch table.
+	var img *core.LoadedImage
+	if s.cfg.Verify {
+		img, err = core.LoadImage(prog, cfg, core.WithVerify())
+		var verr *core.VerifyError
+		if errors.As(err, &verr) {
+			s.rejectVerify(w, verr)
+			return
+		}
+	} else {
+		img, err = core.LoadImage(prog, cfg)
+	}
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "load: "+err.Error())
+		return
+	}
+
+	// From here the admission discipline is /call's: a queue position,
+	// then a run slot, then one bounded machine run.
+	if !s.enqueue() {
+		s.countShed(&s.c.shedQueueFull)
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return
+	}
+	select {
+	case s.slots <- struct{}{}:
+		s.dequeue(true)
+	case <-time.After(s.cfg.QueueTimeout):
+		s.dequeue(false)
+		s.countShed(&s.c.shedQueueWait)
+		http.Error(w, "queue wait timed out", http.StatusServiceUnavailable)
+		return
+	case <-r.Context().Done():
+		s.dequeue(false)
+		s.countShed(&s.c.canceledByPeer)
+		return
+	}
+	defer func() {
+		<-s.slots
+		s.mu.Lock()
+		s.inFlight--
+		s.mu.Unlock()
+	}()
+
+	m, err := img.NewMachine()
+	if err != nil {
+		s.countShed(&s.c.badRequests)
+		http.Error(w, "boot: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	m.SetRunBudget(budget)
+	m.SetCancel(ctx.Err)
+
+	start := time.Now()
+	results, err := m.Call(img.Entry(), args...)
+	elapsed := time.Since(start)
+
+	resp := RunResponse{Certified: img.Certified()}
+	if results != nil {
+		resp.Results = words16(results)
+	}
+	resp.Output = words16(m.Output)
+	mt := m.Metrics()
+	resp.Steps = mt.Instructions
+	resp.Cycles = mt.Cycles
+	resp.Refs = mt.ChargedRefs
+
+	status := http.StatusOK
+	s.mu.Lock()
+	s.c.accepted++
+	s.latency.Observe(int(elapsed.Microseconds()))
+	s.c.stepsServed += resp.Steps
+	s.c.cyclesServed += resp.Cycles
+	switch {
+	case err == nil:
+		s.c.completed++
+	case errors.Is(err, core.ErrMaxSteps), errors.Is(err, core.ErrCanceled):
+		s.c.budgetExceeded++
+		status = http.StatusGatewayTimeout
+		resp.Error = err.Error()
+	default:
+		s.c.runErrors++
+		status = http.StatusInternalServerError
+		resp.Error = err.Error()
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(&resp)
+}
+
+// rejectVerify turns a verifier rejection into a 400 whose body carries
+// the diagnostics, and counts it: zero machine steps were (or ever will
+// be) spent on the program.
+func (s *Server) rejectVerify(w http.ResponseWriter, verr *core.VerifyError) {
+	s.mu.Lock()
+	s.c.verifyRejected++
+	s.c.badRequests++
+	s.mu.Unlock()
+
+	resp := RunResponse{Error: "program rejected by verifier"}
+	for _, d := range verr.Report.Diags {
+		resp.Diagnostics = append(resp.Diagnostics, d.String())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(&resp)
+}
+
+// convertArgs converts request integers to 16-bit machine words, accepting
+// negatives as two's complement.
+func convertArgs(in []int64) (args []fpc.Word, errMsg string) {
+	args = make([]fpc.Word, len(in))
+	for i, a := range in {
+		if a < -32768 || a > 65535 {
+			return nil, fmt.Sprintf("arg %d out of 16-bit range: %d", i, a)
+		}
+		args[i] = fpc.Word(uint16(a))
+	}
+	return args, ""
+}
+
+func (s *Server) clampBudget(b uint64) uint64 {
+	if b == 0 {
+		b = s.cfg.DefaultBudget
+	}
+	if b > s.cfg.MaxBudget {
+		b = s.cfg.MaxBudget
+	}
+	return b
+}
+
+func words16(ws []fpc.Word) []uint16 {
+	out := make([]uint16, len(ws))
+	for i, w := range ws {
+		out[i] = uint16(w)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// deepSrc compiles but definitely overflows the 13-word evaluation stack:
+// every nesting level of 1+(…) holds one operand across the inner
+// expression, so the 17th literal pushes to depth 14. The verifier proves
+// this statically; the runtime only finds out by executing it.
+func deepSrc() string {
+	var b strings.Builder
+	b.WriteString("module m;\nproc main() { return ")
+	for i := 0; i < 16; i++ {
+		b.WriteString("1+(")
+	}
+	b.WriteString("1")
+	b.WriteString(strings.Repeat(")", 16))
+	b.WriteString("; }\n")
+	return b.String()
+}
+
+const goodSrc = `
+module m;
+proc fib(n) {
+  if (n < 2) { return n; }
+  return fib(n-1) + fib(n-2);
+}
+proc main(n) { return fib(n); }
+`
+
+// runPost POSTs one /run request and decodes the response.
+func runPost(t *testing.T, ts *httptest.Server, req server.RunRequest) (int, server.RunResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr server.RunResponse
+	json.Unmarshal(data, &rr)
+	return resp.StatusCode, rr
+}
+
+// A healthy submitted program runs to completion, and — being certifiable
+// — on the certified dispatch table.
+func TestRunEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Verify: true})
+	status, rr := runPost(t, ts, server.RunRequest{
+		Modules: map[string]string{"m": goodSrc},
+		Entry:   "m.main",
+		Args:    []int64{10},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d (%+v)", status, rr)
+	}
+	if len(rr.Results) != 1 || rr.Results[0] != 55 {
+		t.Errorf("results %v, want [55]", rr.Results)
+	}
+	if rr.Steps == 0 {
+		t.Error("no steps accounted")
+	}
+	if !rr.Certified {
+		t.Error("fib should run certified")
+	}
+}
+
+// The acceptance criterion: a verifier-rejected program gets a 400 — not a
+// 504 after its budget burns, not a 500 from the runtime fault — with the
+// diagnostics in the body, zero steps spent, and the rejection counted by
+// fpcd_verify_rejected_total.
+func TestRunVerifyRejected(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Verify: true})
+	status, rr := runPost(t, ts, server.RunRequest{
+		Modules: map[string]string{"m": deepSrc()},
+		Entry:   "m.main",
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (%+v)", status, rr)
+	}
+	if rr.Steps != 0 {
+		t.Errorf("verifier-rejected program consumed %d steps", rr.Steps)
+	}
+	if len(rr.Diagnostics) == 0 {
+		t.Error("no diagnostics in rejection body")
+	} else if !strings.Contains(strings.Join(rr.Diagnostics, "\n"), "stack-overflow") {
+		t.Errorf("diagnostics missing stack-overflow reason: %v", rr.Diagnostics)
+	}
+	vals, _ := scrapeMetrics(t, ts)
+	if vals["fpcd_verify_rejected_total"] != 1 {
+		t.Errorf("fpcd_verify_rejected_total = %v, want 1", vals["fpcd_verify_rejected_total"])
+	}
+	if vals["fpc_server_steps_served_total"] != 0 {
+		t.Errorf("steps served = %v, want 0", vals["fpc_server_steps_served_total"])
+	}
+}
+
+// Without verify-at-admission the same program is admitted, burns real
+// budget, and fails at run time — the contrast the mode exists to remove.
+func TestRunVerifyOff(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	status, rr := runPost(t, ts, server.RunRequest{
+		Modules: map[string]string{"m": deepSrc()},
+		Entry:   "m.main",
+	})
+	if status != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500 (%+v)", status, rr)
+	}
+	if rr.Steps == 0 {
+		t.Error("unverified run should have consumed steps before faulting")
+	}
+	vals, _ := scrapeMetrics(t, ts)
+	if vals["fpcd_verify_rejected_total"] != 0 {
+		t.Errorf("fpcd_verify_rejected_total = %v, want 0", vals["fpcd_verify_rejected_total"])
+	}
+}
+
+func TestRunBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Verify: true})
+	cases := []server.RunRequest{
+		{},                                     // no modules
+		{Modules: map[string]string{"m": goodSrc}},                   // no entry
+		{Modules: map[string]string{"m": goodSrc}, Entry: "nodot"},   // malformed entry
+		{Modules: map[string]string{"m": "not a module"}, Entry: "m.main"}, // compile error
+		{Modules: map[string]string{"m": goodSrc}, Entry: "m.main", Args: []int64{99999}}, // arg range
+	}
+	for i, rq := range cases {
+		status, _ := runPost(t, ts, rq)
+		if status != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, status)
+		}
+	}
+}

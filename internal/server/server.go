@@ -51,6 +51,11 @@ type Config struct {
 	// RequestTimeout is the per-request wall-clock deadline; the run is
 	// canceled (504) when it passes. Default: 10s.
 	RequestTimeout time.Duration
+	// Verify enables verify-at-admission for /run: every submitted program
+	// passes the link-time verifier before a machine (or any step budget)
+	// is committed to it. Rejections are 400s carrying the verifier's
+	// diagnostics, counted by fpcd_verify_rejected_total.
+	Verify bool
 }
 
 func (c *Config) fill() {
@@ -131,6 +136,7 @@ type counters struct {
 	canceledByPeer uint64 // client went away while queued
 	stepsServed    uint64 // sum of per-request Steps
 	cyclesServed   uint64 // sum of per-request Cycles
+	verifyRejected uint64 // /run programs the verifier rejected (400, zero steps)
 }
 
 // New builds a Server over pool with cfg (zero fields defaulted).
@@ -144,6 +150,7 @@ func New(pool *fpc.Pool, cfg Config) *Server {
 		drained: make(chan struct{}),
 	}
 	s.mux.HandleFunc("/call", s.handleCall)
+	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -327,21 +334,11 @@ func (s *Server) admitRequest(req *CallRequest) (desc fpc.Word, args []fpc.Word,
 	if err != nil {
 		return 0, nil, 0, err.Error()
 	}
-	args = make([]fpc.Word, len(req.Args))
-	for i, a := range req.Args {
-		if a < -32768 || a > 65535 {
-			return 0, nil, 0, fmt.Sprintf("arg %d out of 16-bit range: %d", i, a)
-		}
-		args[i] = fpc.Word(uint16(a))
+	args, errMsg = convertArgs(req.Args)
+	if errMsg != "" {
+		return 0, nil, 0, errMsg
 	}
-	budget = req.Budget
-	if budget == 0 {
-		budget = s.cfg.DefaultBudget
-	}
-	if budget > s.cfg.MaxBudget {
-		budget = s.cfg.MaxBudget
-	}
-	return desc, args, budget, ""
+	return desc, args, s.clampBudget(req.Budget), ""
 }
 
 // enqueue reserves a queue position, refusing when the queue is full.

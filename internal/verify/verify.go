@@ -1,0 +1,778 @@
+// Package verify is the link-time bytecode verifier: an abstract
+// interpreter over the predecoded instruction stream of a linked program.
+// Where the execution engine discovers a bad jump target, a stack fault or
+// an unresolvable descriptor only when execution reaches it — after a
+// server has already spent step budget — the verifier walks every
+// statically reachable pc once, at link/load time, and computes:
+//
+//   - per-pc evaluation-stack depth bounds (an interval [lo, hi]);
+//   - jump and branch target validity (and whether a target lands inside
+//     another instruction's operand bytes);
+//   - procedure-descriptor resolvability: gfi within the GFT, entry index
+//     within the instance's entry vector, under both linkage policies
+//     (link-vector external calls and §6 early-bound direct calls);
+//   - frame-size-index sanity for DCALL/SDCALL inline headers, entry
+//     vectors and AFB;
+//   - fall-off-the-end and reachable-invalid-slot detection (invalid
+//     slots that are never reachable — entry vectors, inline headers,
+//     padding — are deliberately NOT reported);
+//   - a conservative call graph with well-bracketed call/return
+//     structure; coroutine transfers (XFERO, COCREATE) and traps are
+//     modeled as may-edges with unknown resumption stacks.
+//
+// The analysis is a worklist fixpoint over depth intervals. Procedure
+// entries are the roots, each at depth 0 (the engine's enterProc delivers
+// the argument record into frame locals and clears the stack). Calls are
+// modeled interprocedurally: the depth after a call site is the callee's
+// result-depth summary — the join of the depth intervals at its reachable
+// RETs — recomputed to fixpoint, which handles recursion without flagging
+// it. Transfers the verifier cannot trace (XFERO targets, trap-handler
+// results) conservatively resume with the full interval [0, EvalStackDepth].
+//
+// Diagnostics come in two grades. Error marks a pc where reaching it
+// definitely fails or corrupts the machine — the program is rejected
+// (Report.Admitted() == false). Warn marks what cannot be proven safe; the
+// program is admitted, but any certificate-blocking Warn withholds
+// CertStackBounds, the certificate that lets the engine skip its
+// per-instruction stack bounds checks (see the soundness sketch in
+// DESIGN.md).
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// maxDepth is the evaluation-stack capacity the analysis bounds against.
+const maxDepth = isa.EvalStackDepth
+
+// interval is an abstract stack depth: every concrete depth reaching the
+// pc lies in [lo, hi].
+type interval struct{ lo, hi int }
+
+// top is the unknown depth: anything the machine accepts.
+var top = interval{0, maxDepth}
+
+func (a interval) join(b interval) interval {
+	if b.lo < a.lo {
+		a.lo = b.lo
+	}
+	if b.hi > a.hi {
+		a.hi = b.hi
+	}
+	return a
+}
+
+// region is one procedure's code range [entry, end) as the linker laid it
+// out; end is the next inline header in the segment (or the segment end).
+type region struct {
+	entry, end uint32
+	name       string
+	inst       *image.Instance
+	fsi        int
+}
+
+type diagKey struct {
+	pc     uint32
+	reason Reason
+}
+
+type analyzer struct {
+	p     *image.Program
+	code  []byte
+	insts []isa.Inst
+	data  map[mem.Addr]mem.Word
+
+	regions     []region
+	regionOf    []int32 // per pc: region index or -1
+	entryRegion map[uint32]int
+	instByCB    map[uint32]*image.Instance
+	boundary    []bool // canonical instruction boundaries per region
+
+	// trapsPossible: a STRAP is reachable, so DIV/MOD/TRAPB may transfer
+	// to an in-machine handler whose result depth is unknown. Determined
+	// by iterating the whole analysis (reachability of STRAP depends on
+	// the analysis, which depends on this flag; it only flips false→true,
+	// so at most two passes run).
+	trapsPossible bool
+	sawStrap      bool
+
+	state   []interval
+	reached []bool
+	work    []uint32
+	queued  []bool
+
+	sum     []interval // per region: result-depth summary (join of RET depths)
+	sumOK   []bool
+	deps    [][]uint32 // per region: call-site pcs awaiting its summary
+	depSeen map[uint64]bool
+	maxHi   []int // per region: max hi over its reached pcs
+
+	diags    []Diag
+	seen     map[diagKey]bool
+	certOK   bool
+	calls    []CallEdge
+	callSeen map[CallEdge]bool
+}
+
+// Program verifies a linked program and returns the structured report.
+// It never fails hard: malformed images produce Error diagnostics, not
+// panics, so a serving layer can always render the report.
+func Program(p *image.Program) *Report {
+	insts, _ := isa.Predecode(p.Code)
+	a := &analyzer{
+		p:           p,
+		code:        p.Code,
+		insts:       insts,
+		data:        make(map[mem.Addr]mem.Word, len(p.Data)),
+		entryRegion: map[uint32]int{},
+		instByCB:    map[uint32]*image.Instance{},
+	}
+	for _, dw := range p.Data {
+		a.data[dw.Addr] = dw.Val
+	}
+	a.buildRegions()
+	a.buildBoundaries()
+	for {
+		a.reset()
+		a.run()
+		if !a.sawStrap || a.trapsPossible {
+			break
+		}
+		a.trapsPossible = true
+	}
+	return a.report()
+}
+
+func (a *analyzer) buildRegions() {
+	ncode := uint32(len(a.code))
+	for _, inst := range a.p.Instances {
+		a.instByCB[inst.CodeBase] = inst
+		segEnd := ncode
+		for _, other := range a.p.Instances {
+			if other.CodeBase > inst.CodeBase && other.CodeBase < segEnd {
+				segEnd = other.CodeBase
+			}
+		}
+		for i := range inst.Module.Procs {
+			entry := inst.ProcEntryPC(i)
+			if entry >= ncode {
+				continue
+			}
+			end := segEnd
+			for j := range inst.Module.Procs {
+				if h := inst.ProcHeaderAddr(j); h > entry && h < end {
+					end = h
+				}
+			}
+			a.regions = append(a.regions, region{
+				entry: entry, end: end,
+				name: inst.Module.Name + "." + inst.Module.Procs[i].Name,
+				inst: inst, fsi: inst.FSI[i],
+			})
+		}
+	}
+	a.regionOf = make([]int32, len(a.code))
+	for i := range a.regionOf {
+		a.regionOf[i] = -1
+	}
+	for r, reg := range a.regions {
+		a.entryRegion[reg.entry] = r
+		for pc := reg.entry; pc < reg.end && pc < ncode; pc++ {
+			a.regionOf[pc] = int32(r)
+		}
+	}
+}
+
+// buildBoundaries marks the canonical instruction boundaries: the pcs a
+// linear decode from each procedure entry visits. Jumping anywhere else is
+// legal for the machine (the predecoded table is dense) but almost always
+// a compiler or relocation bug, so it gets a Warn.
+func (a *analyzer) buildBoundaries() {
+	a.boundary = make([]bool, len(a.code))
+	for _, reg := range a.regions {
+		for pc := reg.entry; pc < reg.end; {
+			in := &a.insts[pc]
+			if !in.Valid() {
+				break
+			}
+			a.boundary[pc] = true
+			pc += uint32(in.Size)
+		}
+	}
+}
+
+func (a *analyzer) reset() {
+	n := len(a.code)
+	a.state = make([]interval, n)
+	a.reached = make([]bool, n)
+	a.work = a.work[:0]
+	a.queued = make([]bool, n)
+	a.sum = make([]interval, len(a.regions))
+	a.sumOK = make([]bool, len(a.regions))
+	a.deps = make([][]uint32, len(a.regions))
+	a.depSeen = map[uint64]bool{}
+	a.maxHi = make([]int, len(a.regions))
+	for i := range a.maxHi {
+		a.maxHi[i] = -1
+	}
+	a.diags = nil
+	a.seen = map[diagKey]bool{}
+	a.certOK = true
+	a.calls = nil
+	a.callSeen = map[CallEdge]bool{}
+	a.sawStrap = false
+
+	// Roots: every linked procedure entry, at depth 0 — any of them can be
+	// the target of a serving call, a coroutine creation or a trap handler
+	// installation, and enterProc always clears the stack.
+	for _, reg := range a.regions {
+		a.joinInto(reg.entry, interval{0, 0})
+	}
+	// The program's start descriptor must itself resolve.
+	if a.p.Entry != 0 {
+		if !image.IsProc(a.p.Entry) {
+			a.diag(0, LevelError, ReasonBadDescriptor,
+				"entry context %04x is not a procedure descriptor", a.p.Entry)
+		} else {
+			a.resolveDescriptor(0, a.p.Entry, ReasonBadDescriptor, "entry ")
+		}
+	}
+}
+
+func (a *analyzer) run() {
+	for len(a.work) > 0 {
+		pc := a.work[len(a.work)-1]
+		a.work = a.work[:len(a.work)-1]
+		a.queued[pc] = false
+		a.step(pc, a.state[pc])
+	}
+}
+
+func (a *analyzer) enqueue(pc uint32) {
+	if !a.queued[pc] {
+		a.queued[pc] = true
+		a.work = append(a.work, pc)
+	}
+}
+
+// joinInto merges d into pc's state, queueing pc when it grew.
+func (a *analyzer) joinInto(pc uint32, d interval) {
+	if int(pc) >= len(a.code) {
+		return
+	}
+	if !a.reached[pc] {
+		a.reached[pc] = true
+		a.state[pc] = d
+		a.enqueue(pc)
+		return
+	}
+	if j := a.state[pc].join(d); j != a.state[pc] {
+		a.state[pc] = j
+		a.enqueue(pc)
+	}
+}
+
+// propagate flows d along an intra-procedural edge from → to (fall-through
+// or jump), reporting a fall off the end of the code space and flows that
+// cross a procedure boundary.
+func (a *analyzer) propagate(from, to uint32, d interval) {
+	if int(to) >= len(a.code) {
+		a.diag(from, LevelError, ReasonFallOffEnd,
+			"execution runs past the %d-byte code space", len(a.code))
+		return
+	}
+	if rf, rt := a.regionOf[from], a.regionOf[to]; rf != rt {
+		a.diagCert(from, ReasonCrossProcFlow,
+			"control flows from %s into %s without a call", a.regionName(rf), a.regionName(rt))
+	}
+	a.joinInto(to, d)
+}
+
+func (a *analyzer) regionName(r int32) string {
+	if r < 0 {
+		return "unowned code"
+	}
+	return a.regions[r].name
+}
+
+func (a *analyzer) procName(pc uint32) string {
+	if int(pc) < len(a.regionOf) {
+		if r := a.regionOf[pc]; r >= 0 {
+			return a.regions[r].name
+		}
+	}
+	return a.p.ProcName(pc)
+}
+
+func (a *analyzer) diag(pc uint32, lvl Level, reason Reason, format string, args ...interface{}) {
+	k := diagKey{pc, reason}
+	if a.seen[k] {
+		return
+	}
+	a.seen[k] = true
+	a.diags = append(a.diags, Diag{
+		PC: pc, Proc: a.procName(pc), Level: lvl, Reason: reason,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// diagCert emits a Warn that also withholds the stack-bounds certificate.
+func (a *analyzer) diagCert(pc uint32, reason Reason, format string, args ...interface{}) {
+	a.certOK = false
+	a.diag(pc, LevelWarn, reason, format, args...)
+}
+
+func (a *analyzer) edge(from, callee uint32, may bool) {
+	e := CallEdge{FromPC: from, Callee: callee, May: may}
+	if !a.callSeen[e] {
+		a.callSeen[e] = true
+		a.calls = append(a.calls, e)
+	}
+}
+
+func (a *analyzer) mayEdge(pc uint32) { a.edge(pc, 0, true) }
+
+// applyEffect applies a fixed stack effect at pc: definite faults are
+// Errors (the path ends), possible faults are certificate-blocking Warns
+// (the surviving depths continue).
+func (a *analyzer) applyEffect(pc uint32, d interval, pops, pushes int) (interval, bool) {
+	if d.hi < pops {
+		a.diag(pc, LevelError, ReasonStackUnderflow,
+			"%s pops %d with at most %d on the stack", a.insts[pc].Op, pops, d.hi)
+		return interval{}, false
+	}
+	if d.lo < pops {
+		a.diagCert(pc, ReasonMaybeUnderflow,
+			"%s pops %d with as few as %d on the stack", a.insts[pc].Op, pops, d.lo)
+	}
+	after := interval{d.lo - pops, d.hi - pops}
+	if after.lo < 0 {
+		after.lo = 0
+	}
+	if after.lo+pushes > maxDepth {
+		a.diag(pc, LevelError, ReasonStackOverflow,
+			"%s pushes to depth %d past the %d-word stack", a.insts[pc].Op, after.lo+pushes, maxDepth)
+		return interval{}, false
+	}
+	if after.hi+pushes > maxDepth {
+		a.diagCert(pc, ReasonMaybeOverflow,
+			"%s can push to depth %d past the %d-word stack", a.insts[pc].Op, after.hi+pushes, maxDepth)
+		after.hi = maxDepth - pushes
+	}
+	after.lo += pushes
+	after.hi += pushes
+	return after, true
+}
+
+func (a *analyzer) step(pc uint32, d interval) {
+	in := &a.insts[pc]
+	if !in.Valid() {
+		reason := ReasonTruncated
+		if isa.Op(a.code[pc]) >= isa.NumOps {
+			reason = ReasonBadOpcode
+		}
+		a.diag(pc, LevelError, reason, "%v", in.Err(a.code, int(pc)))
+		return
+	}
+	if r := a.regionOf[pc]; r >= 0 && d.hi > a.maxHi[r] {
+		a.maxHi[r] = d.hi
+	}
+	op := in.Op
+	next := pc + uint32(in.Size)
+
+	switch {
+	case op == isa.HALT:
+		return
+
+	case op == isa.RET:
+		a.doRet(pc, d)
+		return
+
+	case op.IsJump():
+		a.doJump(pc, in, d, next)
+		return
+
+	case op.IsCall():
+		a.doCall(pc, in, d, next)
+		return
+
+	case op == isa.XFERO:
+		// The popped context word is arbitrary; the transfer may reach any
+		// resumable frame. When something later transfers back here, the
+		// resumption arrives with that transfer's stack — unknown.
+		if _, ok := a.applyEffect(pc, d, 1, 0); !ok {
+			return
+		}
+		a.diagCert(pc, ReasonDynamicTransfer, "XFERO target and resumption stack are unknown")
+		a.mayEdge(pc)
+		a.propagate(pc, next, top)
+		return
+
+	case op == isa.TRAPB:
+		a.mayEdge(pc)
+		if a.trapsPossible {
+			// An in-machine handler's RETURN restores the trapper's
+			// operands beneath the handler's results: at least d.lo words,
+			// at most a full stack.
+			a.propagate(pc, next, interval{d.lo, maxDepth})
+			return
+		}
+		if after, ok := a.applyEffect(pc, d, 0, 1); ok {
+			a.propagate(pc, next, after)
+		}
+		return
+
+	case op == isa.DIV || op == isa.MOD:
+		after, ok := a.applyEffect(pc, d, 2, 1)
+		if !ok {
+			return
+		}
+		if a.trapsPossible {
+			// Division by zero can transfer to a handler; its result depth
+			// is unknown (handler results replace the quotient).
+			a.propagate(pc, next, interval{after.lo - 1, maxDepth})
+			return
+		}
+		a.propagate(pc, next, after)
+		return
+
+	case op == isa.STRAP:
+		a.sawStrap = true
+		a.diagCert(pc, ReasonDynamicTransfer, "STRAP installs a dynamic trap handler")
+		a.mayEdge(pc)
+		if after, ok := a.applyEffect(pc, d, 1, 0); ok {
+			a.propagate(pc, next, after)
+		}
+		return
+
+	case op == isa.COCREATE:
+		a.diagCert(pc, ReasonDynamicTransfer, "COCREATE constructs a coroutine context resumed outside call/return structure")
+		a.mayEdge(pc)
+		if after, ok := a.applyEffect(pc, d, 1, 1); ok {
+			a.propagate(pc, next, after)
+		}
+		return
+
+	case op == isa.FREE || op == isa.FFREE:
+		a.diagCert(pc, ReasonDynamicTransfer, "%s releases a context the verifier cannot track", op)
+		if after, ok := a.applyEffect(pc, d, 1, 0); ok {
+			a.propagate(pc, next, after)
+		}
+		return
+
+	case op == isa.STIND || op == isa.WFB:
+		a.diagCert(pc, ReasonDynamicTransfer, "%s stores through an arbitrary pointer and can reach frame or table linkage", op)
+		info := isa.InfoOf(op)
+		if after, ok := a.applyEffect(pc, d, int(info.Pops), int(info.Pushes)); ok {
+			a.propagate(pc, next, after)
+		}
+		return
+	}
+
+	// Remaining opcodes have a fixed effect from the metadata table, plus
+	// per-opcode operand sanity checks.
+	info := isa.InfoOf(op)
+	if info.Pops < 0 || info.Pushes < 0 {
+		// Defensive: a variable effect not handled above.
+		a.diagCert(pc, ReasonDynamicTransfer, "%s has a state-dependent stack effect", op)
+		a.propagate(pc, next, top)
+		return
+	}
+	switch {
+	case op >= isa.LL0 && op <= isa.LAB:
+		a.checkLocal(pc, in)
+	case op >= isa.LG0 && op <= isa.SGB:
+		a.checkGlobal(pc, in)
+	case op == isa.AFB:
+		if int(in.Arg) >= len(a.p.FrameSizes) {
+			a.diag(pc, LevelError, ReasonBadFrameSize,
+				"AFB class %d outside the %d-class frame-size table", in.Arg, len(a.p.FrameSizes))
+			return
+		}
+	}
+	if after, ok := a.applyEffect(pc, d, int(info.Pops), int(info.Pushes)); ok {
+		a.propagate(pc, next, after)
+	}
+}
+
+// checkLocal bounds local-variable accesses against the procedure's frame
+// class. A load past the frame reads a neighbouring heap word (garbage but
+// harmless); a store there corrupts the neighbour, so it blocks the
+// certificate.
+func (a *analyzer) checkLocal(pc uint32, in *isa.Inst) {
+	r := a.regionOf[pc]
+	if r < 0 || a.regions[r].fsi >= len(a.p.FrameSizes) {
+		return
+	}
+	payload := a.p.FrameSizes[a.regions[r].fsi]
+	off := image.FrameHeaderWords + int(in.Arg)
+	if off < payload {
+		return
+	}
+	op := in.Op
+	store := (op >= isa.SL0 && op <= isa.SL7) || op == isa.SLB
+	if store {
+		a.diagCert(pc, ReasonLocalRange,
+			"%s local %d: word %d of a %d-word frame (class %d)", op, in.Arg, off, payload, a.regions[r].fsi)
+	} else {
+		a.diag(pc, LevelWarn, ReasonLocalRange,
+			"%s local %d: word %d of a %d-word frame (class %d)", op, in.Arg, off, payload, a.regions[r].fsi)
+	}
+}
+
+// checkGlobal bounds global accesses against the module's declared global
+// count; a store past it lands in the neighbouring link vector or frame.
+func (a *analyzer) checkGlobal(pc uint32, in *isa.Inst) {
+	r := a.regionOf[pc]
+	if r < 0 {
+		return
+	}
+	ng := a.regions[r].inst.Module.NumGlobals
+	if int(in.Arg) < ng {
+		return
+	}
+	if in.Op == isa.SGB {
+		a.diagCert(pc, ReasonGlobalRange,
+			"SGB global %d of %d in module %s", in.Arg, ng, a.regions[r].inst.Module.Name)
+	} else {
+		a.diag(pc, LevelWarn, ReasonGlobalRange,
+			"%s global %d of %d in module %s", in.Op, in.Arg, ng, a.regions[r].inst.Module.Name)
+	}
+}
+
+func (a *analyzer) doJump(pc uint32, in *isa.Inst, d interval, next uint32) {
+	info := isa.InfoOf(in.Op)
+	after, ok := a.applyEffect(pc, d, int(info.Pops), 0)
+	if !ok {
+		return
+	}
+	t := in.Target
+	if int64(t) >= int64(len(a.code)) || !a.insts[t].Valid() {
+		a.diag(pc, LevelError, ReasonBadJumpTarget,
+			"%s to %06x: no instruction decodes there", in.Op, t)
+	} else {
+		if !a.boundary[t] {
+			a.diag(pc, LevelWarn, ReasonJumpIntoOperands,
+				"%s lands at %06x, inside another instruction's operand bytes", in.Op, t)
+		}
+		a.propagate(pc, t, after)
+	}
+	if in.Op != isa.JB && in.Op != isa.JW {
+		a.propagate(pc, next, after) // conditional: may fall through
+	}
+}
+
+// doRet folds the depth at a RET into its procedure's result summary and
+// requeues every call site waiting on it.
+func (a *analyzer) doRet(pc uint32, d interval) {
+	r := a.regionOf[pc]
+	if r < 0 {
+		a.diagCert(pc, ReasonCrossProcFlow, "RET outside any procedure; its result depth cannot be attributed")
+		return
+	}
+	if !a.sumOK[r] {
+		a.sumOK[r] = true
+		a.sum[r] = d
+	} else if j := a.sum[r].join(d); j != a.sum[r] {
+		a.sum[r] = j
+	} else {
+		return
+	}
+	for _, site := range a.deps[r] {
+		a.enqueue(site)
+	}
+}
+
+func (a *analyzer) doCall(pc uint32, in *isa.Inst, d interval, next uint32) {
+	op := in.Op
+	r := a.regionOf[pc]
+	var entry uint32
+	var fsi int
+	var ok bool
+
+	switch {
+	case op.IsExternalCall():
+		if r < 0 {
+			a.diagCert(pc, ReasonIrregularCall, "external call outside any procedure")
+			a.mayEdge(pc)
+			a.propagate(pc, next, top)
+			return
+		}
+		inst := a.regions[r].inst
+		slot := int(in.Arg)
+		ctx, present := a.data[inst.GF-1-mem.Addr(slot)]
+		if !present || ctx == 0 {
+			// The machine XFERs to NIL: the computation halts there.
+			a.diagCert(pc, ReasonUnresolvedLink,
+				"link vector slot %d of %s is empty", slot, inst.Module.Name)
+			a.mayEdge(pc)
+			return
+		}
+		if !image.IsProc(ctx) {
+			a.diagCert(pc, ReasonUnresolvedLink,
+				"link vector slot %d of %s holds %04x, not a procedure descriptor", slot, inst.Module.Name, ctx)
+			a.mayEdge(pc)
+			a.propagate(pc, next, top)
+			return
+		}
+		entry, fsi, ok = a.resolveDescriptor(pc, ctx, ReasonBadDescriptor, "")
+
+	case op.IsLocalCall():
+		if r < 0 {
+			a.diagCert(pc, ReasonIrregularCall, "local call outside any procedure")
+			a.mayEdge(pc)
+			a.propagate(pc, next, top)
+			return
+		}
+		inst := a.regions[r].inst
+		if ev := int(in.Arg); ev >= len(inst.EVOffsets) {
+			a.diag(pc, LevelError, ReasonBadEntryVector,
+				"%s entry %d past the %d-slot entry vector of %s", op, ev, len(inst.EVOffsets), inst.Module.Name)
+			return
+		}
+		entry, fsi, ok = a.resolveEntry(pc, inst.CodeBase, int(in.Arg), ReasonBadEntryVector, "")
+
+	default: // DCALL / SDCALL
+		if !in.CallOK {
+			a.diag(pc, LevelError, ReasonBadCallHeader,
+				"%s header at %06x lies outside the %d-byte code space", op, in.Target, len(a.code))
+			return
+		}
+		entry = in.Target + isa.HeaderSkip
+		fsi = int(in.FSI)
+		if int64(entry) >= int64(len(a.code)) || !a.insts[entry].Valid() {
+			a.diag(pc, LevelError, ReasonBadCallHeader,
+				"%s entry %06x does not decode", op, entry)
+			return
+		}
+		if fsi >= len(a.p.FrameSizes) {
+			a.diag(pc, LevelError, ReasonBadFrameSize,
+				"%s header class %d outside the %d-class frame-size table", op, fsi, len(a.p.FrameSizes))
+			return
+		}
+		ok = true
+	}
+	if !ok {
+		return
+	}
+	a.finishCall(pc, next, d, entry, fsi)
+}
+
+// finishCall wires a resolved call site: the arg-record fit check, the
+// call edge, and the interprocedural fall-through (the callee's result
+// summary becomes the caller's depth after the call).
+func (a *analyzer) finishCall(pc, next uint32, d interval, entry uint32, fsi int) {
+	a.edge(pc, entry, false)
+	if payload := a.p.FrameSizes[fsi]; image.FrameHeaderWords+d.hi > payload {
+		a.diagCert(pc, ReasonArgOverrun,
+			"call can carry %d stack words into a %d-word frame (class %d)", d.hi, payload, fsi)
+	}
+	cr, isEntry := a.entryRegion[entry]
+	if !isEntry {
+		// The target decodes but is not a procedure entry the linker laid
+		// out: its RETs cannot be attributed, so its result depth is
+		// unknown.
+		a.diagCert(pc, ReasonIrregularCall,
+			"call target %06x is not a linked procedure entry", entry)
+		a.joinInto(entry, interval{0, 0})
+		a.propagate(pc, next, top)
+		return
+	}
+	key := uint64(cr)<<32 | uint64(pc)
+	if !a.depSeen[key] {
+		a.depSeen[key] = true
+		a.deps[cr] = append(a.deps[cr], pc)
+	}
+	if a.sumOK[cr] {
+		a.propagate(pc, next, a.sum[cr])
+	}
+	// Summary still unknown: the callee provably never returns (yet); the
+	// fall-through stays unreached until a RET appears.
+}
+
+// resolveDescriptor statically walks the §5.1 indirection chain of a
+// packed procedure descriptor: GFT entry → global frame → code base →
+// entry vector → frame-size index.
+func (a *analyzer) resolveDescriptor(pc uint32, desc mem.Word, reason Reason, what string) (entry uint32, fsi int, ok bool) {
+	gfi, ev := image.UnpackProc(desc)
+	gfte, present := a.data[image.GFTBase+mem.Addr(gfi)]
+	if !present {
+		a.diag(pc, LevelError, reason,
+			"%sdescriptor %04x: gfi %d has no GFT entry", what, desc, gfi)
+		return 0, 0, false
+	}
+	gf, bias := image.UnpackGFTEntry(gfte)
+	lo, okLo := a.data[gf]
+	hi, okHi := a.data[gf+1]
+	if !okLo || !okHi {
+		a.diag(pc, LevelError, reason,
+			"%sdescriptor %04x: global frame %04x holds no code base", what, desc, gf)
+		return 0, 0, false
+	}
+	cb := uint32(lo) | uint32(hi)<<16
+	evIdx := ev + bias
+	if inst := a.instByCB[cb]; inst != nil && evIdx >= len(inst.EVOffsets) {
+		a.diag(pc, LevelError, reason,
+			"%sdescriptor %04x: entry %d past the %d-slot entry vector of %s",
+			what, desc, evIdx, len(inst.EVOffsets), inst.Module.Name)
+		return 0, 0, false
+	}
+	return a.resolveEntry(pc, cb, evIdx, reason, what)
+}
+
+// resolveEntry reads entry-vector slot evIdx of the segment at cb the way
+// the machine's LOCALCALL path does, validating every read.
+func (a *analyzer) resolveEntry(pc uint32, cb uint32, evIdx int, reason Reason, what string) (entry uint32, fsi int, ok bool) {
+	evAddr := int64(cb) + int64(2*evIdx)
+	if evAddr+1 >= int64(len(a.code)) || evAddr < 0 {
+		a.diag(pc, LevelError, reason,
+			"%sentry-vector slot %d at %06x reads outside the code space", what, evIdx, evAddr)
+		return 0, 0, false
+	}
+	evOff := uint32(a.code[evAddr]) | uint32(a.code[evAddr+1])<<8
+	fsiAddr := int64(cb) + int64(evOff)
+	if fsiAddr >= int64(len(a.code)) {
+		a.diag(pc, LevelError, reason,
+			"%sentry %d: header at %06x lies outside the code space", what, evIdx, fsiAddr)
+		return 0, 0, false
+	}
+	fsi = int(a.code[fsiAddr])
+	entry = uint32(fsiAddr) + 1
+	if int64(entry) >= int64(len(a.code)) || !a.insts[entry].Valid() {
+		a.diag(pc, LevelError, reason,
+			"%sentry %d: first instruction at %06x does not decode", what, evIdx, entry)
+		return 0, 0, false
+	}
+	if fsi >= len(a.p.FrameSizes) {
+		a.diag(pc, LevelError, ReasonBadFrameSize,
+			"%sentry %d: frame class %d outside the %d-class table", what, evIdx, fsi, len(a.p.FrameSizes))
+		return 0, 0, false
+	}
+	return entry, fsi, true
+}
+
+func (a *analyzer) report() *Report {
+	r := &Report{
+		Diags:  a.diags,
+		Calls:  a.calls,
+		Depths: make(map[uint32][2]int),
+	}
+	for pc := range a.code {
+		if a.reached[pc] {
+			r.Depths[uint32(pc)] = [2]int{a.state[pc].lo, a.state[pc].hi}
+		}
+	}
+	for i, reg := range a.regions {
+		pi := ProcInfo{Name: reg.name, Entry: reg.entry, MaxDepth: a.maxHi[i], ResultLo: -1, ResultHi: -1}
+		if a.sumOK[i] {
+			pi.ResultLo, pi.ResultHi = a.sum[i].lo, a.sum[i].hi
+		}
+		r.Procs = append(r.Procs, pi)
+	}
+	r.CertStackBounds = a.certOK && r.Admitted()
+	return r
+}

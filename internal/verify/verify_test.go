@@ -1,0 +1,260 @@
+package verify_test
+
+import (
+	"testing"
+
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/linker"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func buildWorkload(t *testing.T, w *workload.Program, early bool) *image.Program {
+	t.Helper()
+	prog, _, err := w.Build(linker.Options{EarlyBind: early})
+	if err != nil {
+		t.Fatalf("build %s: %v", w.Name, err)
+	}
+	return prog
+}
+
+func linkOne(t *testing.T, m *image.Module, entry string) *image.Program {
+	t.Helper()
+	prog, _, err := linker.Link([]*image.Module{m}, m.Name, entry, linker.Options{})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return prog
+}
+
+func hasReason(diags []verify.Diag, reason verify.Reason) bool {
+	for _, d := range diags {
+		if d.Reason == reason {
+			return true
+		}
+	}
+	return false
+}
+
+// Recursive compiler output must be admitted, certified, and carry sane
+// per-procedure summaries — recursion is handled by the interprocedural
+// fixpoint, not flagged as unbounded.
+func TestFibAdmittedAndCertified(t *testing.T) {
+	for _, early := range []bool{false, true} {
+		prog := buildWorkload(t, workload.Fib(10), early)
+		r := verify.Program(prog)
+		if !r.Admitted() {
+			t.Fatalf("early=%v: fib rejected:\n%s", early, r)
+		}
+		if !r.CertStackBounds {
+			t.Fatalf("early=%v: fib denied stack-bounds certificate:\n%s", early, r)
+		}
+		var sawFib bool
+		for _, p := range r.Procs {
+			if p.MaxDepth < 0 {
+				continue
+			}
+			if p.MaxDepth > isa.EvalStackDepth {
+				t.Errorf("early=%v: %s max depth %d exceeds the stack", early, p.Name, p.MaxDepth)
+			}
+			if p.Name == "fib.fib" {
+				sawFib = true
+				if p.ResultLo != 1 || p.ResultHi != 1 {
+					t.Errorf("early=%v: fib.fib results [%d,%d], want [1,1]", early, p.ResultLo, p.ResultHi)
+				}
+			}
+		}
+		if !sawFib {
+			t.Errorf("early=%v: no reached lib.fib in %+v", early, r.Procs)
+		}
+	}
+}
+
+// Every checked-in workload must at least be admitted under both linkage
+// policies (coroutine/trap workloads legitimately lose the certificate).
+func TestCorpusAdmitted(t *testing.T) {
+	for _, w := range workload.Corpus() {
+		for _, early := range []bool{false, true} {
+			prog := buildWorkload(t, w, early)
+			if r := verify.Program(prog); !r.Admitted() {
+				t.Errorf("%s early=%v rejected:\n%s", w.Name, early, r)
+			}
+		}
+	}
+}
+
+// Generator output is the fuzzing front line: every random program must be
+// admitted (the full 0–9999 sweep runs in difffuzz / make verify-corpus).
+func TestRandomProgramsAdmitted(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		for _, early := range []bool{false, true} {
+			prog := buildWorkload(t, workload.RandomProgram(seed), early)
+			if r := verify.Program(prog); !r.Admitted() {
+				t.Errorf("seed %d early=%v rejected:\n%s", seed, early, r)
+			}
+		}
+	}
+}
+
+// jumpPatchProgram links { LI0; JB l; LIW imm; l: HALT } and then moves the
+// JB offset back by delta bytes, so the jump lands inside the LIW operand.
+func jumpPatchProgram(t *testing.T, imm int32, delta byte) *image.Program {
+	t.Helper()
+	var a image.Asm
+	l := a.NewLabel()
+	a.Emit(isa.LI0)
+	a.EmitJump(isa.JB, l)
+	a.Emit(isa.LIW, imm)
+	a.Bind(l)
+	a.Emit(isa.HALT)
+	m := &image.Module{Name: "m", Procs: []*image.Proc{{Name: "p", Body: a.Fragment()}}}
+	prog := linkOne(t, m, "p")
+	// Find the JB from the entry and bend its offset.
+	insts, _ := isa.Predecode(prog.Code)
+	pc := prog.Instances[0].ProcEntryPC(0)
+	for insts[pc].Op != isa.JB {
+		if !insts[pc].Valid() {
+			t.Fatalf("no JB found from entry %06x", pc)
+		}
+		pc += uint32(insts[pc].Size)
+	}
+	prog.Code[pc+1] -= delta
+	return prog
+}
+
+// A jump bent onto a byte where no instruction decodes is a definite
+// runtime error: rejected.
+func TestBadJumpTargetRejected(t *testing.T) {
+	// LIW 0xFFFF encodes as FF FF; 0xFF is not an opcode.
+	prog := jumpPatchProgram(t, int32(0xFFFF), 1)
+	r := verify.Program(prog)
+	if r.Admitted() {
+		t.Fatalf("bad jump target admitted:\n%s", r)
+	}
+	if !hasReason(r.Errors(), verify.ReasonBadJumpTarget) {
+		t.Fatalf("missing %s:\n%s", verify.ReasonBadJumpTarget, r)
+	}
+}
+
+// A jump into another instruction's operand bytes that still decodes is a
+// shadow stream: legal for the machine, warned, admitted.
+func TestJumpIntoOperandsWarned(t *testing.T) {
+	// LIW 0x0101 encodes as 01 01; 0x01 decodes as HALT.
+	prog := jumpPatchProgram(t, int32(0x0101), 1)
+	r := verify.Program(prog)
+	if !r.Admitted() {
+		t.Fatalf("shadow-stream jump rejected:\n%s", r)
+	}
+	if !hasReason(r.Warnings(), verify.ReasonJumpIntoOperands) {
+		t.Fatalf("missing %s:\n%s", verify.ReasonJumpIntoOperands, r)
+	}
+}
+
+// An entry descriptor whose entry index points past the instance's entry
+// vector must be rejected.
+func TestDescriptorPastEVRejected(t *testing.T) {
+	prog := buildWorkload(t, workload.Fib(5), false)
+	inst := prog.Instances[0]
+	desc, err := image.DescriptorFor(inst.GFIBase, len(inst.Module.Procs))
+	if err != nil {
+		t.Fatalf("descriptor: %v", err)
+	}
+	prog.Entry = desc
+	r := verify.Program(prog)
+	if r.Admitted() {
+		t.Fatalf("descriptor past EV admitted:\n%s", r)
+	}
+	if !hasReason(r.Errors(), verify.ReasonBadDescriptor) {
+		t.Fatalf("missing %s:\n%s", verify.ReasonBadDescriptor, r)
+	}
+}
+
+// Invalid slots that are not reachable — here, garbage appended after the
+// last procedure — must NOT reject the program, and must not cost it the
+// certificate either.
+func TestUnreachableInvalidSlotsAccepted(t *testing.T) {
+	prog := buildWorkload(t, workload.Fib(5), false)
+	prog.Code = append(prog.Code, 0xFF, 0xFF, 0xFF)
+	r := verify.Program(prog)
+	if !r.Admitted() {
+		t.Fatalf("unreachable garbage rejected:\n%s", r)
+	}
+	if !r.CertStackBounds {
+		t.Fatalf("unreachable garbage cost the certificate:\n%s", r)
+	}
+}
+
+// Fourteen pushes in a straight line definitely overflow the 13-word
+// stack: rejected with a definite diagnostic, not a maybe.
+func TestDefiniteOverflowRejected(t *testing.T) {
+	var a image.Asm
+	for i := 0; i <= isa.EvalStackDepth; i++ {
+		a.Emit(isa.LI1)
+	}
+	a.Emit(isa.HALT)
+	m := &image.Module{Name: "m", Procs: []*image.Proc{{Name: "p", Body: a.Fragment()}}}
+	r := verify.Program(linkOne(t, m, "p"))
+	if r.Admitted() {
+		t.Fatalf("definite overflow admitted:\n%s", r)
+	}
+	if !hasReason(r.Errors(), verify.ReasonStackOverflow) {
+		t.Fatalf("missing %s:\n%s", verify.ReasonStackOverflow, r)
+	}
+}
+
+// A POP on procedure entry (depth is exactly 0) definitely underflows.
+func TestDefiniteUnderflowRejected(t *testing.T) {
+	var a image.Asm
+	a.Emit(isa.POP)
+	a.Emit(isa.HALT)
+	m := &image.Module{Name: "m", Procs: []*image.Proc{{Name: "p", Body: a.Fragment()}}}
+	r := verify.Program(linkOne(t, m, "p"))
+	if r.Admitted() {
+		t.Fatalf("definite underflow admitted:\n%s", r)
+	}
+	if !hasReason(r.Errors(), verify.ReasonStackUnderflow) {
+		t.Fatalf("missing %s:\n%s", verify.ReasonStackUnderflow, r)
+	}
+}
+
+// A net-push loop MIGHT overflow (it does at run time, but only after some
+// iterations): the verifier admits it — the machine's checked push catches
+// it — but withholds the certificate.
+func TestNetPushLoopAdmittedUncertified(t *testing.T) {
+	var a image.Asm
+	l := a.NewLabel()
+	a.Bind(l)
+	a.Emit(isa.LI0)
+	a.EmitJump(isa.JB, l)
+	m := &image.Module{Name: "m", Procs: []*image.Proc{{Name: "p", Body: a.Fragment()}}}
+	r := verify.Program(linkOne(t, m, "p"))
+	if !r.Admitted() {
+		t.Fatalf("net-push loop rejected:\n%s", r)
+	}
+	if r.CertStackBounds {
+		t.Fatalf("net-push loop certified:\n%s", r)
+	}
+	if !hasReason(r.Warnings(), verify.ReasonMaybeOverflow) {
+		t.Fatalf("missing %s:\n%s", verify.ReasonMaybeOverflow, r)
+	}
+}
+
+// Depth annotations must exist for reached pcs and stay inside the stack.
+func TestDepthsPopulated(t *testing.T) {
+	prog := buildWorkload(t, workload.Fib(5), true)
+	r := verify.Program(prog)
+	entry := prog.Instances[0].ProcEntryPC(0)
+	lo, hi, ok := r.DepthAt(entry)
+	if !ok {
+		t.Fatalf("entry %06x unreached", entry)
+	}
+	if lo != 0 || hi != 0 {
+		t.Errorf("entry depth [%d,%d], want [0,0]", lo, hi)
+	}
+	for pc, d := range r.Depths {
+		if d[0] < 0 || d[1] > isa.EvalStackDepth || d[0] > d[1] {
+			t.Errorf("pc %06x: bad interval %v", pc, d)
+		}
+	}
+}
