@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json check serve-smoke fuzz-smoke verify-corpus
+.PHONY: build vet test race bench bench-json bench-serve-json check serve-smoke fuzz-smoke verify-corpus
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkPoolThroughput$$|BenchmarkMachine|BenchmarkInterpreterDispatch' -count 3 . \
 		| $(GO) run ./scripts/benchjson -out BENCH_dispatch.json
+
+# Record the registry serving benchmarks into BENCH_serve.json: the cache
+# hit path (zero verify/link/predecode work) against the cold submit path
+# that pays the full load pipeline per program.
+bench-serve-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkRegistry|BenchmarkColdSubmit' -count 3 ./internal/registry \
+		| $(GO) run ./scripts/benchjson -out BENCH_serve.json
 
 # End-to-end smoke of the serving subsystem: start fpcd, drive it with
 # fpcload, scrape /metrics, assert non-zero pooled runs, drain on SIGTERM.

@@ -8,7 +8,11 @@
 //	fpcd [-addr :8080] [-config mesa|fastfetch|fastcalls] [flags] [file.fpc ...]
 //
 // With no source files it serves a built-in demo module ("serve", with
-// fib/spin/forever/echo procedures). SIGINT/SIGTERM triggers a graceful
+// fib/spin/forever/echo procedures). Submitted /run programs are cached
+// in a content-addressed registry (-cache-budget, -cache-images, -warm)
+// and re-invokable by hash via /call/{hash}; per-tenant admission quotas
+// (-tenant-inflight, -tenant-queue, -tenant-step-rate) isolate tenants
+// keyed by the X-Tenant header. SIGINT/SIGTERM triggers a graceful
 // drain: in-flight calls finish, new calls get 503, then the listener
 // shuts down.
 package main
@@ -70,6 +74,13 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight calls on shutdown")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	verifyFlag := flag.Bool("verify", true, "verify-at-admission: statically verify the served program at startup (fatal if rejected) and every /run submission (400 on rejection, zero budget spent)")
+	cacheBudget := flag.Int64("cache-budget", 256<<20, "registry memory budget in bytes for cached program images (LRU beyond it)")
+	cacheImages := flag.Int("cache-images", 0, "max resident cached images regardless of bytes (0 = unlimited)")
+	warm := flag.Int("warm", 0, "machines pre-booted per cached image (0 = 1, negative = none)")
+	tenantInflight := flag.Int("tenant-inflight", 0, "max in-flight+queued requests per tenant (0 = no per-tenant sharding)")
+	tenantQueue := flag.Int("tenant-queue", 0, "max requests waiting per tenant beyond its in-flight cap (0 = 2x tenant-inflight)")
+	tenantStepRate := flag.Uint64("tenant-step-rate", 0, "per-tenant step quota refill, simulated instructions/second (0 = unlimited)")
+	tenantStepBurst := flag.Uint64("tenant-step-burst", 0, "per-tenant step quota bucket cap (0 = 1s of -tenant-step-rate)")
 	flag.Parse()
 
 	cfg, err := machineConfig(*configName)
@@ -117,13 +128,20 @@ func main() {
 		}
 	}
 	srv := server.New(pool, server.Config{
-		MaxInFlight:    *inflight,
-		MaxQueue:       *queue,
-		QueueTimeout:   *queueTimeout,
-		DefaultBudget:  *budget,
-		MaxBudget:      *maxBudget,
-		RequestTimeout: *timeout,
-		Verify:         *verifyFlag,
+		MaxInFlight:       *inflight,
+		MaxQueue:          *queue,
+		QueueTimeout:      *queueTimeout,
+		DefaultBudget:     *budget,
+		MaxBudget:         *maxBudget,
+		RequestTimeout:    *timeout,
+		Verify:            *verifyFlag,
+		CacheBudget:       *cacheBudget,
+		CacheImages:       *cacheImages,
+		WarmMachines:      *warm,
+		TenantMaxInFlight: *tenantInflight,
+		TenantMaxQueue:    *tenantQueue,
+		TenantStepRate:    *tenantStepRate,
+		TenantStepBurst:   *tenantStepBurst,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
@@ -159,7 +177,8 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "fpcd: shutdown:", err)
 	}
-	fmt.Printf("fpcd: served %d runs, done\n", pool.Runs())
+	runs, _ := srv.Registry().Aggregate()
+	fmt.Printf("fpcd: served %d runs, %s, done\n", runs, srv.Registry())
 }
 
 func machineConfig(name string) (fpc.Config, error) {

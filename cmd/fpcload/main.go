@@ -1,12 +1,30 @@
 // Command fpcload is a closed-loop load generator for fpcd: N workers
-// each issue /call requests back-to-back for a fixed count or duration,
-// then it prints throughput, a status-code breakdown, and latency
-// percentiles.
+// each issue requests back-to-back for a fixed count or duration, then
+// it prints throughput, a status-code breakdown, and latency percentiles.
+//
+// Two modes:
+//
+//   - /call mode (default): every request invokes -proc on the daemon's
+//     served program, optionally as one tenant (-tenant).
+//
+//   - mixed-tenant /run mode (-programs > 0): workers submit -programs
+//     distinct programs as -tenants tenants ("t0".."tN-1", round-robin
+//     by worker). Each request re-submits an already-seen program with
+//     probability -repeat, else submits the next fresh one — so the
+//     registry's hit rate and the per-tenant admission shards are both
+//     exercisable from one command line. The summary reports the cache
+//     hit rate (from the responses' "cached" field) and a per-tenant
+//     breakdown.
+//
+// -assert-max-shed and -assert-max-p99 turn the summary into a check:
+// the exit status is non-zero when sheds or overall p99 exceed them.
 //
 // Usage:
 //
 //	fpcload [-addr http://localhost:8080] [-proc serve.fib] [-args "15"]
-//	        [-workers 8] [-n 1000 | -d 5s] [-budget 0]
+//	        [-workers 8] [-n 1000 | -d 5s] [-budget 0] [-tenant name]
+//	        [-programs 0] [-tenants 1] [-repeat 0.8]
+//	        [-assert-max-shed -1] [-assert-max-p99 0]
 package main
 
 import (
@@ -15,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -27,20 +46,42 @@ import (
 	"repro/internal/stats"
 )
 
+// mixSource builds the id-th distinct program of a mixed-tenant run: the
+// linked bytes differ in one constant, so each id has its own content
+// hash and registry entry.
+func mixSource(id int) string {
+	return fmt.Sprintf(`
+module mix;
+proc fib(n) {
+  if (n < 2) { return n; }
+  return fib(n-1) + fib(n-2);
+}
+proc main(n) { return fib(n) + %d; }
+`, id)
+}
+
+// tenantStat is one tenant's slice of the run.
+type tenantStat struct {
+	total, ok, shed, other int
+	lat                    stats.Histogram
+}
+
 func main() {
 	addr := flag.String("addr", "http://localhost:8080", "fpcd base URL")
-	procName := flag.String("proc", "serve.fib", "procedure to call as Module.proc")
+	procName := flag.String("proc", "serve.fib", "procedure to call as Module.proc (/call mode)")
 	argStr := flag.String("args", "15", "space-separated integer arguments")
 	workers := flag.Int("workers", 8, "concurrent closed-loop workers")
 	n := flag.Int("n", 1000, "total calls to issue (ignored when -d is set)")
 	d := flag.Duration("d", 0, "run for a duration instead of a fixed count")
 	budget := flag.Uint64("budget", 0, "per-request step budget (0 = server default)")
+	tenant := flag.String("tenant", "", "X-Tenant header for every request (/call mode)")
+	programs := flag.Int("programs", 0, "mixed-tenant /run mode: number of distinct programs (0 = /call mode)")
+	tenants := flag.Int("tenants", 1, "mixed-tenant mode: tenants, named t0..tN-1, round-robin by worker")
+	repeat := flag.Float64("repeat", 0.8, "mixed-tenant mode: probability a request re-submits an already-seen program")
+	assertMaxShed := flag.Int("assert-max-shed", -1, "exit non-zero when more than this many requests shed 429/503 (-1 = off)")
+	assertMaxP99 := flag.Duration("assert-max-p99", 0, "exit non-zero when overall p99 latency exceeds this (0 = off)")
 	flag.Parse()
 
-	parts := strings.SplitN(*procName, ".", 2)
-	if len(parts) != 2 {
-		fatal(fmt.Errorf("bad -proc %q; want Module.proc", *procName))
-	}
 	var args []int64
 	for _, f := range strings.Fields(*argStr) {
 		v, err := strconv.ParseInt(f, 0, 32)
@@ -49,20 +90,37 @@ func main() {
 		}
 		args = append(args, v)
 	}
-	body, err := json.Marshal(server.CallRequest{
-		Module: parts[0], Proc: parts[1], Args: args, Budget: *budget,
-	})
-	if err != nil {
-		fatal(err)
-	}
 
 	var (
-		mu       sync.Mutex
-		lat      stats.Histogram // microseconds
-		statuses = map[int]int{}
-		netErrs  int
-		steps    uint64
+		mu        sync.Mutex
+		lat       stats.Histogram // microseconds, all requests
+		statuses  = map[int]int{}
+		perTenant = map[string]*tenantStat{}
+		netErrs   int
+		steps     uint64
+		hits      int // /run 200s with cached:true
+		runOKs    int // /run 200s
 	)
+	observe := func(tn string, status int, el time.Duration) {
+		ts := perTenant[tn]
+		if ts == nil {
+			ts = &tenantStat{}
+			perTenant[tn] = ts
+		}
+		ts.total++
+		ts.lat.Observe(int(el.Microseconds()))
+		switch {
+		case status == http.StatusOK:
+			ts.ok++
+		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+			ts.shed++
+		default:
+			ts.other++
+		}
+		statuses[status]++
+		lat.Observe(int(el.Microseconds()))
+	}
+
 	deadline := time.Time{}
 	if *d > 0 {
 		deadline = time.Now().Add(*d)
@@ -76,13 +134,57 @@ func main() {
 	close(work)
 
 	client := &http.Client{Timeout: 30 * time.Second}
-	url := strings.TrimRight(*addr, "/") + "/call"
+	base := strings.TrimRight(*addr, "/")
+	mixed := *programs > 0
+
+	// In mixed mode, ids below fresh have been submitted at least once; a
+	// "repeat" request draws from them, a "fresh" request claims the next.
+	var fresh int
+
+	post := func(url, tn string, body []byte) (int, []byte, error) {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if tn != "" {
+			req.Header.Set("X-Tenant", tn)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, data, nil
+	}
+
+	var callBody []byte
+	if !mixed {
+		parts := strings.SplitN(*procName, ".", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -proc %q; want Module.proc", *procName))
+		}
+		var err error
+		callBody, err = json.Marshal(server.CallRequest{
+			Module: parts[0], Proc: parts[1], Args: args, Budget: *budget,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			tn := *tenant
+			if mixed && *tenants > 0 {
+				tn = fmt.Sprintf("t%d", w%*tenants)
+			}
 			for {
 				if *d > 0 {
 					if time.Now().After(deadline) {
@@ -93,8 +195,49 @@ func main() {
 						return
 					}
 				}
+
+				if !mixed {
+					t0 := time.Now()
+					status, data, err := post(base+"/call", tn, callBody)
+					el := time.Since(t0)
+					mu.Lock()
+					if err != nil {
+						netErrs++
+						mu.Unlock()
+						continue
+					}
+					observe(tn, status, el)
+					mu.Unlock()
+					var cr server.CallResponse
+					if json.Unmarshal(data, &cr) == nil {
+						mu.Lock()
+						steps += cr.Steps
+						mu.Unlock()
+					}
+					continue
+				}
+
+				// Mixed mode: pick a program — repeat an already-seen one
+				// (a registry hit, modulo eviction) or claim a fresh id.
+				mu.Lock()
+				id := fresh % *programs
+				if fresh >= *programs || (fresh > 0 && rng.Float64() < *repeat) {
+					id = rng.Intn(min(fresh, *programs))
+				} else {
+					fresh++
+				}
+				mu.Unlock()
+				body, err := json.Marshal(server.RunRequest{
+					Modules: map[string]string{"mix": mixSource(id)},
+					Entry:   "mix.main",
+					Args:    args,
+					Budget:  *budget,
+				})
+				if err != nil {
+					fatal(err)
+				}
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				status, data, err := post(base+"/run", tn, body)
 				el := time.Since(t0)
 				mu.Lock()
 				if err != nil {
@@ -102,26 +245,33 @@ func main() {
 					mu.Unlock()
 					continue
 				}
-				statuses[resp.StatusCode]++
-				lat.Observe(int(el.Microseconds()))
+				observe(tn, status, el)
 				mu.Unlock()
-				var cr server.CallResponse
-				if err := json.NewDecoder(resp.Body).Decode(&cr); err == nil {
+				var rr server.RunResponse
+				if json.Unmarshal(data, &rr) == nil {
 					mu.Lock()
-					steps += cr.Steps
+					steps += rr.Steps
+					if status == http.StatusOK {
+						runOKs++
+						if rr.Cached {
+							hits++
+						}
+					}
 					mu.Unlock()
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
 	total := uint64(lat.Count())
-	fmt.Printf("fpcload: %d calls in %v (%d workers) against %s\n",
-		total, wall.Round(time.Millisecond), *workers, url)
+	mode := "/call"
+	if mixed {
+		mode = fmt.Sprintf("/run mixed (%d tenants x %d programs, repeat %.2f)", *tenants, *programs, *repeat)
+	}
+	fmt.Printf("fpcload: %d calls in %v (%d workers) against %s %s\n",
+		total, wall.Round(time.Millisecond), *workers, base, mode)
 	fmt.Printf("  throughput   %.0f calls/s\n", float64(total)/wall.Seconds())
 	fmt.Printf("  sim steps    %d served\n", steps)
 	codes := make([]int, 0, len(statuses))
@@ -135,11 +285,38 @@ func main() {
 	if netErrs > 0 {
 		fmt.Printf("  net errors   %d\n", netErrs)
 	}
+	if mixed && runOKs > 0 {
+		fmt.Printf("  cache        %d/%d hits (%.1f%%)\n", hits, runOKs, 100*float64(hits)/float64(runOKs))
+	}
+	shed := statuses[http.StatusTooManyRequests] + statuses[http.StatusServiceUnavailable]
+	p99 := time.Duration(lat.Quantile(0.99)) * time.Microsecond
 	if total > 0 {
 		fmt.Printf("  latency      p50 %s  p90 %s  p99 %s  max %s\n",
 			us(lat.Quantile(0.5)), us(lat.Quantile(0.9)), us(lat.Quantile(0.99)), us(lat.Max()))
 	}
-	if netErrs > 0 || total == 0 {
+	if len(perTenant) > 1 || (len(perTenant) == 1 && mixed) {
+		names := make([]string, 0, len(perTenant))
+		for tn := range perTenant {
+			names = append(names, tn)
+		}
+		sort.Strings(names)
+		for _, tn := range names {
+			ts := perTenant[tn]
+			fmt.Printf("  tenant %-8s %6d calls  %6d ok  %5d shed  p99 %s\n",
+				tn, ts.total, ts.ok, ts.shed, us(ts.lat.Quantile(0.99)))
+		}
+	}
+
+	fail := false
+	if *assertMaxShed >= 0 && shed > *assertMaxShed {
+		fmt.Fprintf(os.Stderr, "fpcload: ASSERT FAILED: %d sheds > max %d\n", shed, *assertMaxShed)
+		fail = true
+	}
+	if *assertMaxP99 > 0 && p99 > *assertMaxP99 {
+		fmt.Fprintf(os.Stderr, "fpcload: ASSERT FAILED: p99 %s > max %s\n", p99, *assertMaxP99)
+		fail = true
+	}
+	if netErrs > 0 || total == 0 || fail {
 		os.Exit(1)
 	}
 }

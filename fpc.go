@@ -146,6 +146,14 @@ type VerifyReport = verify.Report
 // VerifyError is returned by LoadImageVerified for a rejected program.
 type VerifyError = core.VerifyError
 
+// ContentHash returns the content address of a linked program: a SHA-256
+// over its linked bytes (code space, initialized data, frame size table,
+// entry descriptor). Equal hashes load to byte-identical images, which is
+// what lets the program registry (internal/registry, served by fpcd)
+// verify and predecode a submission once and share the cached image
+// across every tenant that submits the same program.
+func ContentHash(prog *Program) string { return prog.ContentHash() }
+
 // Verify runs the link-time verifier over a linked program without
 // loading it. The report says whether the program is admitted and whether
 // its evaluation-stack bounds are certified.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"unsafe"
 
 	"repro/internal/frames"
 	"repro/internal/ifu"
@@ -169,6 +170,32 @@ func (img *LoadedImage) VerifyReport() *verify.Report { return img.report }
 // Certified reports whether machines over this image run the certified
 // handler table (verifier stack-bounds certificate held and no trap hook).
 func (img *LoadedImage) Certified() bool { return img.certified }
+
+// MemoryFootprint reports the bytes a resident LoadedImage pins: the boot
+// snapshot of the main data space, the predecoded instruction stream, the
+// code space and the free-frame/boot bookkeeping. A registry holding
+// images under a memory budget charges exactly this much per cached
+// image; machines booted over the image cost MachineFootprint each on
+// top.
+func (img *LoadedImage) MemoryFootprint() int64 {
+	n := int64(len(img.boot)) * int64(unsafe.Sizeof(mem.Word(0)))
+	n += int64(len(img.insts)) * int64(unsafe.Sizeof(isa.Inst{}))
+	n += int64(len(img.prog.Code))
+	n += int64(len(img.prog.Data)) * int64(unsafe.Sizeof(image.DataWord{}))
+	n += int64(len(img.bootFree)) * int64(unsafe.Sizeof(mem.Addr(0)))
+	return n
+}
+
+// MachineFootprint reports the bytes one booted machine over this image
+// holds beyond the shared image itself — dominated by its private 64K-word
+// copy of the main data space. Warm pooled machines are charged this much
+// each by a memory-budgeted registry.
+func (img *LoadedImage) MachineFootprint() int64 {
+	n := int64(mem.Size) * int64(unsafe.Sizeof(mem.Word(0)))
+	n += int64(len(img.bootFree)) * int64(unsafe.Sizeof(mem.Addr(0)))
+	n += int64(img.cfg.RegBanks*img.cfg.BankWords) * int64(unsafe.Sizeof(mem.Word(0)))
+	return n
+}
 
 // NewMachine boots a fresh machine over the shared image: one snapshot
 // memcpy plus cheap register allocation, no linking or loading.

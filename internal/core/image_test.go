@@ -187,3 +187,29 @@ func TestMetricsMergeIdentity(t *testing.T) {
 		t.Fatalf("merged fast fraction %f != %f", agg.FastFraction(), one.FastFraction())
 	}
 }
+
+// TestMemoryFootprint: the accounted footprint covers the dominant
+// resident structures (boot snapshot + predecoded stream) and scales with
+// what the image actually holds — it is what a memory-budgeted registry
+// charges per cached image.
+func TestMemoryFootprint(t *testing.T) {
+	img, _ := buildImage(t, ConfigFastCalls)
+	fp := img.MemoryFootprint()
+	bootBytes := int64(len(img.boot)) * 2
+	if fp < bootBytes {
+		t.Fatalf("footprint %d smaller than its boot snapshot alone (%d)", fp, bootBytes)
+	}
+	if fp2 := img.MemoryFootprint(); fp2 != fp {
+		t.Fatalf("footprint not stable: %d then %d", fp, fp2)
+	}
+	mf := img.MachineFootprint()
+	if mf < int64(65536)*2 {
+		t.Fatalf("machine footprint %d misses the 64K-word MDS copy", mf)
+	}
+	// ConfigMesa has no register banks; its machines must not be charged
+	// for banks they do not allocate.
+	imgMesa, _ := buildImage(t, ConfigMesa)
+	if imgMesa.MachineFootprint() > mf {
+		t.Fatalf("mesa machine footprint %d exceeds fastcalls %d", imgMesa.MachineFootprint(), mf)
+	}
+}

@@ -1,0 +1,53 @@
+package image
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// ContentHash returns the content address of the linked program: a
+// SHA-256 over a canonical serialization of everything that determines
+// execution — the code space, every initialized data word, the frame
+// size-class table, the heap base and the entry descriptor. Two programs
+// with equal hashes load to byte-identical images, so a registry may
+// share one verified, predecoded LoadedImage between them regardless of
+// which sources (or which tenants) they came from.
+//
+// The hash deliberately excludes Symbols: diagnostic names do not affect
+// execution, and submissions differing only in symbol spelling should
+// land on the same cached image.
+func (p *Program) ContentHash() string {
+	h := sha256.New()
+	var buf [8]byte
+
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		h.Write(buf[:4])
+	}
+	put16 := func(v uint16) {
+		binary.LittleEndian.PutUint16(buf[:2], v)
+		h.Write(buf[:2])
+	}
+
+	// Every variable-length section is length-prefixed so section
+	// boundaries cannot alias between programs.
+	put32(uint32(len(p.Code)))
+	h.Write(p.Code)
+
+	put32(uint32(len(p.Data)))
+	for _, dw := range p.Data {
+		put16(dw.Addr)
+		put16(dw.Val)
+	}
+
+	put32(uint32(len(p.FrameSizes)))
+	for _, s := range p.FrameSizes {
+		put32(uint32(s))
+	}
+
+	put16(p.HeapBase)
+	put16(p.Entry)
+
+	return hex.EncodeToString(h.Sum(nil))
+}

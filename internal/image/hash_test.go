@@ -1,0 +1,63 @@
+package image
+
+import (
+	"strings"
+	"testing"
+)
+
+func testProgram() *Program {
+	return &Program{
+		Code:       []byte{1, 2, 3, 4},
+		Data:       []DataWord{{Addr: 0x100, Val: 7}, {Addr: 0x101, Val: 9}},
+		FrameSizes: []int{8, 16, 40},
+		HeapBase:   0x700,
+		Entry:      0x0042,
+		Symbols:    map[uint32]string{0: "m.main"},
+	}
+}
+
+// The hash is a stable function of the linked bytes: identical programs
+// collide, and every execution-relevant field separates them.
+func TestContentHashDiscriminates(t *testing.T) {
+	base := testProgram().ContentHash()
+	if len(base) != 64 || strings.ToLower(base) != base {
+		t.Fatalf("hash %q is not lowercase hex sha256", base)
+	}
+	if got := testProgram().ContentHash(); got != base {
+		t.Fatalf("hash not deterministic: %s vs %s", got, base)
+	}
+
+	mutants := map[string]func(*Program){
+		"code":       func(p *Program) { p.Code[0]++ },
+		"code-len":   func(p *Program) { p.Code = p.Code[:3] },
+		"data-val":   func(p *Program) { p.Data[1].Val++ },
+		"data-addr":  func(p *Program) { p.Data[0].Addr++ },
+		"framesizes": func(p *Program) { p.FrameSizes[2] = 41 },
+		"heapbase":   func(p *Program) { p.HeapBase++ },
+		"entry":      func(p *Program) { p.Entry++ },
+	}
+	for name, mutate := range mutants {
+		p := testProgram()
+		mutate(p)
+		if p.ContentHash() == base {
+			t.Errorf("mutating %s did not change the hash", name)
+		}
+	}
+
+	// Symbols are diagnostic only: renaming must land on the same image.
+	p := testProgram()
+	p.Symbols = map[uint32]string{0: "renamed.proc"}
+	if p.ContentHash() != base {
+		t.Error("symbol names leaked into the content hash")
+	}
+}
+
+// Section aliasing: moving a byte across the code/data boundary must not
+// preserve the hash (the length prefixes exist for exactly this).
+func TestContentHashNoAliasing(t *testing.T) {
+	a := &Program{Code: []byte{1, 2}, Data: []DataWord{{Addr: 3, Val: 4}}}
+	b := &Program{Code: []byte{1, 2, 3}, Data: []DataWord{{Addr: 0, Val: 4}}}
+	if a.ContentHash() == b.ContentHash() {
+		t.Fatal("programs with shifted section boundaries alias")
+	}
+}

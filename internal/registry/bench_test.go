@@ -1,0 +1,105 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+
+	fpc "repro"
+)
+
+// benchSources is the /run-shaped submission the serving benchmarks use;
+// id differentiates linked bytes for the cold path.
+func benchSources(id int) map[string]string {
+	return map[string]string{"m": fmt.Sprintf(`
+module m;
+proc fib(n) {
+  if (n < 2) { return n; }
+  return fib(n-1) + fib(n-2);
+}
+proc main(n) { return fib(n) + %d + %d; }
+`, id%1000, id/1000%1000)}
+}
+
+func benchBuild(id int) (*fpc.Program, error) {
+	return fpc.Build(benchSources(id), "m", "main", fpc.DefaultLinkOptions(fpc.ConfigFastCalls))
+}
+
+// BenchmarkRegistryHit measures the warm submit path — what a repeat
+// /run submission costs before its machine run: a source-key memo lookup
+// and nothing else. Compare against BenchmarkColdSubmit: the gap is the
+// compile+link+verify+predecode+boot work the registry amortizes to once
+// per program.
+func BenchmarkRegistryHit(b *testing.B) {
+	r := New(Config{Machine: fpc.ConfigFastCalls, Verify: true})
+	key := SourceKey(benchSources(0), "m.main")
+	if _, _, err := r.SubmitSource(key, func() (*fpc.Program, error) { return benchBuild(0) }); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, hit, err := r.SubmitSource(key, func() (*fpc.Program, error) {
+			b.Fatal("hit path called build")
+			return nil, nil
+		})
+		if err != nil || !hit {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegistryHitCall is the full warm serving path: memo hit plus
+// one pooled machine run (fib(15)) — the per-request cost once the load
+// path has been amortized away.
+func BenchmarkRegistryHitCall(b *testing.B) {
+	r := New(Config{Machine: fpc.ConfigFastCalls, Verify: true})
+	key := SourceKey(benchSources(0), "m.main")
+	if _, _, err := r.SubmitSource(key, func() (*fpc.Program, error) { return benchBuild(0) }); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, hit, err := r.SubmitSource(key, func() (*fpc.Program, error) { return nil, nil })
+		if err != nil || !hit {
+			b.Fatal(err)
+		}
+		if _, err := e.Pool().CallBudget(e.Image().Entry(), 5_000_000, 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdSubmit measures the unamortized load path every /run paid
+// before the registry: compile, link, verify, predecode, boot snapshot —
+// a distinct program every iteration so nothing ever hits.
+func BenchmarkColdSubmit(b *testing.B) {
+	r := New(Config{Machine: fpc.ConfigFastCalls, Verify: true, MaxImages: 8, WarmMachines: -1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := SourceKey(benchSources(i), "m.main")
+		_, hit, err := r.SubmitSource(key, func() (*fpc.Program, error) { return benchBuild(i) })
+		if err != nil || hit {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdSubmitCall is BenchmarkColdSubmit plus the machine run —
+// the full per-request cost of the pre-registry /run path.
+func BenchmarkColdSubmitCall(b *testing.B) {
+	r := New(Config{Machine: fpc.ConfigFastCalls, Verify: true, MaxImages: 8, WarmMachines: -1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := SourceKey(benchSources(i), "m.main")
+		e, hit, err := r.SubmitSource(key, func() (*fpc.Program, error) { return benchBuild(i) })
+		if err != nil || hit {
+			b.Fatal(err)
+		}
+		if _, err := e.Pool().CallBudget(e.Image().Entry(), 5_000_000, 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 
 	"repro/internal/stats"
 )
@@ -50,7 +51,17 @@ func (s *Server) writeMetrics(w io.Writer) {
 	queueDepth, inFlight := s.queueDepth, s.inFlight
 	lat := s.latency.Clone()
 	draining := s.draining
+	type tenantRow struct {
+		name     string
+		c        tenantCounters
+		inFlight int
+	}
+	tenantRows := make([]tenantRow, 0, len(s.tenants))
+	for name, t := range s.tenants {
+		tenantRows = append(tenantRows, tenantRow{name, t.c, len(t.sem)})
+	}
 	s.mu.Unlock()
+	sort.Slice(tenantRows, func(i, j int) bool { return tenantRows[i].name < tenantRows[j].name })
 
 	counter("fpc_server_accepted_total", "Requests that got a run slot and executed.", c.accepted)
 	counter("fpc_server_completed_total", "Requests that returned 200.", c.completed)
@@ -60,8 +71,10 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP fpc_server_rejected_total Requests shed before running, by reason.\n# TYPE fpc_server_rejected_total counter\n")
 	fmt.Fprintf(w, "fpc_server_rejected_total{reason=\"queue_full\"} %d\n", c.shedQueueFull)
 	fmt.Fprintf(w, "fpc_server_rejected_total{reason=\"queue_timeout\"} %d\n", c.shedQueueWait)
+	fmt.Fprintf(w, "fpc_server_rejected_total{reason=\"tenant\"} %d\n", c.shedTenant)
 	fmt.Fprintf(w, "fpc_server_rejected_total{reason=\"draining\"} %d\n", c.shedDraining)
 	fmt.Fprintf(w, "fpc_server_rejected_total{reason=\"client_gone\"} %d\n", c.canceledByPeer)
+	counter("fpc_server_not_found_total", "Requests for a content hash not resident in the registry (404).", c.notFound)
 	counter("fpcd_verify_rejected_total", "Submitted /run programs rejected by the link-time verifier (400, zero machine steps spent).", c.verifyRejected)
 	counter("fpc_server_steps_served_total", "Sum of per-request executed instructions (equals fpc_pool_instructions_total when only /call drives the pool).", c.stepsServed)
 	counter("fpc_server_cycles_served_total", "Sum of per-request simulated cycles.", c.cyclesServed)
@@ -72,6 +85,50 @@ func (s *Server) writeMetrics(w io.Writer) {
 		drainingVal = 1
 	}
 	gauge("fpc_server_draining", "1 while a graceful drain is in progress.", drainingVal)
+
+	// Registry: the content-addressed image cache. Hits+misses+not_found
+	// account every submit and lookup one-for-one; misses count the
+	// verify+predecode loads actually paid.
+	rs := s.reg.Stats()
+	counter("fpc_registry_hits_total", "Submissions and hash lookups served from a resident cached image (zero load-path work).", rs.Hits)
+	counter("fpc_registry_misses_total", "Submissions that paid the load path (verify + predecode + boot snapshot) — exactly once per distinct program.", rs.Misses)
+	counter("fpc_registry_evictions_total", "Cached images evicted (LRU memory budget, image cap, or explicit).", rs.Evictions)
+	counter("fpc_registry_not_found_total", "Hash lookups of images not resident (never submitted or evicted).", rs.NotFound)
+	counter("fpc_registry_verify_rejected_total", "Loads refused by the link-time verifier (never cached).", rs.VerifyRejected)
+	gauge("fpc_registry_resident_images", "Images currently resident (including the pinned boot image).", float64(rs.Resident))
+	gauge("fpc_registry_memory_bytes", "Accounted bytes of resident images and their warm machines.", float64(rs.MemoryBytes))
+	gauge("fpc_registry_memory_budget_bytes", "The LRU memory budget.", float64(rs.MemoryBudget))
+	regRuns, regMt := s.reg.Aggregate()
+	counter("fpc_registry_runs_total", "Machine runs across every registry pool, evicted pools' work retained.", regRuns)
+	counter("fpc_registry_instructions_total", "Simulated instructions across every registry pool.", regMt.Instructions)
+	counter("fpc_registry_cycles_total", "Simulated cycles across every registry pool.", regMt.Cycles)
+
+	// Per-tenant fairness accounting: one row per tenant the process has
+	// seen, so a saturating tenant's sheds are visibly theirs alone.
+	if len(tenantRows) > 0 {
+		fmt.Fprintf(w, "# HELP fpc_tenant_accepted_total Requests that ran, by tenant.\n# TYPE fpc_tenant_accepted_total counter\n")
+		for _, tr := range tenantRows {
+			fmt.Fprintf(w, "fpc_tenant_accepted_total{tenant=%q} %d\n", tr.name, tr.c.accepted)
+		}
+		fmt.Fprintf(w, "# HELP fpc_tenant_completed_total Requests that returned 200, by tenant.\n# TYPE fpc_tenant_completed_total counter\n")
+		for _, tr := range tenantRows {
+			fmt.Fprintf(w, "fpc_tenant_completed_total{tenant=%q} %d\n", tr.name, tr.c.completed)
+		}
+		fmt.Fprintf(w, "# HELP fpc_tenant_steps_served_total Simulated instructions served, by tenant.\n# TYPE fpc_tenant_steps_served_total counter\n")
+		for _, tr := range tenantRows {
+			fmt.Fprintf(w, "fpc_tenant_steps_served_total{tenant=%q} %d\n", tr.name, tr.c.steps)
+		}
+		fmt.Fprintf(w, "# HELP fpc_tenant_rejected_total Requests shed by a tenant shard, by tenant and reason.\n# TYPE fpc_tenant_rejected_total counter\n")
+		for _, tr := range tenantRows {
+			fmt.Fprintf(w, "fpc_tenant_rejected_total{tenant=%q,reason=\"queue_full\"} %d\n", tr.name, tr.c.shedQueueFull)
+			fmt.Fprintf(w, "fpc_tenant_rejected_total{tenant=%q,reason=\"queue_timeout\"} %d\n", tr.name, tr.c.shedQueueWait)
+			fmt.Fprintf(w, "fpc_tenant_rejected_total{tenant=%q,reason=\"step_quota\"} %d\n", tr.name, tr.c.shedStepQuota)
+		}
+		fmt.Fprintf(w, "# HELP fpc_tenant_in_flight Tenant tokens currently held.\n# TYPE fpc_tenant_in_flight gauge\n")
+		for _, tr := range tenantRows {
+			fmt.Fprintf(w, "fpc_tenant_in_flight{tenant=%q} %d\n", tr.name, tr.inFlight)
+		}
+	}
 
 	writeLatencyHistogram(w, &lat)
 }

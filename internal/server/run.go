@@ -1,26 +1,31 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strings"
-	"time"
 
 	fpc "repro"
 	"repro/internal/core"
+	"repro/internal/registry"
 )
 
-// The /run endpoint: one-shot program submission. Where /call runs a
-// procedure of the program the daemon was started with, /run accepts a
-// whole program (module sources), builds it, and — in verify-at-admission
-// mode — puts it through the link-time verifier BEFORE a machine or any
-// step budget is committed. A program the verifier rejects costs the
-// server a compile and a static analysis, never a simulated instruction:
-// the rejection is a 400 carrying the verifier's diagnostics, counted by
-// fpcd_verify_rejected_total, not a 504 discovered after the budget burns.
+// The /run endpoint: program submission, submit-or-hit. A submission is
+// keyed first by a source memo and then by the content hash of its linked
+// bytes; first sight pays compile + link + (in verify-at-admission mode)
+// the link-time verifier + predecode + boot snapshot exactly once, and
+// the image stays resident behind a warm machine pool. Every later
+// submission of the same program — same tenant or not — does zero
+// load-path work: the response's "cached" field reports which side it
+// landed on, and "hash" is the content address /call/{hash} accepts to
+// skip even the request body's source text.
+//
+// A program the verifier rejects costs the server a compile and a static
+// analysis, never a simulated instruction, and is never cached: the
+// rejection is a 400 carrying the verifier's diagnostics, counted by
+// fpcd_verify_rejected_total.
 
 // RunRequest is the /run request body. Modules maps module name to source
 // text; Entry is "module.proc".
@@ -32,14 +37,21 @@ type RunRequest struct {
 	Budget uint64 `json:"budget,omitempty"`
 }
 
-// RunResponse is the /run response body. On verifier rejection only Error
-// and Diagnostics are set — Steps is zero because no machine ever ran.
+// RunResponse is the /run and /call/{hash} response body. On verifier
+// rejection only Error and Diagnostics are set — Steps is zero because no
+// machine ever ran.
 type RunResponse struct {
 	Results []uint16 `json:"results,omitempty"`
 	Output  []uint16 `json:"output,omitempty"`
 	Steps   uint64   `json:"steps"`
 	Cycles  uint64   `json:"cycles"`
 	Refs    uint64   `json:"refs"`
+	// Hash is the content address of the linked program — the key
+	// /call/{hash} invokes the cached image by.
+	Hash string `json:"hash,omitempty"`
+	// Cached reports whether this request hit the registry (zero
+	// verification, linking or predecode work was done for it).
+	Cached bool `json:"cached"`
 	// Certified reports whether the run used the verifier-certified fast
 	// dispatch table (stack-bounds checks elided).
 	Certified   bool     `json:"certified,omitempty"`
@@ -79,114 +91,59 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	budget := s.clampBudget(req.Budget)
 
-	// Build with the linkage policy matched to the serving machine config,
-	// the same way fpcd links its own program.
+	// Submit-or-hit: the registry coalesces concurrent first sights and
+	// returns the resident entry for everything after. Only a memo miss
+	// runs the build closure (compile + link with the linkage policy
+	// matched to the serving machine config, the same way fpcd links its
+	// own program); only a content-hash miss runs the verifier and
+	// predecode.
 	cfg := s.pool.Image().Config()
-	prog, err := fpc.Build(req.Modules, entMod, entProc, fpc.DefaultLinkOptions(cfg))
+	key := registry.SourceKey(req.Modules, req.Entry)
+	ent, cached, err := s.reg.SubmitSource(key, func() (*fpc.Program, error) {
+		prog, err := fpc.Build(req.Modules, entMod, entProc, fpc.DefaultLinkOptions(cfg))
+		if err != nil {
+			return nil, fmt.Errorf("build: %w", err)
+		}
+		return prog, nil
+	})
 	if err != nil {
-		s.reject(w, http.StatusBadRequest, "build: "+err.Error())
-		return
-	}
-
-	// Verify-at-admission: the verifier's word decides before any budget
-	// is spent. Admitted programs load through the same verifier call so a
-	// certificate, when granted, selects the fast dispatch table.
-	var img *core.LoadedImage
-	if s.cfg.Verify {
-		img, err = core.LoadImage(prog, cfg, core.WithVerify())
 		var verr *core.VerifyError
 		if errors.As(err, &verr) {
 			s.rejectVerify(w, verr)
 			return
 		}
-	} else {
-		img, err = core.LoadImage(prog, cfg)
-	}
-	if err != nil {
-		s.reject(w, http.StatusBadRequest, "load: "+err.Error())
+		s.reject(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
-	// From here the admission discipline is /call's: a queue position,
-	// then a run slot, then one bounded machine run.
-	if !s.enqueue() {
-		s.countShed(&s.c.shedQueueFull)
-		http.Error(w, "queue full", http.StatusTooManyRequests)
+	cr, status, runErr, ok := s.runOnPool(w, r, s.tenant(tenantKey(r)), ent.Pool(), ent.Image().Entry(), budget, args)
+	if !ok {
 		return
 	}
-	select {
-	case s.slots <- struct{}{}:
-		s.dequeue(true)
-	case <-time.After(s.cfg.QueueTimeout):
-		s.dequeue(false)
-		s.countShed(&s.c.shedQueueWait)
-		http.Error(w, "queue wait timed out", http.StatusServiceUnavailable)
-		return
-	case <-r.Context().Done():
-		s.dequeue(false)
-		s.countShed(&s.c.canceledByPeer)
-		return
+	resp := RunResponse{Hash: ent.Hash(), Cached: cached, Certified: ent.Certified()}
+	fillRun(&resp, cr, runErr)
+	writeJSON(w, status, &resp)
+}
+
+// fillRun copies a run's artifacts into a /run-shaped response.
+func fillRun(resp *RunResponse, cr *fpc.CallResult, runErr error) {
+	if cr != nil {
+		resp.Results = words16(cr.Results)
+		resp.Output = words16(cr.Output)
+		if cr.Metrics != nil {
+			resp.Steps = cr.Metrics.Instructions
+			resp.Cycles = cr.Metrics.Cycles
+			resp.Refs = cr.Metrics.ChargedRefs
+		}
 	}
-	defer func() {
-		<-s.slots
-		s.mu.Lock()
-		s.inFlight--
-		s.mu.Unlock()
-	}()
-
-	m, err := img.NewMachine()
-	if err != nil {
-		s.countShed(&s.c.badRequests)
-		http.Error(w, "boot: "+err.Error(), http.StatusInternalServerError)
-		return
+	if runErr != nil {
+		resp.Error = runErr.Error()
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
-	m.SetRunBudget(budget)
-	m.SetCancel(ctx.Err)
-
-	start := time.Now()
-	results, err := m.Call(img.Entry(), args...)
-	elapsed := time.Since(start)
-
-	resp := RunResponse{Certified: img.Certified()}
-	if results != nil {
-		resp.Results = words16(results)
-	}
-	resp.Output = words16(m.Output)
-	mt := m.Metrics()
-	resp.Steps = mt.Instructions
-	resp.Cycles = mt.Cycles
-	resp.Refs = mt.ChargedRefs
-
-	status := http.StatusOK
-	s.mu.Lock()
-	s.c.accepted++
-	s.latency.Observe(int(elapsed.Microseconds()))
-	s.c.stepsServed += resp.Steps
-	s.c.cyclesServed += resp.Cycles
-	switch {
-	case err == nil:
-		s.c.completed++
-	case errors.Is(err, core.ErrMaxSteps), errors.Is(err, core.ErrCanceled):
-		s.c.budgetExceeded++
-		status = http.StatusGatewayTimeout
-		resp.Error = err.Error()
-	default:
-		s.c.runErrors++
-		status = http.StatusInternalServerError
-		resp.Error = err.Error()
-	}
-	s.mu.Unlock()
-
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(&resp)
 }
 
 // rejectVerify turns a verifier rejection into a 400 whose body carries
 // the diagnostics, and counts it: zero machine steps were (or ever will
-// be) spent on the program.
+// be) spent on the program, and nothing was cached.
 func (s *Server) rejectVerify(w http.ResponseWriter, verr *core.VerifyError) {
 	s.mu.Lock()
 	s.c.verifyRejected++
@@ -197,9 +154,7 @@ func (s *Server) rejectVerify(w http.ResponseWriter, verr *core.VerifyError) {
 	for _, d := range verr.Report.Diags {
 		resp.Diagnostics = append(resp.Diagnostics, d.String())
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusBadRequest)
-	json.NewEncoder(w).Encode(&resp)
+	writeJSON(w, http.StatusBadRequest, &resp)
 }
 
 // convertArgs converts request integers to 16-bit machine words, accepting

@@ -1,19 +1,29 @@
-// Package server is the network serving layer over the machine pool: an
-// HTTP/JSON daemon that runs pooled procedure calls with per-request step
-// budgets and wall-clock deadlines, bounded concurrency with a load-shedding
-// wait queue, graceful drain, and a Prometheus-text /metrics endpoint that
-// exposes the pool's exact aggregate accounting.
+// Package server is the network serving layer over the program registry:
+// an HTTP/JSON daemon that runs pooled procedure calls with per-request
+// step budgets and wall-clock deadlines, bounded concurrency with a
+// load-shedding wait queue, per-tenant admission shards, graceful drain,
+// and a Prometheus-text /metrics endpoint with exact accounting.
 //
-// The isolation story is the pool's: every request runs on a machine reset
-// to the shared image's boot snapshot, so a request can never observe
-// another request's frames, and a runaway or trapped run is cut at its
-// budget and the machine recycled cleanly.
+// Programs enter the process through the registry (internal/registry):
+// a /run submission is keyed by content hash, verified and predecoded
+// exactly once, and kept resident behind a warm machine pool — repeat
+// submissions (from any tenant) skip the whole load path and run on a
+// pooled machine immediately. The isolation story is layered: the pool
+// guarantees every request a machine reset to the shared image's boot
+// snapshot; the verifier's certificate makes the shared image itself safe
+// across tenants; and per-tenant quotas (in-flight, queue, step rate)
+// make sure one tenant's overload sheds that tenant only.
 //
 // Endpoints:
 //
-//	POST /call     {"module":"m","proc":"p","args":[1,2],"budget":100000}
-//	GET  /healthz  "ok" while serving, 503 "draining" during drain
-//	GET  /metrics  Prometheus text exposition
+//	POST /call         {"module":"m","proc":"p","args":[1,2],"budget":100000}
+//	POST /run          {"modules":{"m":"module m; ..."},"entry":"m.main","args":[3]}
+//	POST /call/{hash}  {"args":[4]} — invoke a cached image by content hash
+//	GET  /healthz      "ok" while serving, 503 "draining" during drain
+//	GET  /metrics      Prometheus text exposition
+//
+// Tenancy is declared with the X-Tenant request header; absent, the
+// request belongs to the "default" tenant.
 package server
 
 import (
@@ -28,6 +38,7 @@ import (
 
 	fpc "repro"
 	"repro/internal/core"
+	"repro/internal/registry"
 	"repro/internal/stats"
 )
 
@@ -51,11 +62,42 @@ type Config struct {
 	// RequestTimeout is the per-request wall-clock deadline; the run is
 	// canceled (504) when it passes. Default: 10s.
 	RequestTimeout time.Duration
-	// Verify enables verify-at-admission for /run: every submitted program
-	// passes the link-time verifier before a machine (or any step budget)
-	// is committed to it. Rejections are 400s carrying the verifier's
+	// Verify enables verify-at-admission: every submitted program passes
+	// the link-time verifier before a machine (or any step budget) is
+	// committed to it. Rejections are 400s carrying the verifier's
 	// diagnostics, counted by fpcd_verify_rejected_total.
 	Verify bool
+
+	// CacheBudget bounds the registry's resident cached images in bytes
+	// (image footprint + warm machines); the LRU evicts beyond it.
+	// Default: 256 MiB.
+	CacheBudget int64
+	// CacheImages caps resident cached images regardless of bytes.
+	// Default: 0 = unlimited (the byte budget still applies).
+	CacheImages int
+	// WarmMachines pre-boots this many machines per newly cached image.
+	// Default: 1; negative disables warming.
+	WarmMachines int
+
+	// TenantMaxInFlight caps one tenant's concurrently admitted requests
+	// (queued-for-slot + running). 0 disables per-tenant sharding — every
+	// request then competes only in the global queue.
+	TenantMaxInFlight int
+	// TenantMaxQueue bounds one tenant's requests waiting for a tenant
+	// token; beyond it that tenant's requests are shed with 429 while
+	// other tenants are untouched. Default: 2×TenantMaxInFlight.
+	TenantMaxQueue int
+	// TenantStepRate refills each tenant's step-quota bucket at this many
+	// simulated instructions per second; a tenant with an empty bucket is
+	// shed with 429 until it refills. 0 = unlimited.
+	TenantStepRate uint64
+	// TenantStepBurst caps the bucket. Default: 1 second of TenantStepRate.
+	TenantStepBurst uint64
+	// MaxTenants bounds distinct tenant states tracked (the X-Tenant
+	// header is client-controlled; unbounded cardinality would be a
+	// memory leak). Tenants beyond the cap share one overflow shard.
+	// Default: 4096.
+	MaxTenants int
 }
 
 func (c *Config) fill() {
@@ -77,13 +119,24 @@ func (c *Config) fill() {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 10 * time.Second
 	}
+	if c.TenantMaxInFlight > 0 && c.TenantMaxQueue <= 0 {
+		c.TenantMaxQueue = 2 * c.TenantMaxInFlight
+	}
+	if c.TenantStepRate > 0 && c.TenantStepBurst == 0 {
+		c.TenantStepBurst = c.TenantStepRate
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 4096
+	}
 }
 
-// CallRequest is the /call request body. Args are 16-bit machine words;
-// negative values are accepted as two's complement.
+// CallRequest is the /call and /call/{hash} request body. Args are 16-bit
+// machine words; negative values are accepted as two's complement. For
+// /call/{hash}, Module/Proc are optional — absent, the cached image's
+// entry procedure runs.
 type CallRequest struct {
-	Module string  `json:"module"`
-	Proc   string  `json:"proc"`
+	Module string  `json:"module,omitempty"`
+	Proc   string  `json:"proc,omitempty"`
 	Args   []int64 `json:"args,omitempty"`
 	// Budget is this request's step budget; 0 uses the server default.
 	Budget uint64 `json:"budget,omitempty"`
@@ -106,7 +159,9 @@ type CallResponse struct {
 // with Handler, stop with Drain.
 type Server struct {
 	cfg  Config
-	pool *fpc.Pool
+	pool *fpc.Pool // the boot program's pool (pinned in the registry)
+	reg  *registry.Registry
+	boot *registry.Entry
 	mux  *http.ServeMux
 
 	// slots is the in-flight semaphore: holding a token is the right to
@@ -120,18 +175,22 @@ type Server struct {
 	queueDepth int
 	inFlight   int
 	c          counters
+	tenants    map[string]*tenantState
 	latency    stats.Histogram // microseconds per completed machine run
 }
 
-// counters is the server-side metric set (the pool keeps its own).
+// counters is the server-side metric set (the pool and registry keep
+// their own).
 type counters struct {
 	accepted       uint64 // requests that got a run slot and ran
 	completed      uint64 // 200s
 	budgetExceeded uint64 // 504s (step budget or wall deadline)
 	runErrors      uint64 // 500s (trap, stack fault, ...)
 	badRequests    uint64 // 400s
-	shedQueueFull  uint64 // 429s
-	shedQueueWait  uint64 // 503s from queue-timeout
+	notFound       uint64 // 404s (/call/{hash} of a non-resident image)
+	shedQueueFull  uint64 // 429s from the global queue
+	shedQueueWait  uint64 // 503s from global queue-timeout
+	shedTenant     uint64 // 429/503s from a tenant shard (that tenant only)
 	shedDraining   uint64 // 503s during drain
 	canceledByPeer uint64 // client went away while queued
 	stepsServed    uint64 // sum of per-request Steps
@@ -139,7 +198,9 @@ type counters struct {
 	verifyRejected uint64 // /run programs the verifier rejected (400, zero steps)
 }
 
-// New builds a Server over pool with cfg (zero fields defaulted).
+// New builds a Server over pool with cfg (zero fields defaulted). The
+// pool's image becomes the registry's pinned boot entry: it is addressable
+// by content hash like any cached submission but never evicted.
 func New(pool *fpc.Pool, cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
@@ -148,16 +209,33 @@ func New(pool *fpc.Pool, cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		slots:   make(chan struct{}, cfg.MaxInFlight),
 		drained: make(chan struct{}),
+		tenants: map[string]*tenantState{},
 	}
+	s.reg = registry.New(registry.Config{
+		Machine:      pool.Image().Config(),
+		Verify:       cfg.Verify,
+		MemoryBudget: cfg.CacheBudget,
+		MaxImages:    cfg.CacheImages,
+		WarmMachines: cfg.WarmMachines,
+	})
+	s.boot = s.reg.AdoptPinned(pool.Image(), pool)
 	s.mux.HandleFunc("/call", s.handleCall)
+	s.mux.HandleFunc("/call/", s.handleCallHash)
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
-// Pool returns the pool the server runs on.
+// Pool returns the boot program's pool.
 func (s *Server) Pool() *fpc.Pool { return s.pool }
+
+// Registry returns the server's program registry.
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// BootHash returns the content hash of the boot program — the hash
+// /call/{hash} serves without any submission.
+func (s *Server) BootHash() string { return s.boot.Hash() }
 
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -233,6 +311,83 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// runOnPool is the one admitted-bounded-run path every endpoint goes
+// through: tenant-shard admission, a global queue position, a run slot,
+// one budgeted machine run on pool, and the exact accounting of whatever
+// happened — global and per-tenant. Shed responses (429/503) are written
+// here; on ok the caller renders the response body from cr and status.
+// cr is non-nil whenever a machine actually ran, failures included.
+func (s *Server) runOnPool(w http.ResponseWriter, r *http.Request, tn *tenantState, pool *fpc.Pool, desc fpc.Word, budget uint64, args []fpc.Word) (cr *fpc.CallResult, status int, runErr error, ok bool) {
+	releaseTenant, shedStatus, reason := s.admitTenant(r, tn)
+	if releaseTenant == nil {
+		if shedStatus != 0 {
+			http.Error(w, reason, shedStatus)
+		}
+		return nil, shedStatus, nil, false
+	}
+	defer releaseTenant()
+
+	if !s.enqueue() {
+		s.countShed(&s.c.shedQueueFull)
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return nil, http.StatusTooManyRequests, nil, false
+	}
+	select {
+	case s.slots <- struct{}{}:
+		s.dequeue(true)
+	case <-time.After(s.cfg.QueueTimeout):
+		s.dequeue(false)
+		s.countShed(&s.c.shedQueueWait)
+		http.Error(w, "queue wait timed out", http.StatusServiceUnavailable)
+		return nil, http.StatusServiceUnavailable, nil, false
+	case <-r.Context().Done():
+		s.dequeue(false)
+		s.countShed(&s.c.canceledByPeer)
+		return nil, 0, nil, false
+	}
+	defer func() {
+		<-s.slots
+		s.mu.Lock()
+		s.inFlight--
+		s.mu.Unlock()
+	}()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	start := time.Now()
+	cr, runErr = pool.CallContext(ctx, desc, budget, args...)
+	elapsed := time.Since(start)
+
+	var steps, cycles uint64
+	if cr != nil && cr.Metrics != nil {
+		steps, cycles = cr.Metrics.Instructions, cr.Metrics.Cycles
+	}
+	status = http.StatusOK
+	s.mu.Lock()
+	s.c.accepted++
+	tn.c.accepted++
+	s.latency.Observe(int(elapsed.Microseconds()))
+	s.c.stepsServed += steps
+	s.c.cyclesServed += cycles
+	tn.c.steps += steps
+	if s.cfg.TenantStepRate > 0 {
+		tn.bucket -= int64(steps)
+	}
+	switch {
+	case runErr == nil:
+		s.c.completed++
+		tn.c.completed++
+	case errors.Is(runErr, core.ErrMaxSteps), errors.Is(runErr, core.ErrCanceled):
+		s.c.budgetExceeded++
+		status = http.StatusGatewayTimeout
+	default:
+		s.c.runErrors++
+		status = http.StatusInternalServerError
+	}
+	s.mu.Unlock()
+	return cr, status, runErr, true
+}
+
 func (s *Server) handleCall(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -255,76 +410,33 @@ func (s *Server) handleCall(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission: take a run slot, shedding when the queue is full or the
-	// wait outlasts QueueTimeout.
-	if !s.enqueue() {
-		s.countShed(&s.c.shedQueueFull)
-		http.Error(w, "queue full", http.StatusTooManyRequests)
+	cr, status, runErr, ok := s.runOnPool(w, r, s.tenant(tenantKey(r)), s.pool, desc, budget, args)
+	if !ok {
 		return
 	}
-	select {
-	case s.slots <- struct{}{}:
-		s.dequeue(true)
-	case <-time.After(s.cfg.QueueTimeout):
-		s.dequeue(false)
-		s.countShed(&s.c.shedQueueWait)
-		http.Error(w, "queue wait timed out", http.StatusServiceUnavailable)
-		return
-	case <-r.Context().Done():
-		s.dequeue(false)
-		s.countShed(&s.c.canceledByPeer)
-		return
-	}
-	defer func() {
-		<-s.slots
-		s.mu.Lock()
-		s.inFlight--
-		s.mu.Unlock()
-	}()
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
-	start := time.Now()
-	cr, err := s.pool.CallContext(ctx, desc, budget, args...)
-	elapsed := time.Since(start)
-
 	resp := CallResponse{}
+	fillCall(&resp, cr, runErr)
+	writeJSON(w, status, &resp)
+}
+
+// fillCall copies a run's artifacts into a /call response.
+func fillCall(resp *CallResponse, cr *fpc.CallResult, runErr error) {
 	if cr != nil {
-		resp.Results = cr.Results
-		resp.Output = cr.Output
+		resp.Results = words16(cr.Results)
+		resp.Output = words16(cr.Output)
 		if cr.Metrics != nil {
 			resp.Steps = cr.Metrics.Instructions
 			resp.Cycles = cr.Metrics.Cycles
 			resp.Refs = cr.Metrics.ChargedRefs
 		}
 	}
-	status := http.StatusOK
-	s.mu.Lock()
-	s.c.accepted++
-	s.latency.Observe(int(elapsed.Microseconds()))
-	s.c.stepsServed += resp.Steps
-	s.c.cyclesServed += resp.Cycles
-	switch {
-	case err == nil:
-		s.c.completed++
-	case errors.Is(err, core.ErrMaxSteps), errors.Is(err, core.ErrCanceled):
-		s.c.budgetExceeded++
-		status = http.StatusGatewayTimeout
-		resp.Error = err.Error()
-	default:
-		s.c.runErrors++
-		status = http.StatusInternalServerError
-		resp.Error = err.Error()
+	if runErr != nil {
+		resp.Error = runErr.Error()
 	}
-	s.mu.Unlock()
-
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(&resp)
 }
 
-// admitRequest validates a request and resolves it against the image:
-// the procedure descriptor, the converted argument words, and the
+// admitRequest validates a request and resolves it against the boot
+// image: the procedure descriptor, the converted argument words, and the
 // clamped effective budget.
 func (s *Server) admitRequest(req *CallRequest) (desc fpc.Word, args []fpc.Word, budget uint64, errMsg string) {
 	if req.Module == "" || req.Proc == "" {
@@ -372,4 +484,10 @@ func (s *Server) countShed(c *uint64) {
 func (s *Server) reject(w http.ResponseWriter, status int, msg string) {
 	s.countShed(&s.c.badRequests)
 	http.Error(w, msg, status)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
 }

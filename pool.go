@@ -45,6 +45,22 @@ func NewPoolFromImage(img *LoadedImage) *Pool {
 // Image returns the shared immutable image.
 func (p *Pool) Image() *LoadedImage { return p.img }
 
+// Warm pre-boots n machines into the pool so the first n concurrent
+// calls pay no boot cost at all — a registry keeping per-image warm pools
+// calls this when an image is admitted, moving even the snapshot memcpy
+// off the serving path. Warming is best-effort: a boot failure stops the
+// fill and is returned, but machines already warmed stay usable.
+func (p *Pool) Warm(n int) error {
+	for i := 0; i < n; i++ {
+		m, err := p.img.NewMachine()
+		if err != nil {
+			return err
+		}
+		p.pool.Put(m)
+	}
+	return nil
+}
+
 // Entry returns the image program's start descriptor.
 func (p *Pool) Entry() Word { return p.img.Entry() }
 

@@ -1,13 +1,18 @@
 #!/bin/sh
 # serve_smoke.sh — end-to-end smoke test of the serving subsystem:
-# start fpcd on a local port, fire a short fpcload burst at it, scrape
-# /metrics, and assert the pool actually served runs.
+# start fpcd on a local port, fire a short fpcload burst at it, check the
+# registry's submit-or-hit path over /run and /call/{hash}, scrape
+# /metrics, and assert the pool actually served runs. A second phase
+# starts a tenant-sharded fpcd, saturates it as tenant A, and asserts
+# tenant B rode through with zero sheds and untouched latency.
 set -eu
 
 PORT="${FPCD_PORT:-18080}"
+PORT2="${FPCD_PORT2:-18081}"
 ADDR="http://127.0.0.1:$PORT"
+ADDR2="http://127.0.0.1:$PORT2"
 BIN="$(mktemp -d)"
-trap 'kill "$FPCD_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+trap 'kill "$FPCD_PID" 2>/dev/null || true; kill "$FPCD2_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
 
 go build -o "$BIN/fpcd" ./cmd/fpcd
 go build -o "$BIN/fpcload" ./cmd/fpcload
@@ -36,7 +41,84 @@ if [ -z "$RUNS" ] || [ "$RUNS" -lt 200 ]; then
     exit 1
 fi
 
+# Submit-or-hit over /run: the same program submitted twice must pay the
+# load path once — the second response reports cached:true with the same
+# content hash, and /call/{hash} invokes the cached image directly.
+RUN_BODY='{"modules":{"m":"module m; proc main(n) { return n + 7; }"},"entry":"m.main","args":[5]}'
+FIRST="$(curl -fsS -X POST -d "$RUN_BODY" "$ADDR/run")"
+SECOND="$(curl -fsS -X POST -d "$RUN_BODY" "$ADDR/run")"
+case "$SECOND" in
+    *'"cached":true'*) ;;
+    *) echo "serve-smoke: repeat /run not served from cache: $SECOND" >&2; exit 1 ;;
+esac
+HASH="$(printf '%s\n' "$FIRST" | sed -n 's/.*"hash":"\([0-9a-f]\{64\}\)".*/\1/p')"
+if [ -z "$HASH" ]; then
+    echo "serve-smoke: /run response carries no content hash: $FIRST" >&2
+    exit 1
+fi
+BYHASH="$(curl -fsS -X POST -d '{"args":[10]}' "$ADDR/call/$HASH")"
+case "$BYHASH" in
+    *'"results":[17]'*) ;;
+    *) echo "serve-smoke: /call/$HASH wrong answer: $BYHASH" >&2; exit 1 ;;
+esac
+MISSES="$(curl -fsS "$ADDR/metrics" | awk '$1 == "fpc_registry_misses_total" {print $2}')"
+if [ "${MISSES:-0}" -ne 1 ]; then
+    echo "serve-smoke: expected exactly 1 registry miss for 2 submissions, got ${MISSES:-<missing>}" >&2
+    exit 1
+fi
+echo "serve-smoke: registry submit-or-hit OK (hash ${HASH%"${HASH#????????}"}…, 1 miss)"
+
 # Graceful drain: SIGTERM must finish cleanly.
 kill -TERM "$FPCD_PID"
 wait "$FPCD_PID"
+
+# ---- Multi-tenant phase: tenant A saturates, tenant B is untouched ----
+"$BIN/fpcd" -addr "127.0.0.1:$PORT2" -inflight 4 -tenant-inflight 2 -tenant-queue 2 \
+    -queue-timeout 250ms -budget 50000000 -max-budget 50000000 &
+FPCD2_PID=$!
+i=0
+until curl -fsS "$ADDR2/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "serve-smoke: tenant-phase fpcd never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Tenant A: 8 workers of ~0.5s spin calls against a 2-token shard — a
+# sustained overload that must shed (429/503) from A's own queue.
+"$BIN/fpcload" -addr "$ADDR2" -tenant A -proc serve.spin -args 30000 -workers 8 -d 4s \
+    > "$BIN/loadA.out" 2>&1 &
+LOAD_A_PID=$!
+sleep 1
+
+# Tenant B, meanwhile: every request must complete, fast. The assertions
+# make fpcload the judge: any shed or a p99 above 2s fails the smoke.
+"$BIN/fpcload" -addr "$ADDR2" -tenant B -proc serve.fib -args 15 -workers 2 -n 200 \
+    -assert-max-shed 0 -assert-max-p99 2s
+
+wait "$LOAD_A_PID" || true  # A is expected to shed; its exit code is not the verdict
+cat "$BIN/loadA.out"
+
+TMETRICS="$(curl -fsS "$ADDR2/metrics")"
+A_SHED="$(printf '%s\n' "$TMETRICS" | awk -F' ' '/^fpc_tenant_rejected_total\{tenant="A"/ {s += $2} END {print s+0}')"
+B_SHED="$(printf '%s\n' "$TMETRICS" | awk -F' ' '/^fpc_tenant_rejected_total\{tenant="B"/ {s += $2} END {print s+0}')"
+B_DONE="$(printf '%s\n' "$TMETRICS" | awk '$1 == "fpc_tenant_completed_total{tenant=\"B\"}" {print $2}')"
+echo "serve-smoke: tenant A shed $A_SHED, tenant B shed $B_SHED, tenant B completed ${B_DONE:-0}"
+if [ "$A_SHED" -eq 0 ]; then
+    echo "serve-smoke: tenant A overload never shed — quota not exercised" >&2
+    exit 1
+fi
+if [ "$B_SHED" -ne 0 ]; then
+    echo "serve-smoke: tenant B shed $B_SHED requests during A's overload" >&2
+    exit 1
+fi
+if [ "${B_DONE:-0}" -lt 200 ]; then
+    echo "serve-smoke: tenant B completed ${B_DONE:-0} < 200" >&2
+    exit 1
+fi
+
+kill -TERM "$FPCD2_PID"
+wait "$FPCD2_PID"
 echo "serve-smoke: OK"
