@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json bench-serve-json check serve-smoke fuzz-smoke verify-corpus
+.PHONY: build vet test race bench bench-json bench-serve-json check serve-smoke sched-smoke fuzz-smoke verify-corpus
 
 build:
 	$(GO) build ./...
@@ -33,15 +33,24 @@ bench-json:
 
 # Record the registry serving benchmarks into BENCH_serve.json: the cache
 # hit path (zero verify/link/predecode work) against the cold submit path
-# that pays the full load pipeline per program.
+# that pays the full load pipeline per program, and the continuation
+# park/resume cycle (with and without the wire codec) against the cold
+# machine boot a resume avoids.
 bench-serve-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkRegistry|BenchmarkColdSubmit' -count 3 ./internal/registry \
+	$(GO) test -run '^$$' -bench 'BenchmarkRegistry|BenchmarkColdSubmit|BenchmarkSnapshotRestore|BenchmarkSessionRoundTrip|BenchmarkColdBoot' -count 3 ./internal/registry \
 		| $(GO) run ./scripts/benchjson -out BENCH_serve.json
 
 # End-to-end smoke of the serving subsystem: start fpcd, drive it with
 # fpcload, scrape /metrics, assert non-zero pooled runs, drain on SIGTERM.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Race-enabled scheduler stress: many in-VM schedulers timeslicing
+# processes over one shared pool via continuation park/resume, asserting
+# every process is byte-identical to its uninterrupted run and the pool
+# aggregate equals the sum of per-process metrics exactly.
+sched-smoke:
+	$(GO) test -race -count=1 -run 'TestSched' ./internal/sched
 
 # Differential fuzzing smoke: a deterministic 2000-seed sweep through the
 # four-way differential oracle (cmd/fpcfuzz), then a short coverage-guided
@@ -50,6 +59,7 @@ fuzz-smoke:
 	$(GO) run ./cmd/fpcfuzz -n 2000
 	$(GO) test -fuzz=FuzzDifferential -fuzztime=30s -run '^$$' ./internal/difffuzz
 	$(GO) test -fuzz=FuzzPoolReuse -fuzztime=30s -run '^$$' ./internal/difffuzz
+	$(GO) test -fuzz=FuzzParkResume -fuzztime=30s -run '^$$' ./internal/difffuzz
 
 # Verifier soundness smoke: sweep seeds 0..9999 through the differential
 # oracle, which now also checks that (a) every generated program is admitted

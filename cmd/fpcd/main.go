@@ -12,7 +12,12 @@
 // in a content-addressed registry (-cache-budget, -cache-images, -warm)
 // and re-invokable by hash via /call/{hash}; per-tenant admission quotas
 // (-tenant-inflight, -tenant-queue, -tenant-step-rate) isolate tenants
-// keyed by the X-Tenant header. SIGINT/SIGTERM triggers a graceful
+// keyed by the X-Tenant header. Long runs can be driven incrementally
+// through /session: a segment that exhausts its per-segment step budget
+// (or its output-backpressure bound) is parked off-machine as a
+// continuation — bounded by -session-max, -session-ttl, -session-bytes
+// and -session-per-tenant — and resumed with /session/{id}/resume.
+// SIGINT/SIGTERM triggers a graceful
 // drain: in-flight calls finish, new calls get 503, then the listener
 // shuts down.
 package main
@@ -81,6 +86,10 @@ func main() {
 	tenantQueue := flag.Int("tenant-queue", 0, "max requests waiting per tenant beyond its in-flight cap (0 = 2x tenant-inflight)")
 	tenantStepRate := flag.Uint64("tenant-step-rate", 0, "per-tenant step quota refill, simulated instructions/second (0 = unlimited)")
 	tenantStepBurst := flag.Uint64("tenant-step-burst", 0, "per-tenant step quota bucket cap (0 = 1s of -tenant-step-rate)")
+	sessionMax := flag.Int("session-max", 0, "max parked /session continuations, LRU beyond it (0 = 1024)")
+	sessionTTL := flag.Duration("session-ttl", 0, "parked session lifetime before expiry (0 = 5m)")
+	sessionBytes := flag.Int64("session-bytes", 0, "byte budget for parked continuations, LRU beyond it (0 = unlimited)")
+	sessionPerTenant := flag.Int("session-per-tenant", 0, "max parked sessions per tenant (0 = no per-tenant cap)")
 	flag.Parse()
 
 	cfg, err := machineConfig(*configName)
@@ -142,6 +151,10 @@ func main() {
 		TenantMaxQueue:    *tenantQueue,
 		TenantStepRate:    *tenantStepRate,
 		TenantStepBurst:   *tenantStepBurst,
+		SessionMax:        *sessionMax,
+		SessionTTL:        *sessionTTL,
+		SessionBytes:      *sessionBytes,
+		SessionPerTenant:  *sessionPerTenant,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

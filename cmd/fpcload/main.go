@@ -16,6 +16,14 @@
 //     hit rate (from the responses' "cached" field) and a per-tenant
 //     breakdown.
 //
+//   - session mode (-sessions): each unit of work is a whole /session
+//     park/resume chain of -proc under a deliberately tiny per-segment
+//     budget (-segment-budget), resumed until done. The summary reports
+//     sessions completed and segments per session;
+//     -assert-resume-identical additionally runs -proc once uninterrupted
+//     through /call and fails unless every completed session reproduced
+//     its exact results, output and instruction total.
+//
 // -assert-max-shed and -assert-max-p99 turn the summary into a check:
 // the exit status is non-zero when sheds or overall p99 exceed them.
 //
@@ -24,6 +32,7 @@
 //	fpcload [-addr http://localhost:8080] [-proc serve.fib] [-args "15"]
 //	        [-workers 8] [-n 1000 | -d 5s] [-budget 0] [-tenant name]
 //	        [-programs 0] [-tenants 1] [-repeat 0.8]
+//	        [-sessions] [-segment-budget 2000] [-assert-resume-identical]
 //	        [-assert-max-shed -1] [-assert-max-p99 0]
 package main
 
@@ -78,9 +87,15 @@ func main() {
 	programs := flag.Int("programs", 0, "mixed-tenant /run mode: number of distinct programs (0 = /call mode)")
 	tenants := flag.Int("tenants", 1, "mixed-tenant mode: tenants, named t0..tN-1, round-robin by worker")
 	repeat := flag.Float64("repeat", 0.8, "mixed-tenant mode: probability a request re-submits an already-seen program")
+	sessions := flag.Bool("sessions", false, "session mode: drive whole /session park/resume chains of -proc (one chain per unit of -n)")
+	segBudget := flag.Uint64("segment-budget", 2000, "session mode: per-segment step budget (small values force parks)")
+	assertResume := flag.Bool("assert-resume-identical", false, "session mode: exit non-zero unless every completed session matches an uninterrupted /call byte-for-byte")
 	assertMaxShed := flag.Int("assert-max-shed", -1, "exit non-zero when more than this many requests shed 429/503 (-1 = off)")
 	assertMaxP99 := flag.Duration("assert-max-p99", 0, "exit non-zero when overall p99 latency exceeds this (0 = off)")
 	flag.Parse()
+	if *sessions && *programs > 0 {
+		fatal(fmt.Errorf("-sessions and -programs are mutually exclusive"))
+	}
 
 	var args []int64
 	for _, f := range strings.Fields(*argStr) {
@@ -100,6 +115,9 @@ func main() {
 		steps     uint64
 		hits      int // /run 200s with cached:true
 		runOKs    int // /run 200s
+		sessDone  int // sessions driven to Done
+		sessSegs  int // segments across completed sessions
+		mismatch  int // completed sessions diverging from the golden /call
 	)
 	observe := func(tn string, status int, el time.Duration) {
 		ts := perTenant[tn]
@@ -159,7 +177,9 @@ func main() {
 		return resp.StatusCode, data, nil
 	}
 
-	var callBody []byte
+	var callBody, sessionBody, resumeBody []byte
+	var goldenRes, goldenOut []uint16
+	var goldenSteps uint64
 	if !mixed {
 		parts := strings.SplitN(*procName, ".", 2)
 		if len(parts) != 2 {
@@ -171,6 +191,31 @@ func main() {
 		})
 		if err != nil {
 			fatal(err)
+		}
+		if *sessions {
+			sessionBody, err = json.Marshal(server.SessionRequest{
+				Module: parts[0], Proc: parts[1], Args: args, Budget: *segBudget,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			resumeBody, err = json.Marshal(server.ResumeRequest{Budget: *segBudget})
+			if err != nil {
+				fatal(err)
+			}
+			if *assertResume {
+				// The golden answer: one uninterrupted run of the same
+				// procedure. Every completed session must reproduce it.
+				status, data, err := post(base+"/call", *tenant, callBody)
+				if err != nil {
+					fatal(err)
+				}
+				var cr server.CallResponse
+				if status != http.StatusOK || json.Unmarshal(data, &cr) != nil {
+					fatal(fmt.Errorf("golden /call failed: status %d: %s", status, data))
+				}
+				goldenRes, goldenOut, goldenSteps = cr.Results, cr.Output, cr.Steps
+			}
 		}
 	}
 
@@ -194,6 +239,59 @@ func main() {
 					if _, ok := <-work; !ok {
 						return
 					}
+				}
+
+				if *sessions {
+					// One unit of work = one whole park/resume chain. Every
+					// HTTP request in the chain is observed individually.
+					var sr server.SessionResponse
+					t0 := time.Now()
+					status, data, err := post(base+"/session", tn, sessionBody)
+					el := time.Since(t0)
+					mu.Lock()
+					if err != nil {
+						netErrs++
+						mu.Unlock()
+						continue
+					}
+					observe(tn, status, el)
+					mu.Unlock()
+					if status != http.StatusOK || json.Unmarshal(data, &sr) != nil {
+						continue
+					}
+					aborted := false
+					for sr.Parked {
+						t0 = time.Now()
+						status, data, err = post(base+"/session/"+sr.Session+"/resume", tn, resumeBody)
+						el = time.Since(t0)
+						mu.Lock()
+						if err != nil {
+							netErrs++
+							mu.Unlock()
+							aborted = true
+							break
+						}
+						observe(tn, status, el)
+						mu.Unlock()
+						sr = server.SessionResponse{}
+						if status != http.StatusOK || json.Unmarshal(data, &sr) != nil {
+							aborted = true
+							break
+						}
+					}
+					if aborted || !sr.Done {
+						continue
+					}
+					mu.Lock()
+					sessDone++
+					sessSegs += sr.Segments
+					steps += sr.TotalSteps
+					if *assertResume &&
+						(!wordsEq(sr.Results, goldenRes) || !wordsEq(sr.Output, goldenOut) || sr.TotalSteps != goldenSteps) {
+						mismatch++
+					}
+					mu.Unlock()
+					continue
 				}
 
 				if !mixed {
@@ -270,6 +368,9 @@ func main() {
 	if mixed {
 		mode = fmt.Sprintf("/run mixed (%d tenants x %d programs, repeat %.2f)", *tenants, *programs, *repeat)
 	}
+	if *sessions {
+		mode = fmt.Sprintf("/session (segment budget %d)", *segBudget)
+	}
 	fmt.Printf("fpcload: %d calls in %v (%d workers) against %s %s\n",
 		total, wall.Round(time.Millisecond), *workers, base, mode)
 	fmt.Printf("  throughput   %.0f calls/s\n", float64(total)/wall.Seconds())
@@ -287,6 +388,13 @@ func main() {
 	}
 	if mixed && runOKs > 0 {
 		fmt.Printf("  cache        %d/%d hits (%.1f%%)\n", hits, runOKs, 100*float64(hits)/float64(runOKs))
+	}
+	if *sessions {
+		avg := 0.0
+		if sessDone > 0 {
+			avg = float64(sessSegs) / float64(sessDone)
+		}
+		fmt.Printf("  sessions     %d completed, %d segments (avg %.1f/session)\n", sessDone, sessSegs, avg)
 	}
 	shed := statuses[http.StatusTooManyRequests] + statuses[http.StatusServiceUnavailable]
 	p99 := time.Duration(lat.Quantile(0.99)) * time.Microsecond
@@ -308,6 +416,16 @@ func main() {
 	}
 
 	fail := false
+	if *assertResume {
+		if sessDone == 0 {
+			fmt.Fprintln(os.Stderr, "fpcload: ASSERT FAILED: -assert-resume-identical with no completed sessions")
+			fail = true
+		}
+		if mismatch > 0 {
+			fmt.Fprintf(os.Stderr, "fpcload: ASSERT FAILED: %d of %d sessions diverged from the uninterrupted /call\n", mismatch, sessDone)
+			fail = true
+		}
+	}
 	if *assertMaxShed >= 0 && shed > *assertMaxShed {
 		fmt.Fprintf(os.Stderr, "fpcload: ASSERT FAILED: %d sheds > max %d\n", shed, *assertMaxShed)
 		fail = true
@@ -322,6 +440,20 @@ func main() {
 }
 
 func us(v int) string { return (time.Duration(v) * time.Microsecond).String() }
+
+// wordsEq compares result/output slices treating nil and empty as equal
+// (JSON omits empty slices).
+func wordsEq(a, b []uint16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "fpcload:", err)

@@ -71,6 +71,15 @@ type Config = core.Config
 // Metrics is the measurement record of a run.
 type Metrics = core.Metrics
 
+// Continuation is a machine's suspended execution state — registers, frame
+// chain, IFU return stack, dirty memory windows, trap and coroutine
+// context — captured at an instruction boundary by Machine.Snapshot and
+// resumed byte-identically by Machine.Restore on any machine booted from
+// an image with the same content hash. It owns deep copies of everything
+// it carries, so the snapshotted machine can be recycled (Pool.Put) and
+// serve other runs without disturbing the parked state.
+type Continuation = core.Continuation
+
 // LinkOptions selects linkage policies (early binding, short calls, ...).
 type LinkOptions = linker.Options
 

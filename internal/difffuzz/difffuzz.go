@@ -21,7 +21,11 @@
 //     built image — opcode, length, folded operand, jump target, call
 //     header and the exact error text of every undecodable slot;
 //   - driving a machine one Step at a time reproduces the Run-driven
-//     machine exactly: results, output and every metrics counter.
+//     machine exactly: results, output and every metrics counter;
+//   - a run parked at arbitrary instruction boundaries (core.Snapshot),
+//     round-tripped through the continuation wire codec, and resumed on
+//     different machines is byte-identical to the uninterrupted run —
+//     results, output, halt state and the merge of per-segment metrics.
 //
 // The paper asserts (§6, §8) that the optimized implementations "behave
 // identically — only space and speed change"; this package turns that
@@ -65,6 +69,7 @@ const (
 	KindStepRun      FailKind = "steprun"      // Step-driven execution diverges from Run-driven
 	KindVerify       FailKind = "verify"       // static verifier rejects (or panics on) compiler output
 	KindCertify      FailKind = "certify"      // certified (unchecked) execution diverges from checked
+	KindParkResume   FailKind = "parkresume"   // park/resume chain not byte-identical to uninterrupted
 )
 
 // Failure is one oracle violation.
@@ -204,9 +209,13 @@ func Check(p *workload.Program) error {
 	}
 
 	// Phase 3: metamorphic invariants on each configuration under its
-	// default (serving) linkage.
+	// default (serving) linkage, including the park/resume chain (snapshot
+	// at thirds, codec round trip, restore on a fresh machine).
 	for _, c := range configs {
 		if err := checkMetamorphic(p, c.name, c.cfg, ref); err != nil {
+			return err
+		}
+		if err := checkParkResume(p, c.name, c.cfg, ref); err != nil {
 			return err
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/workload"
 )
 
@@ -25,6 +26,54 @@ func FuzzDifferential(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		if err := CheckSeed(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzParkResume is the continuation campaign: a generated program is
+// parked at a fuzzer-chosen instruction boundary — anywhere in the run,
+// including mid-coroutine transfer chains and inside armed trap handlers —
+// its continuation round-tripped through the wire codec, and resumed on a
+// fresh machine. The segmented run must be byte-identical to the
+// uninterrupted one. A second cut derived from the first exercises
+// park-of-a-resumed-run (the /session re-park path).
+func FuzzParkResume(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed, uint16(seed*131+7))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, rawCut uint16) {
+		p := workload.RandomProgram(seed)
+		cfg := fpc.ConfigFastCalls
+		cfg.HeapCheck = true
+		prog, _, err := p.Build(fpc.DefaultLinkOptions(cfg))
+		if err != nil {
+			t.Skip("unbuildable seed")
+		}
+		img, err := core.LoadImage(prog, cfg)
+		if err != nil {
+			t.Skip("unloadable seed")
+		}
+		fresh, err := img.NewMachine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRes, runErr := fresh.Call(img.Entry(), p.Args...)
+		if runErr != nil {
+			t.Skip("seed does not complete under default limits")
+		}
+		freshRec := record{results: wantRes, output: append([]mem.Word(nil), fresh.Output...)}
+		total := fresh.Metrics().Instructions
+		if total < 2 {
+			t.Skip("too short to interrupt")
+		}
+		// First cut anywhere in (0, total); second halfway between it and
+		// the end, when that gap exists.
+		cuts := []uint64{1 + uint64(rawCut)%(total-1)}
+		if second := cuts[0] + (total-cuts[0])/2; second > cuts[0] && second < total {
+			cuts = append(cuts, second)
+		}
+		if err := parkResumeChain(img, p.Args, "fastcalls", freshRec, fresh.Metrics(), cuts); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -1,0 +1,140 @@
+package difffuzz
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+
+	fpc "repro"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/snapshot"
+	"repro/internal/workload"
+)
+
+// The park/resume metamorphic oracle: running a program in budget-bounded
+// segments — Snapshot at every cut, the continuation round-tripped through
+// the wire codec, the next segment Restored onto a different machine —
+// must be byte-identical to running it uninterrupted. "Byte-identical"
+// means the final results, the output record, the halted state, the heap
+// invariants, and the merge of every segment's metrics equaling the
+// uninterrupted run's metrics counter-for-counter. The random cut points
+// land anywhere the run reaches — mid-coroutine transfer chains, inside
+// armed trap handlers, mid-recursion — which is exactly what the serving
+// layer's /session parks rely on.
+
+// checkParkResume segments p's run at thirds under one configuration's
+// default linkage and demands byte-identity with the uninterrupted run.
+func checkParkResume(p *workload.Program, name string, cfg core.Config, ref record) error {
+	prog, _, err := p.Build(fpc.DefaultLinkOptions(cfg))
+	if err != nil {
+		return failf(KindBuild, "%s default linkage: %v", name, err)
+	}
+	cfg.HeapCheck = true
+	img, err := core.LoadImage(prog, cfg)
+	if err != nil {
+		return failf(KindRun, "%s: load: %v", name, err)
+	}
+	fresh, freshRec, err := runFresh(img, p)
+	if err != nil {
+		return failf(KindRun, "%s: %v", name, err)
+	}
+	if !freshRec.equal(ref) {
+		return failf(KindDiverge, "%s default linkage: %v/%v, I1 reference %v/%v",
+			name, freshRec.results, freshRec.output, ref.results, ref.output)
+	}
+	freshMet := fresh.Metrics()
+	total := freshMet.Instructions
+
+	var cuts []uint64
+	for _, c := range []uint64{total / 3, 2 * total / 3} {
+		if c > 0 && c < total && (len(cuts) == 0 || c > cuts[len(cuts)-1]) {
+			cuts = append(cuts, c)
+		}
+	}
+	if len(cuts) == 0 {
+		return nil // too short to interrupt
+	}
+	return parkResumeChain(img, p.Args, name, freshRec, freshMet, cuts)
+}
+
+// parkResumeChain drives one segmented run: park at each absolute
+// instruction count in cuts (strictly increasing, all < the uninterrupted
+// total), round-trip every continuation through Encode/Decode, resume each
+// segment on a brand-new machine, and compare the end state against the
+// uninterrupted run freshRec/freshMet describe.
+func parkResumeChain(img *core.LoadedImage, args []mem.Word, name string, freshRec record, freshMet *core.Metrics, cuts []uint64) error {
+	merged := &core.Metrics{}
+	m, err := img.NewMachine()
+	if err != nil {
+		return failf(KindRun, "%s: %v", name, err)
+	}
+	if err := m.Start(img.Entry(), args...); err != nil {
+		return failf(KindParkResume, "%s: Start: %v", name, err)
+	}
+	prev := uint64(0)
+	for i, cut := range cuts {
+		m.SetRunBudget(cut - prev)
+		if err := m.Run(); !errors.Is(err, core.ErrMaxSteps) {
+			return failf(KindParkResume, "%s: segment %d (to %d of %d): err = %v, want ErrMaxSteps",
+				name, i, cut, freshMet.Instructions, err)
+		}
+		c, err := m.Snapshot()
+		if err != nil {
+			return failf(KindParkResume, "%s: snapshot at %d: %v", name, cut, err)
+		}
+		if got := c.Metrics.Instructions; got+prev != cut {
+			return failf(KindParkResume, "%s: segment %d ran %d instructions, want %d",
+				name, i, got, cut-prev)
+		}
+		merged.Merge(c.Metrics)
+
+		// Wire round trip: decode(encode(c)) must reproduce the
+		// continuation exactly, and re-encoding it the exact bytes — the
+		// registry parks the encoded form, so any loss here is state the
+		// serving layer silently drops.
+		enc := snapshot.Encode(c)
+		dec, err := snapshot.Decode(enc)
+		if err != nil {
+			return failf(KindParkResume, "%s: decode at %d: %v", name, cut, err)
+		}
+		if !reflect.DeepEqual(dec, c) {
+			return failf(KindParkResume, "%s: continuation at %d not codec-stable", name, cut)
+		}
+		if !bytes.Equal(snapshot.Encode(dec), enc) {
+			return failf(KindParkResume, "%s: re-encoding at %d not byte-identical", name, cut)
+		}
+
+		next, err := img.NewMachine()
+		if err != nil {
+			return failf(KindRun, "%s: %v", name, err)
+		}
+		if err := next.Restore(dec); err != nil {
+			return failf(KindParkResume, "%s: restore at %d: %v", name, cut, err)
+		}
+		m = next
+		prev = cut
+	}
+
+	if err := m.Run(); err != nil {
+		return failf(KindParkResume, "%s: final segment: %v", name, err)
+	}
+	if !m.Halted() {
+		return failf(KindParkResume, "%s: final segment returned without halting", name)
+	}
+	merged.Merge(m.Metrics())
+
+	got := record{results: m.Results(), output: append([]mem.Word(nil), m.Output...)}
+	if !got.equal(freshRec) {
+		return failf(KindParkResume, "%s: segmented %v/%v, uninterrupted %v/%v",
+			name, got.results, got.output, freshRec.results, freshRec.output)
+	}
+	if !reflect.DeepEqual(merged, freshMet) {
+		return failf(KindParkResume, "%s: merged segment metrics diverge from the uninterrupted run:\nmerged %+v\nfresh  %+v",
+			name, merged, freshMet)
+	}
+	if err := m.Heap().CheckInvariants(); err != nil {
+		return failf(KindParkResume, "%s: heap invariants after segmented run: %v", name, err)
+	}
+	return nil
+}

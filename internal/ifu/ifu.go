@@ -82,6 +82,28 @@ func (s *Stack) Reset() {
 	s.entries = s.entries[:0]
 }
 
+// Entries returns an independent copy of the live entries, oldest first,
+// without disturbing the stack — the non-destructive capture a machine
+// snapshot needs. Unlike Flush nothing is emptied and nothing needs to be
+// written to storage: the suspended state stays exactly as it is.
+func (s *Stack) Entries() []Entry {
+	if len(s.entries) == 0 {
+		return nil
+	}
+	return append([]Entry(nil), s.entries...)
+}
+
+// LoadEntries replaces the stack contents with a copy of entries (oldest
+// first) — restoring a capture taken with Entries onto a reset stack. The
+// caller guarantees the capture came from a stack of the same depth;
+// exceeding the configured depth is an invariant violation.
+func (s *Stack) LoadEntries(entries []Entry) {
+	if len(entries) > s.depth {
+		panic("ifu: LoadEntries exceeds configured depth")
+	}
+	s.entries = append(s.entries[:0], entries...)
+}
+
 // Flush empties the stack, returning the entries oldest-first so the
 // machine can write each to storage.
 func (s *Stack) Flush() []Entry {

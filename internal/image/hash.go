@@ -18,6 +18,11 @@ import (
 // execution, and submissions differing only in symbol spelling should
 // land on the same cached image.
 func (p *Program) ContentHash() string {
+	p.hashOnce.Do(func() { p.hashVal = p.contentHash() })
+	return p.hashVal
+}
+
+func (p *Program) contentHash() string {
 	h := sha256.New()
 	var buf [8]byte
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -71,6 +72,12 @@ type Program struct {
 
 	// Symbols maps a procedure's entry PC to "Module.proc" for diagnostics.
 	Symbols map[uint32]string
+
+	// hashOnce/hashVal memoize ContentHash: a Program is immutable once
+	// linked, and continuation snapshot/restore consults the hash per
+	// operation — far too often to re-run SHA-256 each time.
+	hashOnce sync.Once
+	hashVal  string
 }
 
 // Load pokes the initialized data words into m (uncharged: loading is not

@@ -119,6 +119,38 @@ func (m *Memory) RestoreFrom(snap []Word) {
 	m.lo, m.hi = Size, 0
 }
 
+// DirtyRange reports the current dirty window [lo, hi); lo >= hi means the
+// store is clean relative to the snapshot it was last loaded from.
+func (m *Memory) DirtyRange() (lo, hi int) { return m.lo, m.hi }
+
+// PeekRange returns an independent copy of words [lo, hi) without charging
+// references — the raw capture a continuation snapshot needs. Returns nil
+// for an empty range.
+func (m *Memory) PeekRange(lo, hi int) []Word {
+	if lo >= hi {
+		return nil
+	}
+	return append([]Word(nil), m.words[lo:hi]...)
+}
+
+// WriteBack installs words at lo without charging references, widening the
+// dirty window to cover them — the restore of a parked continuation's delta
+// over a freshly reset store. The reference counters are untouched: a
+// resumed segment accounts only the work it does after resumption, and the
+// next RestoreFrom still knows exactly what to undo.
+func (m *Memory) WriteBack(lo int, words []Word) {
+	if len(words) == 0 {
+		return
+	}
+	copy(m.words[lo:lo+len(words)], words)
+	if lo < m.lo {
+		m.lo = lo
+	}
+	if lo+len(words) > m.hi {
+		m.hi = lo + len(words)
+	}
+}
+
 // DirtyWords reports the size of the current dirty window (diagnostics).
 func (m *Memory) DirtyWords() int {
 	if m.lo >= m.hi {

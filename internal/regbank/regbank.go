@@ -180,6 +180,63 @@ func (f *File) Reset() {
 	}
 }
 
+// BankState is one bank's captured state — contents, dirty mask, owner and
+// the age that drives victim selection.
+type BankState struct {
+	Words []uint16
+	Dirty uint64
+	Owner int32
+	Age   uint64
+}
+
+// State is a deep copy of the whole file: every bank plus the clock. A
+// machine snapshot captures it raw — flushing instead would charge memory
+// references the uninterrupted run never pays — and restoring it (ages and
+// clock included) makes the resumed machine evict exactly the banks the
+// uninterrupted run would have.
+type State struct {
+	Banks []BankState
+	Clock uint64
+}
+
+// State captures the file (deep copy).
+func (f *File) State() State {
+	s := State{Clock: f.clock}
+	if len(f.banks) > 0 {
+		s.Banks = make([]BankState, len(f.banks))
+		for i := range f.banks {
+			b := &f.banks[i]
+			s.Banks[i] = BankState{
+				Words: append([]uint16(nil), b.Words...),
+				Dirty: b.Dirty,
+				Owner: b.Owner,
+				Age:   b.age,
+			}
+		}
+	}
+	return s
+}
+
+// Restore puts the file back to s (deep copy). The capture must come from a
+// file of the same shape — same bank count and words per bank; a mismatch
+// is an invariant violation (the caller compares configurations first).
+func (f *File) Restore(s State) {
+	if len(s.Banks) != len(f.banks) {
+		panic("regbank: Restore with mismatched bank count")
+	}
+	f.clock = s.Clock
+	for i := range f.banks {
+		b := &f.banks[i]
+		if len(s.Banks[i].Words) != len(b.Words) {
+			panic("regbank: Restore with mismatched bank size")
+		}
+		copy(b.Words, s.Banks[i].Words)
+		b.Dirty = s.Banks[i].Dirty
+		b.Owner = s.Banks[i].Owner
+		b.age = s.Banks[i].Age
+	}
+}
+
 // ReleaseAll frees every bank, returning copies of the frame-owned ones so
 // the machine can flush them (process switch / trap fallback: "all the
 // banks are flushed into storage").

@@ -1,10 +1,12 @@
 package registry
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
 	fpc "repro"
+	"repro/internal/snapshot"
 )
 
 // benchSources is the /run-shaped submission the serving benchmarks use;
@@ -99,6 +101,99 @@ func BenchmarkColdSubmitCall(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := e.Pool().CallBudget(e.Image().Entry(), 5_000_000, 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchParked boots a machine for the serving benchmark program, runs it
+// to a mid-recursion park point, and returns it with a second machine of
+// the same image to restore onto.
+func benchParked(b *testing.B) (parked, target *fpc.Machine) {
+	b.Helper()
+	prog, err := benchBuild(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := fpc.LoadImage(prog, fpc.ConfigFastCalls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := img.NewMachine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Start(img.Entry(), 24); err != nil {
+		b.Fatal(err)
+	}
+	m.SetRunBudget(20_000)
+	if err := m.Run(); !errors.Is(err, fpc.ErrMaxSteps) {
+		b.Fatalf("err = %v, want ErrMaxSteps", err)
+	}
+	target, err = img.NewMachine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, target
+}
+
+// BenchmarkSnapshotRestore is the machine-side cost of a process switch —
+// Snapshot a mid-run machine, Restore the continuation onto another
+// machine of the same image — the per-timeslice work of internal/sched
+// and the in-memory half of a /session boundary. Compare
+// BenchmarkColdBoot: restore must stay an order of magnitude cheaper
+// than booting the program from scratch for parking to be an admission
+// policy rather than a penalty (recorded in BENCH_serve.json).
+func BenchmarkSnapshotRestore(b *testing.B) {
+	m, target := benchParked(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := m.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := target.Restore(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionRoundTrip adds the wire codec to the switch: Snapshot,
+// encode to the session table's byte form, decode, Restore — the full
+// machine-plus-serialization cost fpcd pays at a /session segment
+// boundary (park on one request, resume on a later one).
+func BenchmarkSessionRoundTrip(b *testing.B) {
+	m, target := benchParked(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := m.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		c2, err := snapshot.Decode(snapshot.Encode(c))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := target.Restore(c2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdBoot is the alternative a resume avoids: boot a machine
+// for the program from scratch (private image load plus boot snapshot),
+// as every run paid before images and continuations were shareable.
+func BenchmarkColdBoot(b *testing.B) {
+	prog, err := benchBuild(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fpc.NewMachine(prog, fpc.ConfigFastCalls); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -34,6 +34,7 @@ import (
 
 	fpc "repro"
 	"repro/internal/core"
+	"repro/internal/snapshot"
 )
 
 // Config parameterizes a Registry.
@@ -56,6 +57,9 @@ type Config struct {
 	// pool, moving even the boot memcpy off the first requests' path.
 	// <0 disables warming; 0 selects 1.
 	WarmMachines int
+	// Sessions bounds the parked-session table (LRU + TTL + per-tenant
+	// quotas); zero fields take snapshot.TableConfig defaults.
+	Sessions snapshot.TableConfig
 }
 
 func (c *Config) fill() {
@@ -143,6 +147,10 @@ type Registry struct {
 	// registry-wide totals stay exact across evictions.
 	retired     core.Metrics
 	retiredRuns uint64
+
+	// sessions holds parked continuations, keyed off-machine by session id
+	// and tied to images only through their content hash (see sessions.go).
+	sessions *snapshot.Table
 }
 
 // New builds a Registry with cfg (zero fields defaulted).
@@ -153,6 +161,7 @@ func New(cfg Config) *Registry {
 		byHash:   map[string]*Entry{},
 		bySource: map[string]string{},
 		lru:      list.New(),
+		sessions: snapshot.NewTable(cfg.Sessions),
 	}
 }
 

@@ -1,0 +1,82 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/snapshot"
+)
+
+// Parked sessions: the registry side of first-class continuations. A run
+// that exhausts its per-segment step budget (or blocks on output
+// backpressure) is snapshotted into a core.Continuation, encoded, and
+// parked here — off any machine, so the pooled machine goes straight back
+// to serving other tenants. The session resumes later on any machine over
+// the image with the session's content hash; the registry is the natural
+// owner because it already indexes images by that hash.
+
+// ErrImageGone reports a resume whose session is intact but whose image
+// was evicted from the cache. The session is re-parked untouched: the
+// client re-submits the program through /run (restoring the image under
+// the same content hash) and resumes again.
+var ErrImageGone = errors.New("registry: session's image is no longer resident")
+
+// Sessions returns the parked-session table (always non-nil).
+func (r *Registry) Sessions() *snapshot.Table { return r.sessions }
+
+// ParkSession encodes c and parks it for tenant. id names an existing
+// computation's session ("" assigns a fresh one); prev, when non-nil, is
+// the session state from the segment's resume, carrying the cumulative
+// accounting the new park extends. The returned session reports the
+// assigned id and the totals across every segment so far.
+func (r *Registry) ParkSession(tenant, id string, c *core.Continuation, prev *snapshot.Session) (*snapshot.Session, error) {
+	s := &snapshot.Session{
+		ID:       id,
+		Tenant:   tenant,
+		Hash:     c.Hash,
+		Enc:      snapshot.Encode(c),
+		Segments: 1,
+	}
+	if c.Metrics != nil {
+		s.Steps = c.Metrics.Instructions
+		s.Cycles = c.Metrics.Cycles
+		s.Refs = c.Metrics.ChargedRefs
+	}
+	if prev != nil {
+		s.Steps += prev.Steps
+		s.Cycles += prev.Cycles
+		s.Refs += prev.Refs
+		s.Segments += prev.Segments
+	}
+	if _, err := r.sessions.Park(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ResumeSession takes the tenant's parked session and resolves it to a
+// resume target: the resident entry for the session's image plus the
+// decoded continuation. The session is consumed — a successful segment
+// either halts (the session is simply gone) or parks again under the same
+// id. When the image has been evicted the session is re-parked and
+// ErrImageGone returned; a missing/expired/evicted session is
+// snapshot.ErrNotFound.
+func (r *Registry) ResumeSession(tenant, id string) (*Entry, *core.Continuation, *snapshot.Session, error) {
+	s, err := r.sessions.Take(tenant, id)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ent, ok := r.Lookup(s.Hash)
+	if !ok {
+		if _, perr := r.sessions.Park(s); perr != nil {
+			return nil, nil, nil, fmt.Errorf("%w (and re-parking failed: %v)", ErrImageGone, perr)
+		}
+		return nil, nil, nil, fmt.Errorf("%w: %.12s…; re-submit the program through /run, then resume again", ErrImageGone, s.Hash)
+	}
+	c, err := snapshot.Decode(s.Enc)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return ent, c, s, nil
+}

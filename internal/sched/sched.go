@@ -1,0 +1,203 @@
+// Package sched is the in-VM process scheduler: it multiplexes N
+// paper-processes over pooled machines by round-robin timeslicing, using
+// first-class continuations (core.Snapshot/Restore) as its context-switch
+// mechanism. A process runs for one slice on whichever machine the pool
+// hands out, is parked into a continuation when the slice expires, and
+// resumes its next slice on any machine over the same image — the
+// serving-layer realization of the paper's §7.1 observation that a
+// process switch is just the state the fast path keeps in registers,
+// written out and reloaded.
+//
+// Preemption rides the engine's existing pause machinery: a slice is a
+// per-run instruction budget (default 1024, the same granularity as the
+// run loop's cancellation probe), so the cut lands on an exact
+// instruction boundary and the resumed run is byte-identical to an
+// uninterrupted one. Because every slice checks a machine out of the pool
+// and back in, the pool's aggregate metrics equal the sum of every
+// process's merged per-slice metrics exactly — an invariant the stress
+// test asserts.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	fpc "repro"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// ErrBudget is wrapped into a process result when its lifetime budget is
+// exhausted before the process halts.
+var ErrBudget = errors.New("sched: process budget exhausted")
+
+// Config bounds the scheduler.
+type Config struct {
+	// Slice is the preemption quantum in executed instructions. The
+	// default (1024) matches the run loop's cancel-probe interval.
+	Slice uint64
+	// Budget is the per-process lifetime instruction budget; a process
+	// still running after Budget instructions fails with ErrBudget.
+	// 0 means unlimited.
+	Budget uint64
+}
+
+// Result is one process's outcome.
+type Result struct {
+	Results   []mem.Word    // final argument record, when the process halted
+	Output    []mem.Word    // cumulative OUT stream
+	Metrics   *core.Metrics // merged across every slice the process ran
+	Err       error         // nil on a clean halt
+	Slices    int           // timeslices consumed
+	Preempted int           // slices that ended in preemption (Slices-1 ≥ Preempted)
+}
+
+type proc struct {
+	desc    mem.Word
+	args    []mem.Word
+	started bool
+	cont    *core.Continuation
+	spent   uint64
+	metrics core.Metrics
+	res     Result
+	done    bool
+}
+
+// Scheduler multiplexes processes over a pool's machines. Spawn
+// processes, then Run; a Scheduler is single-use and not itself safe for
+// concurrent use (but many Schedulers may share one pool concurrently).
+type Scheduler struct {
+	pool  *fpc.Pool
+	cfg   Config
+	procs []*proc
+	ran   bool
+}
+
+// New creates a scheduler over the pool's image.
+func New(pool *fpc.Pool, cfg Config) *Scheduler {
+	if cfg.Slice == 0 {
+		cfg.Slice = 1024
+	}
+	return &Scheduler{pool: pool, cfg: cfg}
+}
+
+// Spawn queues a process: a procedure call to desc with args. It returns
+// the process id — the index of the process's Result.
+func (s *Scheduler) Spawn(desc mem.Word, args ...mem.Word) int {
+	s.procs = append(s.procs, &proc{desc: desc, args: append([]mem.Word(nil), args...)})
+	return len(s.procs) - 1
+}
+
+// SpawnNamed resolves "Module.proc" in the pool's image and spawns it.
+func (s *Scheduler) SpawnNamed(module, procName string, args ...mem.Word) (int, error) {
+	desc, err := s.pool.Image().Program().FindProc(module, procName)
+	if err != nil {
+		return -1, err
+	}
+	return s.Spawn(desc, args...), nil
+}
+
+// Run drives every spawned process to completion (or failure) by
+// round-robin timeslicing and returns their results, indexed by process
+// id. Cancelling ctx fails the processes still running with ctx's error;
+// work already done stays accounted.
+func (s *Scheduler) Run(ctx context.Context) ([]Result, error) {
+	if s.ran {
+		return nil, errors.New("sched: scheduler already ran")
+	}
+	s.ran = true
+	for remaining := len(s.procs); remaining > 0; {
+		for _, p := range s.procs {
+			if p.done {
+				continue
+			}
+			if ctx != nil && ctx.Err() != nil {
+				p.finish(fmt.Errorf("%w: %v", core.ErrCanceled, ctx.Err()))
+				remaining--
+				continue
+			}
+			s.slice(p)
+			if p.done {
+				remaining--
+			}
+		}
+	}
+	out := make([]Result, len(s.procs))
+	for i, p := range s.procs {
+		out[i] = p.res
+		out[i].Metrics = p.metrics.Clone()
+	}
+	return out, nil
+}
+
+func (p *proc) finish(err error) {
+	p.res.Err = err
+	p.done = true
+}
+
+// slice runs one timeslice of p on a freshly checked-out machine. The
+// machine goes back to the pool whatever happens, so each slice's metrics
+// are merged into the pool aggregate exactly once — the counters start
+// from zero on both the Start and the Restore path.
+func (s *Scheduler) slice(p *proc) {
+	budget := s.cfg.Slice
+	if s.cfg.Budget > 0 {
+		rem := s.cfg.Budget - p.spent
+		if rem == 0 {
+			p.finish(fmt.Errorf("%w after %d instructions", ErrBudget, p.spent))
+			return
+		}
+		if rem < budget {
+			budget = rem
+		}
+	}
+
+	m, err := s.pool.Get()
+	if err != nil {
+		p.finish(err)
+		return
+	}
+	defer s.pool.Put(m)
+
+	if !p.started {
+		p.started = true
+		err = m.Start(p.desc, p.args...)
+	} else {
+		err = m.Restore(p.cont)
+	}
+	if err != nil {
+		p.finish(err)
+		return
+	}
+	m.SetRunBudget(budget)
+	err = m.Run()
+
+	seg := m.Metrics()
+	p.metrics.Merge(seg)
+	p.spent += seg.Instructions
+	p.res.Slices++
+
+	switch {
+	case err == nil && m.Halted():
+		p.res.Results = m.Results()
+		p.res.Output = append([]mem.Word(nil), m.Output...)
+		p.finish(nil)
+	case errors.Is(err, core.ErrMaxSteps):
+		if s.cfg.Budget > 0 && p.spent >= s.cfg.Budget {
+			p.finish(fmt.Errorf("%w after %d instructions", ErrBudget, p.spent))
+			return
+		}
+		c, serr := m.Snapshot()
+		if serr != nil {
+			p.finish(serr)
+			return
+		}
+		p.cont = c
+		p.res.Preempted++
+	default:
+		// A failed run still carries its output for diagnostics.
+		p.res.Output = append([]mem.Word(nil), m.Output...)
+		p.finish(err)
+	}
+}

@@ -1,0 +1,314 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	fpc "repro"
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/linker"
+	"repro/internal/mem"
+)
+
+// testModules builds one image holding a recursive fib, a coroutine
+// generator with OUT traffic, and an infinite spin loop.
+func testModules() []*image.Module {
+	fib := &image.Proc{Name: "fib", NumArgs: 1, NumLocals: 2}
+	{
+		var a image.Asm
+		base := a.NewLabel()
+		a.Emit(isa.LL0)
+		a.Emit(isa.LI2)
+		a.EmitJump(isa.JLB, base)
+		a.Emit(isa.LL0)
+		a.Emit(isa.LI1)
+		a.Emit(isa.SUB)
+		a.EmitCallLocal(1)
+		a.Emit(isa.SL1)
+		a.Emit(isa.LL0)
+		a.Emit(isa.LI2)
+		a.Emit(isa.SUB)
+		a.EmitCallLocal(1)
+		a.Emit(isa.LL1)
+		a.Emit(isa.ADD)
+		a.Emit(isa.RET)
+		a.Bind(base)
+		a.Emit(isa.LL0)
+		a.Emit(isa.RET)
+		fib.Body = a.Fragment()
+	}
+	fibMain := &image.Proc{Name: "main", NumArgs: 1, NumLocals: 1}
+	{
+		var a image.Asm
+		a.Emit(isa.LL0)
+		a.EmitCallLocal(1)
+		a.Emit(isa.RET)
+		fibMain.Body = a.Fragment()
+	}
+	fibMod := &image.Module{Name: "fib", Procs: []*image.Proc{fibMain, fib}}
+
+	coMod := &image.Module{Name: "co", Imports: []image.Import{{Module: "co", Proc: "gen"}}}
+	coMain := &image.Proc{Name: "main", NumArgs: 0, NumLocals: 1}
+	{
+		var a image.Asm
+		a.EmitLoadImportDesc(0)
+		a.Emit(isa.COCREATE)
+		a.Emit(isa.SL0)
+		a.Emit(isa.LI5)
+		a.Emit(isa.LL0)
+		a.Emit(isa.XFERO)
+		a.Emit(isa.OUT)
+		a.Emit(isa.LI7)
+		a.Emit(isa.LL0)
+		a.Emit(isa.XFERO)
+		a.Emit(isa.OUT)
+		a.Emit(isa.LL0)
+		a.Emit(isa.FREE)
+		a.Emit(isa.RET)
+		coMain.Body = a.Fragment()
+	}
+	gen := &image.Proc{Name: "gen", NumArgs: 1, NumLocals: 2}
+	{
+		var a image.Asm
+		a.Emit(isa.LRC)
+		a.Emit(isa.SL1)
+		a.Emit(isa.LL0)
+		a.Emit(isa.LI1)
+		a.Emit(isa.ADD)
+		a.Emit(isa.LL1)
+		a.Emit(isa.XFERO)
+		a.Emit(isa.LI2)
+		a.Emit(isa.MUL)
+		a.Emit(isa.LL1)
+		a.Emit(isa.XFERO)
+		a.Emit(isa.RET)
+		gen.Body = a.Fragment()
+	}
+	coMod.Procs = []*image.Proc{coMain, gen}
+
+	spinMod := &image.Module{Name: "spin"}
+	spinMain := &image.Proc{Name: "main", NumArgs: 0, NumLocals: 0}
+	{
+		var a image.Asm
+		top := a.NewLabel()
+		a.Bind(top)
+		a.EmitJump(isa.JB, top)
+		spinMain.Body = a.Fragment()
+	}
+	spinMod.Procs = []*image.Proc{spinMain}
+
+	return []*image.Module{fibMod, coMod, spinMod}
+}
+
+func buildImage(t *testing.T) *core.LoadedImage {
+	t.Helper()
+	prog, _, err := linker.Link(testModules(), "fib", "main", linker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := core.LoadImage(prog, core.ConfigFastCalls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// golden runs module.proc(args) uninterrupted on a private machine.
+func golden(t *testing.T, img *core.LoadedImage, module, proc string, args ...mem.Word) ([]mem.Word, []mem.Word, *core.Metrics) {
+	t.Helper()
+	m, err := img.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := img.Program().FindProc(module, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Call(desc, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, append([]mem.Word(nil), m.Output...), m.Metrics()
+}
+
+type spawnSpec struct {
+	module, proc string
+	args         []mem.Word
+}
+
+// TestSchedStress is the sched-smoke target: many schedulers sharing one
+// pool from concurrent goroutines, tiny slices forcing heavy preemption.
+// Every process must end byte-identical to its uninterrupted golden run
+// (results, output, and the full merged metrics), and the pool aggregate
+// must equal the sum of every process's per-slice metrics exactly.
+func TestSchedStress(t *testing.T) {
+	img := buildImage(t)
+	pool := fpc.NewPoolFromImage(img)
+
+	specs := []spawnSpec{
+		{"fib", "main", []mem.Word{14}},
+		{"fib", "main", []mem.Word{11}},
+		{"co", "main", nil},
+		{"fib", "main", []mem.Word{8}},
+		{"co", "main", nil},
+		{"fib", "main", []mem.Word{13}},
+	}
+	type goldenRun struct {
+		res, out []mem.Word
+		metrics  *core.Metrics
+	}
+	goldens := make([]goldenRun, len(specs))
+	for i, sp := range specs {
+		r, o, mt := golden(t, img, sp.module, sp.proc, sp.args...)
+		goldens[i] = goldenRun{r, o, mt}
+	}
+
+	const schedulers = 8
+	allResults := make([][]Result, schedulers)
+	var wg sync.WaitGroup
+	for g := 0; g < schedulers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := New(pool, Config{Slice: 64})
+			for _, sp := range specs {
+				if _, err := s.SpawnNamed(sp.module, sp.proc, sp.args...); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			res, err := s.Run(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			allResults[g] = res
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	merged := &core.Metrics{}
+	var slices, preempted int
+	for g, results := range allResults {
+		if len(results) != len(specs) {
+			t.Fatalf("scheduler %d: %d results, want %d", g, len(results), len(specs))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("scheduler %d process %d: %v", g, i, r.Err)
+			}
+			if !reflect.DeepEqual(r.Results, goldens[i].res) {
+				t.Fatalf("scheduler %d process %d: results %v, want %v", g, i, r.Results, goldens[i].res)
+			}
+			if !reflect.DeepEqual(r.Output, goldens[i].out) {
+				t.Fatalf("scheduler %d process %d: output %v, want %v", g, i, r.Output, goldens[i].out)
+			}
+			if !reflect.DeepEqual(r.Metrics, goldens[i].metrics) {
+				t.Fatalf("scheduler %d process %d: merged slice metrics diverge from the uninterrupted run", g, i)
+			}
+			merged.Merge(r.Metrics)
+			slices += r.Slices
+			preempted += r.Preempted
+		}
+	}
+	if preempted == 0 {
+		t.Fatal("no process was ever preempted; the stress proves nothing")
+	}
+	if got := pool.Runs(); got != uint64(slices) {
+		t.Fatalf("pool ran %d segments, schedulers account %d slices", got, slices)
+	}
+	if !reflect.DeepEqual(pool.Metrics(), merged) {
+		t.Fatal("pool aggregate diverges from the sum of per-process metrics")
+	}
+}
+
+// TestSchedDeterminism: the same spawn set over a fresh pool is
+// reproducible run-to-run, preemption included.
+func TestSchedDeterminism(t *testing.T) {
+	img := buildImage(t)
+	run := func() []Result {
+		s := New(fpc.NewPoolFromImage(img), Config{Slice: 100})
+		if _, err := s.SpawnNamed("fib", "main", 12); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.SpawnNamed("co", "main"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical scheduler runs diverged")
+	}
+}
+
+// TestSchedBudget: a runaway process is cut by its lifetime budget with
+// ErrBudget; well-behaved siblings are unaffected and the cut process's
+// partial work stays accounted.
+func TestSchedBudget(t *testing.T) {
+	img := buildImage(t)
+	pool := fpc.NewPoolFromImage(img)
+	s := New(pool, Config{Slice: 128, Budget: 10_000})
+	spinID, err := s.SpawnNamed("spin", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fibID, err := s.SpawnNamed("fib", "main", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res[spinID].Err, ErrBudget) {
+		t.Fatalf("spin: err = %v, want ErrBudget", res[spinID].Err)
+	}
+	if res[spinID].Metrics.Instructions != 10_000 {
+		t.Fatalf("spin executed %d instructions, want exactly its 10000 budget", res[spinID].Metrics.Instructions)
+	}
+	if res[fibID].Err != nil || len(res[fibID].Results) != 1 || res[fibID].Results[0] != 55 {
+		t.Fatalf("fib: %+v", res[fibID])
+	}
+	want := &core.Metrics{}
+	want.Merge(res[spinID].Metrics)
+	want.Merge(res[fibID].Metrics)
+	if !reflect.DeepEqual(pool.Metrics(), want) {
+		t.Fatal("pool aggregate diverges from per-process metrics with a budget-cut process")
+	}
+}
+
+// TestSchedCancel: a canceled context fails the processes still running
+// with ErrCanceled between slices; a scheduler is single-use.
+func TestSchedCancel(t *testing.T) {
+	img := buildImage(t)
+	s := New(fpc.NewPoolFromImage(img), Config{Slice: 64})
+	s.SpawnNamed("spin", "main")
+	s.SpawnNamed("fib", "main", 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if !errors.Is(r.Err, core.ErrCanceled) {
+			t.Fatalf("process %d: err = %v, want ErrCanceled", i, r.Err)
+		}
+	}
+	if _, err := s.Run(context.Background()); err == nil {
+		t.Fatal("a scheduler must be single-use")
+	}
+}

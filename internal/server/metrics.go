@@ -103,6 +103,19 @@ func (s *Server) writeMetrics(w io.Writer) {
 	counter("fpc_registry_instructions_total", "Simulated instructions across every registry pool.", regMt.Instructions)
 	counter("fpc_registry_cycles_total", "Simulated cycles across every registry pool.", regMt.Cycles)
 
+	// Parked sessions: continuations held off-machine between /session
+	// segments. Parked-resumed-expired-evicted accounts every session's
+	// exit from the table exactly once.
+	ss := s.reg.Sessions().Stats()
+	counter("fpc_session_parked_total", "Session segments parked into the table (budget or output backpressure).", ss.Parked)
+	counter("fpc_session_resumed_total", "Parked sessions taken for resumption.", ss.Resumed)
+	counter("fpc_session_expired_total", "Parked sessions dropped by TTL.", ss.Expired)
+	counter("fpc_session_evicted_total", "Parked sessions LRU-evicted (session cap or byte budget).", ss.Evicted)
+	counter("fpc_session_quota_rejected_total", "Parks refused by a per-tenant session quota.", ss.QuotaRejected)
+	counter("fpc_session_not_found_total", "Resumes of sessions not in the table (expired, evicted, foreign, or never parked).", ss.NotFound)
+	gauge("fpc_session_resident", "Sessions currently parked.", float64(ss.Resident))
+	gauge("fpc_session_bytes", "Encoded continuation bytes currently parked.", float64(ss.Bytes))
+
 	// Per-tenant fairness accounting: one row per tenant the process has
 	// seen, so a saturating tenant's sheds are visibly theirs alone.
 	if len(tenantRows) > 0 {

@@ -19,6 +19,8 @@
 //	POST /call         {"module":"m","proc":"p","args":[1,2],"budget":100000}
 //	POST /run          {"modules":{"m":"module m; ..."},"entry":"m.main","args":[3]}
 //	POST /call/{hash}  {"args":[4]} — invoke a cached image by content hash
+//	POST /session      start a parkable run (see session.go)
+//	POST /session/{id}/resume  resume a parked session
 //	GET  /healthz      "ok" while serving, 503 "draining" during drain
 //	GET  /metrics      Prometheus text exposition
 //
@@ -39,6 +41,7 @@ import (
 	fpc "repro"
 	"repro/internal/core"
 	"repro/internal/registry"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 )
 
@@ -98,6 +101,18 @@ type Config struct {
 	// memory leak). Tenants beyond the cap share one overflow shard.
 	// Default: 4096.
 	MaxTenants int
+
+	// SessionMax caps parked sessions; the LRU evicts beyond it.
+	// Default: 1024.
+	SessionMax int
+	// SessionPerTenant caps one tenant's parked sessions (further parks
+	// by that tenant get 429). 0 = no per-tenant cap.
+	SessionPerTenant int
+	// SessionBytes bounds the total encoded continuation bytes parked;
+	// the LRU evicts beyond it. 0 = unlimited.
+	SessionBytes int64
+	// SessionTTL expires parked sessions not resumed in time. Default: 5m.
+	SessionTTL time.Duration
 }
 
 func (c *Config) fill() {
@@ -217,11 +232,19 @@ func New(pool *fpc.Pool, cfg Config) *Server {
 		MemoryBudget: cfg.CacheBudget,
 		MaxImages:    cfg.CacheImages,
 		WarmMachines: cfg.WarmMachines,
+		Sessions: snapshot.TableConfig{
+			MaxSessions:  cfg.SessionMax,
+			MaxPerTenant: cfg.SessionPerTenant,
+			MaxBytes:     cfg.SessionBytes,
+			TTL:          cfg.SessionTTL,
+		},
 	})
 	s.boot = s.reg.AdoptPinned(pool.Image(), pool)
 	s.mux.HandleFunc("/call", s.handleCall)
 	s.mux.HandleFunc("/call/", s.handleCallHash)
 	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/session", s.handleSession)
+	s.mux.HandleFunc("/session/", s.handleSessionResume)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -311,13 +334,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// runOnPool is the one admitted-bounded-run path every endpoint goes
-// through: tenant-shard admission, a global queue position, a run slot,
-// one budgeted machine run on pool, and the exact accounting of whatever
-// happened — global and per-tenant. Shed responses (429/503) are written
-// here; on ok the caller renders the response body from cr and status.
-// cr is non-nil whenever a machine actually ran, failures included.
+// runOnPool is the admitted-bounded-run path the call-shaped endpoints go
+// through: the standard admission envelope around one budgeted pooled
+// call. Shed responses (429/503) are written inside runAdmitted; on ok the
+// caller renders the response body from cr and status. cr is non-nil
+// whenever a machine actually ran, failures included.
 func (s *Server) runOnPool(w http.ResponseWriter, r *http.Request, tn *tenantState, pool *fpc.Pool, desc fpc.Word, budget uint64, args []fpc.Word) (cr *fpc.CallResult, status int, runErr error, ok bool) {
+	return s.runAdmitted(w, r, tn, func(ctx context.Context) (*fpc.CallResult, error) {
+		return pool.CallContext(ctx, desc, budget, args...)
+	})
+}
+
+// runAdmitted is the one admission envelope every machine-running endpoint
+// goes through: tenant-shard admission, a global queue position, a run
+// slot, one machine run driven by the run closure under the request
+// deadline, and the exact accounting of whatever happened — global and
+// per-tenant. The closure returns the run's artifacts (non-nil whenever a
+// machine actually ran, failures included) and its error; an error
+// wrapping ErrMaxSteps/ErrCanceled accounts as budget-exceeded (504), any
+// other as a run error (500). A closure that parks a run instead of
+// failing it returns a nil error — the park then accounts as completed.
+func (s *Server) runAdmitted(w http.ResponseWriter, r *http.Request, tn *tenantState, run func(ctx context.Context) (*fpc.CallResult, error)) (cr *fpc.CallResult, status int, runErr error, ok bool) {
 	releaseTenant, shedStatus, reason := s.admitTenant(r, tn)
 	if releaseTenant == nil {
 		if shedStatus != 0 {
@@ -355,7 +392,7 @@ func (s *Server) runOnPool(w http.ResponseWriter, r *http.Request, tn *tenantSta
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	start := time.Now()
-	cr, runErr = pool.CallContext(ctx, desc, budget, args...)
+	cr, runErr = run(ctx)
 	elapsed := time.Since(start)
 
 	var steps, cycles uint64

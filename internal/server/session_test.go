@@ -1,0 +1,336 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// sessSrc is a submittable module whose main emits a stream while
+// grinding: the park/resume suite drives it under tiny per-segment budgets
+// and an output-backpressure bound.
+const sessSrc = `
+module sess;
+proc fib(n) {
+  if (n < 2) { return n; }
+  return fib(n-1) + fib(n-2);
+}
+proc main(n) {
+  var i = 0;
+  var acc = 0;
+  while (i < n) {
+    acc = acc + fib(8);
+    out(acc & 0x7FFF);
+    i = i + 1;
+  }
+  return acc & 0x7FFF;
+}
+`
+
+// postSession POSTs a /session-shaped body to path (/session or
+// /session/{id}/resume) under tenant and decodes the response.
+func postSession(t *testing.T, ts *httptest.Server, path, tenant string, body any) (int, server.SessionResponse) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr server.SessionResponse
+	json.Unmarshal(raw, &sr)
+	return resp.StatusCode, sr
+}
+
+// driveSession starts a /session request and resumes until done,
+// returning the final response plus the segment-step history.
+func driveSession(t *testing.T, ts *httptest.Server, tenant string, start server.SessionRequest, resume server.ResumeRequest, maxSegments int) (server.SessionResponse, []uint64) {
+	t.Helper()
+	status, sr := postSession(t, ts, "/session", tenant, start)
+	if status != http.StatusOK {
+		t.Fatalf("/session: status %d (%+v)", status, sr)
+	}
+	steps := []uint64{sr.Steps}
+	for i := 0; sr.Parked; i++ {
+		if i >= maxSegments {
+			t.Fatalf("session still parked after %d segments", maxSegments)
+		}
+		status, sr = postSession(t, ts, "/session/"+sr.Session+"/resume", tenant, resume)
+		if status != http.StatusOK {
+			t.Fatalf("resume: status %d (%+v)", status, sr)
+		}
+		steps = append(steps, sr.Steps)
+	}
+	return sr, steps
+}
+
+// TestSessionParkResume is the tentpole scenario: a run segmented by a
+// tiny per-segment budget parks and resumes to the exact results, output
+// and instruction total of the same call run uninterrupted.
+func TestSessionParkResume(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+
+	// Golden: the boot program's spin, uninterrupted, through /call.
+	callStatus, golden := call(t, ts, server.CallRequest{Module: "srv", Proc: "spin", Args: []int64{4}})
+	if callStatus != http.StatusOK || golden.Error != "" {
+		t.Fatalf("golden call: %d %+v", callStatus, golden)
+	}
+
+	final, steps := driveSession(t, ts, "", server.SessionRequest{
+		Module: "srv", Proc: "spin", Args: []int64{4}, Budget: 1000,
+	}, server.ResumeRequest{Budget: 1000}, 100)
+
+	if !final.Done || final.Parked {
+		t.Fatalf("final segment: %+v", final)
+	}
+	if len(steps) < 3 {
+		t.Fatalf("only %d segments; the budget never parked the run", len(steps))
+	}
+	if !reflect.DeepEqual(final.Results, golden.Results) {
+		t.Fatalf("results %v, want %v", final.Results, golden.Results)
+	}
+	var sum uint64
+	for _, s := range steps {
+		sum += s
+	}
+	if final.TotalSteps != sum {
+		t.Fatalf("total_steps %d, want the segment sum %d", final.TotalSteps, sum)
+	}
+	if final.TotalSteps != golden.Steps {
+		t.Fatalf("segmented run executed %d instructions, uninterrupted %d", final.TotalSteps, golden.Steps)
+	}
+	if final.Segments != len(steps) {
+		t.Fatalf("segments %d, want %d", final.Segments, len(steps))
+	}
+	// Every intermediate segment ran exactly its budget.
+	for i, s := range steps[:len(steps)-1] {
+		if s != 1000 {
+			t.Fatalf("segment %d ran %d steps, want exactly its 1000 budget", i, s)
+		}
+	}
+
+	vals, _ := scrapeMetrics(t, ts)
+	if got := vals["fpc_session_parked_total"]; got != float64(len(steps)-1) {
+		t.Fatalf("fpc_session_parked_total = %g, want %d", got, len(steps)-1)
+	}
+	if got := vals["fpc_session_resumed_total"]; got != float64(len(steps)-1) {
+		t.Fatalf("fpc_session_resumed_total = %g, want %d", got, len(steps)-1)
+	}
+	if got := vals["fpc_session_resident"]; got != 0 {
+		t.Fatalf("fpc_session_resident = %g after the session completed", got)
+	}
+	// The pool aggregate saw every segment: steps served over /call +
+	// /session equal the pool's instruction total.
+	if vals["fpc_server_steps_served_total"] != vals["fpc_pool_instructions_total"] {
+		t.Fatalf("steps served %g != pool instructions %g",
+			vals["fpc_server_steps_served_total"], vals["fpc_pool_instructions_total"])
+	}
+}
+
+// TestSessionOutputBackpressure: MaxOutput parks the run once a segment
+// has produced that many new words; the drained-and-resumed session still
+// reproduces the uninterrupted output stream exactly.
+func TestSessionOutputBackpressure(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+
+	start := server.SessionRequest{
+		Modules: map[string]string{"sess": sessSrc},
+		Entry:   "sess.main",
+		Args:    []int64{30},
+	}
+	// Golden: same program uninterrupted (huge budget, no output bound).
+	status, golden := postSession(t, ts, "/session", "", start)
+	if status != http.StatusOK || !golden.Done {
+		t.Fatalf("golden: %d %+v", status, golden)
+	}
+
+	bounded := start
+	bounded.MaxOutput = 7
+	final, steps := driveSession(t, ts, "", bounded, server.ResumeRequest{MaxOutput: 7}, 100)
+	if len(steps) < 3 {
+		t.Fatalf("only %d segments; the output bound never parked the run", len(steps))
+	}
+	if !reflect.DeepEqual(final.Results, golden.Results) {
+		t.Fatalf("results %v, want %v", final.Results, golden.Results)
+	}
+	if !reflect.DeepEqual(final.Output, golden.Output) {
+		t.Fatalf("output %v, want %v", final.Output, golden.Output)
+	}
+	if final.TotalSteps != golden.TotalSteps {
+		t.Fatalf("backpressured run executed %d instructions, uninterrupted %d", final.TotalSteps, golden.TotalSteps)
+	}
+}
+
+// TestSessionTenantIsolation: a session id is worthless to another tenant
+// — the resume is indistinguishable from a missing session — and a
+// per-tenant quota sheds only the tenant that filled it.
+func TestSessionTenantIsolation(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{SessionPerTenant: 1})
+
+	park := server.SessionRequest{Module: "srv", Proc: "spin", Args: []int64{50}, Budget: 500}
+	status, a := postSession(t, ts, "/session", "alice", park)
+	if status != http.StatusOK || !a.Parked {
+		t.Fatalf("alice park: %d %+v", status, a)
+	}
+
+	// Bob cannot resume Alice's session.
+	status, sr := postSession(t, ts, "/session/"+a.Session+"/resume", "bob", server.ResumeRequest{})
+	if status != http.StatusNotFound {
+		t.Fatalf("cross-tenant resume: status %d (%+v), want 404", status, sr)
+	}
+
+	// Alice's second park hits her quota (429); Bob still parks fine.
+	status, sr = postSession(t, ts, "/session", "alice", park)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("alice over quota: status %d (%+v), want 429", status, sr)
+	}
+	status, b := postSession(t, ts, "/session", "bob", park)
+	if status != http.StatusOK || !b.Parked {
+		t.Fatalf("bob park: %d %+v", status, b)
+	}
+
+	// Alice's original session is intact through all of it.
+	status, sr = postSession(t, ts, "/session/"+a.Session+"/resume", "alice", server.ResumeRequest{Budget: 500})
+	if status != http.StatusOK {
+		t.Fatalf("alice resume: %d %+v", status, sr)
+	}
+
+	vals, _ := scrapeMetrics(t, ts)
+	if got := vals["fpc_session_quota_rejected_total"]; got != 1 {
+		t.Fatalf("fpc_session_quota_rejected_total = %g, want 1", got)
+	}
+}
+
+// TestSessionLRUEviction: the session cap evicts the least recently
+// parked session; its resume is a 404 telling the client to start over.
+func TestSessionLRUEviction(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{SessionMax: 1})
+
+	park := server.SessionRequest{Module: "srv", Proc: "spin", Args: []int64{50}, Budget: 500}
+	_, a := postSession(t, ts, "/session", "", park)
+	_, b := postSession(t, ts, "/session", "", park)
+	if !a.Parked || !b.Parked {
+		t.Fatalf("parks: %+v / %+v", a, b)
+	}
+
+	status, sr := postSession(t, ts, "/session/"+a.Session+"/resume", "", server.ResumeRequest{})
+	if status != http.StatusNotFound {
+		t.Fatalf("evicted resume: status %d (%+v), want 404", status, sr)
+	}
+	status, sr = postSession(t, ts, "/session/"+b.Session+"/resume", "", server.ResumeRequest{Budget: 500})
+	if status != http.StatusOK || !sr.Parked {
+		t.Fatalf("survivor resume: %d %+v", status, sr)
+	}
+
+	vals, _ := scrapeMetrics(t, ts)
+	if got := vals["fpc_session_evicted_total"]; got != 1 {
+		t.Fatalf("fpc_session_evicted_total = %g, want 1", got)
+	}
+}
+
+// TestSessionImageEvicted: evicting the image under a parked session does
+// not kill the session — the resume is a 409, and after the program is
+// re-submitted (same content hash) the session resumes and completes.
+func TestSessionImageEvicted(t *testing.T) {
+	// Image cap 2: the pinned boot image plus one cached submission.
+	_, ts := newTestServer(t, server.Config{CacheImages: 2})
+
+	start := server.SessionRequest{
+		Modules: map[string]string{"sess": sessSrc},
+		Entry:   "sess.main",
+		Args:    []int64{40},
+		Budget:  800,
+	}
+	status, sr := postSession(t, ts, "/session", "", start)
+	if status != http.StatusOK || !sr.Parked {
+		t.Fatalf("park: %d %+v", status, sr)
+	}
+	id, hash := sr.Session, sr.Hash
+
+	// A second submission evicts sess's image (the boot image is pinned).
+	other := map[string]string{"other": "module other;\nproc main(n) { return n + 1; }\n"}
+	runBody, _ := json.Marshal(server.RunRequest{Modules: other, Entry: "other.main", Args: []int64{1}})
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(runBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	status, sr = postSession(t, ts, "/session/"+id+"/resume", "", server.ResumeRequest{})
+	if status != http.StatusConflict {
+		t.Fatalf("resume with image gone: status %d (%+v), want 409", status, sr)
+	}
+
+	// Re-submit the program: same source, same content hash, image back.
+	runBody, _ = json.Marshal(server.RunRequest{Modules: map[string]string{"sess": sessSrc}, Entry: "sess.main", Args: []int64{1}})
+	resp, err = http.Post(ts.URL+"/run", "application/json", bytes.NewReader(runBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr server.RunResponse
+	json.NewDecoder(resp.Body).Decode(&rr)
+	resp.Body.Close()
+	if rr.Hash != hash {
+		t.Fatalf("re-submission hashed %s, session parked under %s", rr.Hash, hash)
+	}
+
+	final, _ := resumeUntilDone(t, ts, id, server.ResumeRequest{Budget: 800})
+	if !final.Done {
+		t.Fatalf("final: %+v", final)
+	}
+}
+
+// resumeUntilDone drives an already-parked session to completion.
+func resumeUntilDone(t *testing.T, ts *httptest.Server, id string, req server.ResumeRequest) (server.SessionResponse, int) {
+	t.Helper()
+	segments := 0
+	for {
+		status, sr := postSession(t, ts, "/session/"+id+"/resume", "", req)
+		if status != http.StatusOK {
+			t.Fatalf("resume: status %d (%+v)", status, sr)
+		}
+		segments++
+		if !sr.Parked {
+			return sr, segments
+		}
+		id = sr.Session
+		if segments > 200 {
+			t.Fatal("session never completed")
+		}
+	}
+}
+
+// TestSessionNotFound: resuming an id that was never parked is a 404 with
+// the start-over hint, counted by fpc_session_not_found_total.
+func TestSessionNotFound(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	status, sr := postSession(t, ts, "/session/s-deadbeef/resume", "", server.ResumeRequest{})
+	if status != http.StatusNotFound {
+		t.Fatalf("status %d (%+v), want 404", status, sr)
+	}
+	vals, _ := scrapeMetrics(t, ts)
+	if got := vals["fpc_session_not_found_total"]; got != 1 {
+		t.Fatalf("fpc_session_not_found_total = %g, want 1", got)
+	}
+}

@@ -1,0 +1,415 @@
+// Package snapshot serializes core continuations and parks them in a
+// registry-side session table, so a run cut by its step budget (or by OUT
+// backpressure) can leave the machine entirely — freeing the pooled
+// machine for other tenants — and later resume on any machine booted over
+// an image with the same content hash, byte-identical to a run that was
+// never interrupted.
+//
+// The wire format is a versioned, length-checked little-endian binary: a
+// continuation is dominated by the dirty-memory delta and the metrics
+// histograms, and both encode compactly (buckets as value/count pairs,
+// reconstructed exactly via Histogram.ObserveN). Nothing in the format is
+// executable — a decoded continuation is validated again by
+// core.Machine.Restore before it touches a machine.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/frames"
+	"repro/internal/ifu"
+	"repro/internal/mem"
+	"repro/internal/regbank"
+	"repro/internal/stats"
+)
+
+// ErrCodec is wrapped by every Decode failure: truncated input, a version
+// this build does not speak, or a length prefix that contradicts the
+// buffer size.
+var ErrCodec = errors.New("snapshot: malformed continuation encoding")
+
+// codecVersion is bumped whenever the wire format changes; a decoder
+// refuses versions it does not know rather than guessing.
+const codecVersion = 1
+
+var magic = [3]byte{'F', 'P', 'C'}
+
+// numKinds mirrors the core transfer-kind count; the codec writes it into
+// the stream so a decode under a mismatched build fails loudly.
+const numKinds = len(core.Metrics{}.Transfers)
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v byte)     { w.buf = append(w.buf, v) }
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) u16(v uint16)  { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32)  { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) str(s string)  { w.u32(uint32(len(s))); w.buf = append(w.buf, s...) }
+func (w *writer) words(v []uint16) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.u16(x)
+	}
+}
+
+func (w *writer) hist(h *stats.Histogram) {
+	keys, counts := h.Buckets()
+	w.u32(uint32(len(keys)))
+	for i, k := range keys {
+		w.u64(uint64(int64(k)))
+		w.u64(counts[i])
+	}
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d", ErrCodec, what, r.off)
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail("truncated")
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) bool() bool { return r.u8() != 0 }
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// count reads a length prefix and bounds it by what the remaining buffer
+// could actually hold at elemBytes per element, so a corrupt prefix fails
+// instead of allocating gigabytes.
+func (r *reader) count(elemBytes int) int {
+	n := int(r.u32())
+	if r.err == nil && n*elemBytes > len(r.buf)-r.off {
+		r.fail("length prefix exceeds buffer")
+		return 0
+	}
+	return n
+}
+
+func (r *reader) str() string {
+	n := r.count(1)
+	return string(r.take(n))
+}
+
+func (r *reader) words() []uint16 {
+	n := r.count(2)
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = r.u16()
+	}
+	return out
+}
+
+func (r *reader) hist(h *stats.Histogram) {
+	n := r.count(16)
+	for i := 0; i < n && r.err == nil; i++ {
+		v := int(int64(r.u64()))
+		c := r.u64()
+		h.ObserveN(v, c)
+	}
+}
+
+// Encode serializes a continuation. The encoding is deterministic: equal
+// continuations produce equal bytes (map-backed state is emitted in
+// sorted order).
+func Encode(c *core.Continuation) []byte {
+	w := &writer{buf: make([]byte, 0, 1024+2*len(c.MemWords))}
+	w.buf = append(w.buf, magic[:]...)
+	w.u8(codecVersion)
+
+	w.str(c.Hash)
+	w.u32(uint32(c.Cfg.ReturnStackDepth))
+	w.u32(uint32(c.Cfg.RegBanks))
+	w.u32(uint32(c.Cfg.BankWords))
+	w.u32(uint32(c.Cfg.FreeFrameStack))
+	w.u32(uint32(c.Cfg.StdFrameWords))
+	w.bool(c.Cfg.HeapCheck)
+
+	w.u32(c.PC)
+	w.u16(c.LF)
+	w.u16(c.GF)
+	w.u32(c.CodeBase)
+	w.bool(c.CBValid)
+	w.u16(c.RetCtx)
+	w.words(c.Stack)
+	w.u16(uint16(c.CurFSI))
+	w.bool(c.CurRet)
+	w.u32(uint32(int32(c.StackBank)))
+	w.bool(c.Halted)
+
+	w.u16(c.TrapCtx)
+	w.u32(uint32(len(c.TrapSaves)))
+	for _, ts := range c.TrapSaves {
+		w.u16(ts.CalleeLF)
+		w.words(ts.Words)
+	}
+
+	w.u32(uint32(len(c.RS)))
+	for _, e := range c.RS {
+		w.u16(e.LF)
+		w.u16(e.GF)
+		w.u32(e.PC)
+		w.u16(uint16(e.FSI))
+		w.bool(e.Retained)
+		w.u16(e.CalleeLF)
+	}
+
+	w.u32(uint32(len(c.Banks.Banks)))
+	for _, b := range c.Banks.Banks {
+		w.words(b.Words)
+		w.u64(b.Dirty)
+		w.u32(uint32(b.Owner))
+		w.u64(b.Age)
+	}
+	w.u64(c.Banks.Clock)
+	w.words(c.FreeFrames)
+
+	w.u64(uint64(c.Heap.Bump))
+	w.u64(c.Heap.Stats.FastAllocs)
+	w.u64(c.Heap.Stats.TrapAllocs)
+	w.u64(c.Heap.Stats.Frees)
+	w.u64(c.Heap.Stats.Live)
+	w.u64(c.Heap.Stats.RequestedWords)
+	w.u64(c.Heap.Stats.GrantedWords)
+	w.u64(c.Heap.Stats.CarvedWords)
+	w.bool(c.Heap.Live != nil)
+	if c.Heap.Live != nil {
+		addrs := make([]int, 0, len(c.Heap.Live))
+		for a := range c.Heap.Live {
+			addrs = append(addrs, int(a))
+		}
+		sort.Ints(addrs)
+		w.u32(uint32(len(addrs)))
+		for _, a := range addrs {
+			w.u16(uint16(a))
+			w.u32(uint32(c.Heap.Live[mem.Addr(a)]))
+		}
+	}
+
+	w.u32(uint32(c.MemLo))
+	w.words(c.MemWords)
+
+	w.bool(c.Metrics != nil)
+	if c.Metrics != nil {
+		encodeMetrics(w, c.Metrics)
+	}
+	w.words(c.Output)
+	return w.buf
+}
+
+func encodeMetrics(w *writer, m *core.Metrics) {
+	w.u64(m.Instructions)
+	w.u64(m.Cycles)
+	w.u64(m.ChargedRefs)
+	w.u64(m.CodeReads)
+	w.u32(uint32(numKinds))
+	for k := 0; k < numKinds; k++ {
+		w.u64(m.Transfers[k])
+	}
+	for _, v := range []uint64{
+		m.Creates, m.FastTransfers,
+		m.RSHits, m.RSMisses, m.RSEvicted, m.RSFlushed,
+		m.BankHits, m.BankMisses, m.BankRenames, m.BankOverflows,
+		m.BankUnderflows, m.BankFlushWords, m.BankReloadWords, m.PointerFlushes,
+		m.FFHits, m.FFMisses, m.FFPushes,
+		m.ArgWordsMoved, m.HeaderReads,
+		m.LocalVarRefs, m.GlobalVarRefs, m.PointerRefs,
+	} {
+		w.u64(v)
+	}
+	for k := 0; k < numKinds; k++ {
+		w.hist(&m.RefsPer[k])
+	}
+	for k := 0; k < numKinds; k++ {
+		w.hist(&m.CyclesPer[k])
+	}
+}
+
+// Decode parses an encoded continuation. The result is structurally
+// valid (every length checked against the buffer) but not yet trusted:
+// Machine.Restore re-validates it against the target machine's image and
+// configuration.
+func Decode(buf []byte) (*core.Continuation, error) {
+	r := &reader{buf: buf}
+	if string(r.take(3)) != string(magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCodec)
+	}
+	if v := r.u8(); v != codecVersion {
+		return nil, fmt.Errorf("%w: version %d, this build speaks %d", ErrCodec, v, codecVersion)
+	}
+
+	c := &core.Continuation{}
+	c.Hash = r.str()
+	c.Cfg.ReturnStackDepth = int(r.u32())
+	c.Cfg.RegBanks = int(r.u32())
+	c.Cfg.BankWords = int(r.u32())
+	c.Cfg.FreeFrameStack = int(r.u32())
+	c.Cfg.StdFrameWords = int(r.u32())
+	c.Cfg.HeapCheck = r.bool()
+
+	c.PC = r.u32()
+	c.LF = r.u16()
+	c.GF = r.u16()
+	c.CodeBase = r.u32()
+	c.CBValid = r.bool()
+	c.RetCtx = r.u16()
+	c.Stack = r.words()
+	c.CurFSI = int16(r.u16())
+	c.CurRet = r.bool()
+	c.StackBank = int(int32(r.u32()))
+	c.Halted = r.bool()
+
+	c.TrapCtx = r.u16()
+	if n := r.count(2); n > 0 {
+		c.TrapSaves = make([]core.TrapSave, n)
+		for i := range c.TrapSaves {
+			c.TrapSaves[i].CalleeLF = r.u16()
+			c.TrapSaves[i].Words = r.words()
+		}
+	}
+
+	if n := r.count(13); n > 0 {
+		c.RS = make([]ifu.Entry, n)
+		for i := range c.RS {
+			c.RS[i] = ifu.Entry{
+				LF: r.u16(), GF: r.u16(), PC: r.u32(),
+				FSI: int16(r.u16()), Retained: r.bool(), CalleeLF: r.u16(),
+			}
+		}
+	}
+
+	if n := r.count(24); n > 0 {
+		c.Banks.Banks = make([]regbank.BankState, n)
+		for i := range c.Banks.Banks {
+			c.Banks.Banks[i] = regbank.BankState{
+				Words: r.words(), Dirty: r.u64(),
+				Owner: int32(r.u32()), Age: r.u64(),
+			}
+		}
+	}
+	c.Banks.Clock = r.u64()
+	c.FreeFrames = r.words()
+
+	c.Heap.Bump = int(r.u64())
+	c.Heap.Stats = frames.Stats{
+		FastAllocs: r.u64(), TrapAllocs: r.u64(), Frees: r.u64(),
+		Live: r.u64(), RequestedWords: r.u64(),
+		GrantedWords: r.u64(), CarvedWords: r.u64(),
+	}
+	if r.bool() {
+		n := r.count(6)
+		c.Heap.Live = make(map[mem.Addr]int, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			a := r.u16()
+			c.Heap.Live[a] = int(r.u32())
+		}
+	}
+
+	c.MemLo = int(r.u32())
+	c.MemWords = r.words()
+
+	if r.bool() {
+		c.Metrics = &core.Metrics{}
+		decodeMetrics(r, c.Metrics)
+	}
+	c.Output = r.words()
+
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCodec, len(buf)-r.off)
+	}
+	return c, nil
+}
+
+func decodeMetrics(r *reader, m *core.Metrics) {
+	m.Instructions = r.u64()
+	m.Cycles = r.u64()
+	m.ChargedRefs = r.u64()
+	m.CodeReads = r.u64()
+	if n := r.u32(); n != uint32(numKinds) && r.err == nil {
+		r.fail("transfer-kind count mismatch")
+		return
+	}
+	for k := 0; k < numKinds; k++ {
+		m.Transfers[k] = r.u64()
+	}
+	for _, p := range []*uint64{
+		&m.Creates, &m.FastTransfers,
+		&m.RSHits, &m.RSMisses, &m.RSEvicted, &m.RSFlushed,
+		&m.BankHits, &m.BankMisses, &m.BankRenames, &m.BankOverflows,
+		&m.BankUnderflows, &m.BankFlushWords, &m.BankReloadWords, &m.PointerFlushes,
+		&m.FFHits, &m.FFMisses, &m.FFPushes,
+		&m.ArgWordsMoved, &m.HeaderReads,
+		&m.LocalVarRefs, &m.GlobalVarRefs, &m.PointerRefs,
+	} {
+		*p = r.u64()
+	}
+	for k := 0; k < numKinds; k++ {
+		r.hist(&m.RefsPer[k])
+	}
+	for k := 0; k < numKinds; k++ {
+		r.hist(&m.CyclesPer[k])
+	}
+}

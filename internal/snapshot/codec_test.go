@@ -1,0 +1,201 @@
+package snapshot
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frames"
+	"repro/internal/ifu"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/linker"
+	"repro/internal/regbank"
+)
+
+// coroutineModule mirrors the core test program: coroutine transfers, OUT
+// traffic, and frame churn, so a mid-run continuation exercises every
+// section of the wire format.
+func coroutineModule() *image.Module {
+	mod := &image.Module{Name: "co", Imports: []image.Import{{Module: "co", Proc: "gen"}}}
+	main := &image.Proc{Name: "main", NumArgs: 0, NumLocals: 1}
+	{
+		var a image.Asm
+		a.EmitLoadImportDesc(0)
+		a.Emit(isa.COCREATE)
+		a.Emit(isa.SL0)
+		a.Emit(isa.LI5)
+		a.Emit(isa.LL0)
+		a.Emit(isa.XFERO)
+		a.Emit(isa.OUT)
+		a.Emit(isa.LI7)
+		a.Emit(isa.LL0)
+		a.Emit(isa.XFERO)
+		a.Emit(isa.OUT)
+		a.Emit(isa.LL0)
+		a.Emit(isa.FREE)
+		a.Emit(isa.RET)
+		main.Body = a.Fragment()
+	}
+	gen := &image.Proc{Name: "gen", NumArgs: 1, NumLocals: 2}
+	{
+		var a image.Asm
+		a.Emit(isa.LRC)
+		a.Emit(isa.SL1)
+		a.Emit(isa.LL0)
+		a.Emit(isa.LI1)
+		a.Emit(isa.ADD)
+		a.Emit(isa.LL1)
+		a.Emit(isa.XFERO)
+		a.Emit(isa.LI2)
+		a.Emit(isa.MUL)
+		a.Emit(isa.LL1)
+		a.Emit(isa.XFERO)
+		a.Emit(isa.RET)
+		gen.Body = a.Fragment()
+	}
+	mod.Procs = []*image.Proc{main, gen}
+	return mod
+}
+
+func buildImage(t *testing.T, cfg core.Config) *core.LoadedImage {
+	t.Helper()
+	mod := coroutineModule()
+	prog, _, err := linker.Link([]*image.Module{mod}, "co", "main", linker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := core.LoadImage(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// parkAt runs the image's entry for exactly k instructions and snapshots.
+func parkAt(t *testing.T, img *core.LoadedImage, k uint64) *core.Continuation {
+	t.Helper()
+	m, err := img.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetRunBudget(k)
+	if _, err := m.Call(img.Entry()); !errors.Is(err, core.ErrMaxSteps) {
+		t.Fatalf("cut at %d: err = %v, want ErrMaxSteps", k, err)
+	}
+	c, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCodecRoundTrip: Decode(Encode(c)) must be deep-equal to c — every
+// register, bank, histogram bucket and heap-shadow entry — at every
+// instruction boundary of the program, and the decoded continuation must
+// resume to the same end state as the original.
+func TestCodecRoundTrip(t *testing.T) {
+	cfg := core.ConfigFastCalls
+	cfg.HeapCheck = true // exercise the heap shadow map section
+	img := buildImage(t, cfg)
+
+	m, err := img.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Call(img.Entry()); err != nil {
+		t.Fatal(err)
+	}
+	total := m.Metrics().Instructions
+	wantRes := m.Results()
+
+	for k := uint64(1); k < total; k++ {
+		c := parkAt(t, img, k)
+		enc := Encode(c)
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("cut %d: Decode: %v", k, err)
+		}
+		if !reflect.DeepEqual(got, c) {
+			t.Fatalf("cut %d: decoded continuation differs:\n got %+v\nwant %+v", k, got, c)
+		}
+		// Determinism: re-encoding the decoded value is byte-identical.
+		if enc2 := Encode(got); !reflect.DeepEqual(enc2, enc) {
+			t.Fatalf("cut %d: encoding is not deterministic", k)
+		}
+		// The decoded continuation actually resumes.
+		m2, err := img.NewMachine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.Restore(got); err != nil {
+			t.Fatalf("cut %d: Restore(decoded): %v", k, err)
+		}
+		if err := m2.Run(); err != nil {
+			t.Fatalf("cut %d: resume: %v", k, err)
+		}
+		if !reflect.DeepEqual(m2.Results(), wantRes) {
+			t.Fatalf("cut %d: resumed results %v, want %v", k, m2.Results(), wantRes)
+		}
+	}
+}
+
+// TestCodecRejectsCorruptInput: truncations and hostile length prefixes
+// must fail with ErrCodec, never panic or over-allocate.
+func TestCodecRejectsCorruptInput(t *testing.T) {
+	img := buildImage(t, core.ConfigFastCalls)
+	enc := Encode(parkAt(t, img, 10))
+
+	if _, err := Decode(nil); !errors.Is(err, ErrCodec) {
+		t.Fatalf("nil input: err = %v, want ErrCodec", err)
+	}
+	if _, err := Decode([]byte("XXX\x01junk")); !errors.Is(err, ErrCodec) {
+		t.Fatalf("bad magic: err = %v, want ErrCodec", err)
+	}
+	bad := append([]byte(nil), enc...)
+	bad[3] = 99
+	if _, err := Decode(bad); !errors.Is(err, ErrCodec) {
+		t.Fatalf("bad version: err = %v, want ErrCodec", err)
+	}
+	// Every truncation must error (the full buffer must not).
+	for n := 0; n < len(enc); n++ {
+		if _, err := Decode(enc[:n]); !errors.Is(err, ErrCodec) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrCodec", n, err)
+		}
+	}
+	// A length prefix claiming more elements than the buffer holds must
+	// be caught by the bound check, not attempted.
+	bad = append([]byte(nil), enc...)
+	bad[4], bad[5], bad[6], bad[7] = 0xff, 0xff, 0xff, 0x7f // hash length
+	if _, err := Decode(bad); !errors.Is(err, ErrCodec) {
+		t.Fatalf("hostile length: err = %v, want ErrCodec", err)
+	}
+	// Trailing garbage is rejected too.
+	if _, err := Decode(append(append([]byte(nil), enc...), 0)); !errors.Is(err, ErrCodec) {
+		t.Fatalf("trailing bytes: err = %v, want ErrCodec", err)
+	}
+}
+
+// TestCodecCoversEveryField pins the field counts of the structs the
+// codec serializes by hand. If one of these fails, a field was added (or
+// removed) without updating Encode/Decode — update the codec, bump
+// codecVersion if the wire format changes, then adjust the count here.
+func TestCodecCoversEveryField(t *testing.T) {
+	counts := map[string]struct{ got, want int }{
+		"core.Continuation": {reflect.TypeOf(core.Continuation{}).NumField(), 23},
+		"core.Metrics":      {reflect.TypeOf(core.Metrics{}).NumField(), 29},
+		"core.TrapSave":     {reflect.TypeOf(core.TrapSave{}).NumField(), 2},
+		"core.ConfigKey":    {reflect.TypeOf(core.ConfigKey{}).NumField(), 6},
+		"ifu.Entry":         {reflect.TypeOf(ifu.Entry{}).NumField(), 6},
+		"regbank.BankState": {reflect.TypeOf(regbank.BankState{}).NumField(), 4},
+		"regbank.State":     {reflect.TypeOf(regbank.State{}).NumField(), 2},
+		"frames.State":      {reflect.TypeOf(frames.State{}).NumField(), 3},
+		"frames.Stats":      {reflect.TypeOf(frames.Stats{}).NumField(), 7},
+	}
+	for name, c := range counts {
+		if c.got != c.want {
+			t.Errorf("%s has %d fields, codec was written for %d — update the codec and this count", name, c.got, c.want)
+		}
+	}
+}

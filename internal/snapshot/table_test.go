@@ -1,0 +1,177 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestTable(cfg TableConfig, now *time.Time) *Table {
+	if now != nil {
+		cfg.Now = func() time.Time { return *now }
+	}
+	return NewTable(cfg)
+}
+
+func park(t *testing.T, tb *Table, tenant, id string, bytes int) string {
+	t.Helper()
+	got, err := tb.Park(&Session{ID: id, Tenant: tenant, Enc: make([]byte, bytes)})
+	if err != nil {
+		t.Fatalf("Park(%s): %v", tenant, err)
+	}
+	return got
+}
+
+func TestTableParkTake(t *testing.T) {
+	tb := NewTable(TableConfig{})
+	id := park(t, tb, "alice", "", 100)
+	if id == "" {
+		t.Fatal("no session id assigned")
+	}
+
+	// The wrong tenant cannot take it — and cannot even learn it exists.
+	if _, err := tb.Take("bob", id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("foreign Take: err = %v, want ErrNotFound", err)
+	}
+	s, err := tb.Take("alice", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != id || s.Tenant != "alice" || len(s.Enc) != 100 {
+		t.Fatalf("Take returned %+v", s)
+	}
+	// Take removes: a second resume of the same session fails.
+	if _, err := tb.Take("alice", id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Take: err = %v, want ErrNotFound", err)
+	}
+
+	st := tb.Stats()
+	if st.Parked != 1 || st.Resumed != 1 || st.NotFound != 2 || st.Resident != 0 || st.Bytes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTableReparkKeepsID(t *testing.T) {
+	tb := NewTable(TableConfig{})
+	id := park(t, tb, "alice", "", 10)
+	s, err := tb.Take("alice", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-park after a resumed segment keeps the client's handle stable.
+	s.Enc = make([]byte, 20)
+	id2, err := tb.Park(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id {
+		t.Fatalf("re-park changed the id: %s -> %s", id, id2)
+	}
+	if st := tb.Stats(); st.Resident != 1 || st.Bytes != 20 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTableTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tb := newTestTable(TableConfig{TTL: time.Minute}, &now)
+	id := park(t, tb, "alice", "", 10)
+
+	now = now.Add(59 * time.Second)
+	if _, ok := tb.byID[id]; !ok {
+		t.Fatal("session gone before its TTL")
+	}
+	now = now.Add(2 * time.Second)
+	if _, err := tb.Take("alice", id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired Take: err = %v, want ErrNotFound", err)
+	}
+	st := tb.Stats()
+	if st.Expired != 1 || st.Resident != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTableLRUEviction(t *testing.T) {
+	tb := NewTable(TableConfig{MaxSessions: 2})
+	a := park(t, tb, "t", "", 1)
+	b := park(t, tb, "t", "", 1)
+	c := park(t, tb, "t", "", 1) // evicts a, the coldest
+
+	if _, err := tb.Take("t", a); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("evicted session still takeable: %v", err)
+	}
+	for _, id := range []string{b, c} {
+		if _, err := tb.Take("t", id); err != nil {
+			t.Fatalf("Take(%s): %v", id, err)
+		}
+	}
+	if st := tb.Stats(); st.Evicted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTableByteBudget(t *testing.T) {
+	tb := NewTable(TableConfig{MaxBytes: 100})
+	a := park(t, tb, "t", "", 60)
+	b := park(t, tb, "t", "", 60) // 120 > 100: evicts a
+
+	if _, err := tb.Take("t", a); !errors.Is(err, ErrNotFound) {
+		t.Fatal("byte budget did not evict the coldest session")
+	}
+	if _, err := tb.Take("t", b); err != nil {
+		t.Fatalf("the newly parked session must survive its own park: %v", err)
+	}
+
+	// A single session over the whole budget still parks (evicting it
+	// immediately would silently drop the computation).
+	big := park(t, tb, "t", "", 500)
+	if _, err := tb.Take("t", big); err != nil {
+		t.Fatalf("oversized single session: %v", err)
+	}
+}
+
+func TestTableTenantQuota(t *testing.T) {
+	tb := NewTable(TableConfig{MaxPerTenant: 2})
+	park(t, tb, "alice", "", 1)
+	park(t, tb, "alice", "", 1)
+	if _, err := tb.Park(&Session{Tenant: "alice"}); !errors.Is(err, ErrQuota) {
+		t.Fatalf("third park: err = %v, want ErrQuota", err)
+	}
+	// Other tenants are unaffected.
+	park(t, tb, "bob", "", 1)
+	st := tb.Stats()
+	if st.QuotaRejected != 1 || st.Resident != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTableConcurrency(t *testing.T) {
+	tb := NewTable(TableConfig{MaxSessions: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", g%4)
+			for i := 0; i < 200; i++ {
+				id, err := tb.Park(&Session{Tenant: tenant, Enc: make([]byte, 8)})
+				if err != nil {
+					continue
+				}
+				if s, err := tb.Take(tenant, id); err == nil {
+					tb.Park(s)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := tb.Stats()
+	if st.Resident < 0 || st.Bytes < 0 || st.Resident > 64 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if int64(st.Resident*8) != st.Bytes {
+		t.Fatalf("byte accounting drifted: %+v", st)
+	}
+}

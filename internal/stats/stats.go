@@ -68,11 +68,26 @@ func (h *Histogram) Observe(v int) {
 	h.sum += int64(v)
 }
 
-// ObserveN records the same sample n times.
+// ObserveN records the same sample n times, in constant time — bulk
+// reconstruction (a histogram codec replaying Buckets) must not pay per
+// sample.
 func (h *Histogram) ObserveN(v int, n uint64) {
-	for ; n > 0; n-- {
-		h.Observe(v)
+	if n == 0 {
+		return
 	}
+	if h.counts == nil {
+		h.counts = make(map[int]uint64)
+		h.min, h.max = v, v
+	}
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[v] += n
+	h.total += n
+	h.sum += int64(v) * int64(n)
 }
 
 // Clone returns an independent deep copy of the histogram.

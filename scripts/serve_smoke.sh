@@ -4,15 +4,21 @@
 # registry's submit-or-hit path over /run and /call/{hash}, scrape
 # /metrics, and assert the pool actually served runs. A second phase
 # starts a tenant-sharded fpcd, saturates it as tenant A, and asserts
-# tenant B rode through with zero sheds and untouched latency.
+# tenant B rode through with zero sheds and untouched latency. A third
+# phase exercises parked sessions: fpcload drives /session park/resume
+# chains asserting byte-identity with the uninterrupted run, then a
+# capacity-1 session table is walked through park -> evict -> resume-404
+# -> re-submit.
 set -eu
 
 PORT="${FPCD_PORT:-18080}"
 PORT2="${FPCD_PORT2:-18081}"
+PORT3="${FPCD_PORT3:-18082}"
 ADDR="http://127.0.0.1:$PORT"
 ADDR2="http://127.0.0.1:$PORT2"
+ADDR3="http://127.0.0.1:$PORT3"
 BIN="$(mktemp -d)"
-trap 'kill "$FPCD_PID" 2>/dev/null || true; kill "$FPCD2_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+trap 'kill "$FPCD_PID" 2>/dev/null || true; kill "$FPCD2_PID" 2>/dev/null || true; kill "$FPCD3_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
 
 go build -o "$BIN/fpcd" ./cmd/fpcd
 go build -o "$BIN/fpcload" ./cmd/fpcload
@@ -121,4 +127,92 @@ fi
 
 kill -TERM "$FPCD2_PID"
 wait "$FPCD2_PID"
+
+# ---- Session phase: park/resume chains, then LRU eviction end to end ----
+# A session table of capacity 1 makes eviction deterministic: the second
+# parked session always pushes out the first.
+"$BIN/fpcd" -addr "127.0.0.1:$PORT3" -session-max 1 &
+FPCD3_PID=$!
+i=0
+until curl -fsS "$ADDR3/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "serve-smoke: session-phase fpcd never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# fpcload as the judge: three sequential sessions of serve.fib(18) parked
+# every 2000 steps, each required to reproduce the uninterrupted /call's
+# results, output, and instruction total exactly.
+"$BIN/fpcload" -addr "$ADDR3" -sessions -proc serve.fib -args 18 \
+    -segment-budget 2000 -workers 1 -n 3 -assert-resume-identical
+
+# Golden answer for the scripted sequence below.
+GOLD="$(curl -fsS -X POST -d '{"module":"serve","proc":"fib","args":[18]}' "$ADDR3/call")"
+GOLD_RES="$(printf '%s' "$GOLD" | sed -n 's/.*"results":\(\[[0-9,]*\]\).*/\1/p')"
+if [ -z "$GOLD_RES" ]; then
+    echo "serve-smoke: golden /call gave no results: $GOLD" >&2
+    exit 1
+fi
+
+SESS_BODY='{"module":"serve","proc":"fib","args":[18],"budget":2000}'
+
+# Park session 1.
+P1="$(curl -fsS -X POST -d "$SESS_BODY" "$ADDR3/session")"
+ID1="$(printf '%s' "$P1" | sed -n 's/.*"session":"\(s-[0-9a-f]*\)".*/\1/p')"
+case "$P1" in
+    *'"parked":true'*) ;;
+    *) echo "serve-smoke: session 1 did not park: $P1" >&2; exit 1 ;;
+esac
+
+# Park session 2 — with -session-max 1 this evicts session 1.
+P2="$(curl -fsS -X POST -d "$SESS_BODY" "$ADDR3/session")"
+case "$P2" in
+    *'"parked":true'*) ;;
+    *) echo "serve-smoke: session 2 did not park: $P2" >&2; exit 1 ;;
+esac
+
+# Resuming the evicted session must 404.
+CODE="$(curl -s -o "$BIN/resume1.out" -w '%{http_code}' -X POST -d '{}' "$ADDR3/session/$ID1/resume")"
+if [ "$CODE" -ne 404 ]; then
+    echo "serve-smoke: resume of evicted session returned $CODE, want 404: $(cat "$BIN/resume1.out")" >&2
+    exit 1
+fi
+
+# Re-submit the computation as a fresh session and drive it to done.
+RESP="$(curl -fsS -X POST -d "$SESS_BODY" "$ADDR3/session")"
+i=0
+while printf '%s' "$RESP" | grep -q '"parked":true'; do
+    i=$((i + 1))
+    if [ "$i" -gt 200 ]; then
+        echo "serve-smoke: re-submitted session never finished" >&2
+        exit 1
+    fi
+    ID="$(printf '%s' "$RESP" | sed -n 's/.*"session":"\(s-[0-9a-f]*\)".*/\1/p')"
+    RESP="$(curl -fsS -X POST -d '{}' "$ADDR3/session/$ID/resume")"
+done
+case "$RESP" in
+    *'"done":true'*) ;;
+    *) echo "serve-smoke: re-submitted session did not complete: $RESP" >&2; exit 1 ;;
+esac
+case "$RESP" in
+    *"\"results\":$GOLD_RES"*) ;;
+    *) echo "serve-smoke: re-submitted session results diverge from golden $GOLD_RES: $RESP" >&2; exit 1 ;;
+esac
+echo "serve-smoke: park -> evict -> resume-404 -> re-submit OK ($((i + 1)) segments)"
+
+SMETRICS="$(curl -fsS "$ADDR3/metrics")"
+S_PARKED="$(printf '%s\n' "$SMETRICS" | awk '$1 == "fpc_session_parked_total" {print $2}')"
+S_EVICTED="$(printf '%s\n' "$SMETRICS" | awk '$1 == "fpc_session_evicted_total" {print $2}')"
+S_NOTFOUND="$(printf '%s\n' "$SMETRICS" | awk '$1 == "fpc_session_not_found_total" {print $2}')"
+echo "serve-smoke: sessions parked ${S_PARKED:-0}, evicted ${S_EVICTED:-0}, not-found ${S_NOTFOUND:-0}"
+if [ "${S_PARKED:-0}" -lt 3 ] || [ "${S_EVICTED:-0}" -lt 1 ] || [ "${S_NOTFOUND:-0}" -lt 1 ]; then
+    echo "serve-smoke: fpc_session_* metrics did not record the sequence" >&2
+    exit 1
+fi
+
+kill -TERM "$FPCD3_PID"
+wait "$FPCD3_PID"
 echo "serve-smoke: OK"

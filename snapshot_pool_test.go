@@ -1,0 +1,144 @@
+package fpc_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	fpc "repro"
+	"repro/internal/snapshot"
+)
+
+// parkSrc dirties every state a continuation must own: frame-heap records
+// written in a loop (dirty memory windows), an OUT stream, and nested
+// calls keeping the frame chain and register banks live at the park point.
+const parkSrc = `
+module park;
+proc fib(n) {
+  if (n < 2) { return n; }
+  return fib(n-1) + fib(n-2);
+}
+proc work(n) {
+  var a = alloc(8);
+  var i = 0;
+  var acc = 0;
+  while (i < n) {
+    store(a + (i & 7), i * 3 + fib(6));
+    out(load(a + (i & 7)));
+    acc = acc + load(a + (i & 7));
+    i = i + 1;
+  }
+  dealloc(a);
+  return acc & 0x7FFF;
+}
+proc main(n) { return work(n); }
+`
+
+// TestPoolPutAfterSnapshotNoAliasing is the machine-recycling hazard pinned
+// as a regression test: a continuation parked off a pooled machine must own
+// every byte it carries, because Pool.Put immediately resets the machine
+// and hands it to other requests. If Snapshot shared anything with the
+// machine — the dirty-window copies, the output record, the heap or
+// register state — the reuse below would corrupt the parked session and
+// the resumed run would diverge from the uninterrupted one.
+func TestPoolPutAfterSnapshotNoAliasing(t *testing.T) {
+	cfg := fpc.ConfigFastCalls
+	prog, err := fpc.Build(map[string]string{"park": parkSrc}, "park", "main", fpc.DefaultLinkOptions(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := fpc.LoadImage(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := img.Entry()
+	fibDesc, err := img.Program().FindProc("park", "fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Golden: the same call uninterrupted on a private machine.
+	golden, err := img.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := golden.Call(desc, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOut := append([]fpc.Word(nil), golden.Output...)
+	wantMet := golden.Metrics()
+	total := wantMet.Instructions
+
+	// Park mid-run on a pooled machine.
+	pool := fpc.NewPoolFromImage(img)
+	m, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(desc, 20); err != nil {
+		t.Fatal(err)
+	}
+	m.SetRunBudget(total / 2)
+	if err := m.Run(); !errors.Is(err, fpc.ErrMaxSteps) {
+		t.Fatalf("err = %v, want ErrMaxSteps", err)
+	}
+	cont, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The encoded form is the continuation's byte-exact fingerprint; any
+	// aliasing shows up as a fingerprint change after the machine moves on.
+	fingerprint := snapshot.Encode(cont)
+
+	// Recycle the parked machine and run unrelated traffic on it. Get
+	// should hand the just-put machine back; if the runtime hands a fresh
+	// one, dirty it too — the continuation must survive either way.
+	pool.Put(m)
+	reused, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != m {
+		t.Logf("pool handed back a different machine; dirtying both paths")
+	}
+	if _, err := reused.Call(fibDesc, 15); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(reused)
+	if _, err := pool.Call(desc, 7); err != nil { // different args, same dirty windows
+		t.Fatal(err)
+	}
+
+	if got := snapshot.Encode(cont); !bytes.Equal(got, fingerprint) {
+		t.Fatal("recycling the snapshotted machine mutated the parked continuation")
+	}
+
+	// The parked run resumes byte-identically on a fresh machine.
+	resumed, err := img.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Restore(cont); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Halted() {
+		t.Fatal("resumed run did not halt")
+	}
+	if got := resumed.Results(); !reflect.DeepEqual(got, wantRes) {
+		t.Fatalf("resumed results %v, uninterrupted %v", got, wantRes)
+	}
+	if got := append([]fpc.Word(nil), resumed.Output...); !reflect.DeepEqual(got, wantOut) {
+		t.Fatalf("resumed output %v, uninterrupted %v", got, wantOut)
+	}
+	merged := &fpc.Metrics{}
+	merged.Merge(cont.Metrics)
+	merged.Merge(resumed.Metrics())
+	if !reflect.DeepEqual(merged, wantMet) {
+		t.Fatalf("merged segment metrics diverge from the uninterrupted run:\nmerged %+v\nwant   %+v", merged, wantMet)
+	}
+}
