@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json bench-serve-json check serve-smoke sched-smoke fuzz-smoke verify-corpus
+.PHONY: build vet test race bench bench-json bench-serve-json check serve-smoke sched-smoke fuzz-smoke verify-corpus fuse-corpus
 
 build:
 	$(GO) build ./...
@@ -67,5 +67,13 @@ fuzz-smoke:
 # (bounds-check-free) execution is byte-identical to checked execution.
 verify-corpus:
 	$(GO) run ./cmd/fpcfuzz -n 10000
+
+# Superinstruction soundness smoke: a second 10000-seed shift (fresh
+# range, no overlap with verify-corpus) through the oracle's fused-vs-plain
+# dimension — every seed runs the fused (default) image against a NoFuse
+# load of the same build, checked and certified/threaded tables, demanding
+# byte-identical behaviour down to error texts and metrics.
+fuse-corpus:
+	$(GO) run ./cmd/fpcfuzz -start 10000 -n 10000
 
 check: build vet test race

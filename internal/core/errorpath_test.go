@@ -3,11 +3,13 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/image"
 	"repro/internal/isa"
 	"repro/internal/linker"
+	"repro/internal/mem"
 )
 
 // badImageProg links a program whose main body is the recognizable
@@ -90,6 +92,174 @@ func TestRunErrorFidelity(t *testing.T) {
 			isa.ErrPCRange(pc, len(prog.Code)))
 		if err == nil || err.Error() != want {
 			t.Fatalf("error = %v, want %q", err, want)
+		}
+	})
+}
+
+// fusedAndPlain loads prog twice — fused (the default) and with NoFuse —
+// runs mod.main on each, and returns both outcomes. It also asserts the
+// fused image really annotated a group with head op fop at byte pc head,
+// so the test cannot silently stop exercising fusion if the matcher or the
+// program changes.
+func fusedAndPlain(t *testing.T, prog *image.Program, head int, fop isa.FusedOp) (fusedRes, plainRes []mem.Word, fusedErr, plainErr error, fused, plain *Machine) {
+	t.Helper()
+	cfg := ConfigFastCalls
+	cfgNo := ConfigFastCalls
+	cfgNo.NoFuse = true
+	imgF, err := LoadImage(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := imgF.Insts()[head].FOp; got != fop {
+		t.Fatalf("insts[%#x].FOp = %v, want %v: the test program no longer fuses as intended", head, got, fop)
+	}
+	imgP, err := LoadImage(prog, cfgNo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := imgP.Insts()[head].FOp; got != isa.FNone {
+		t.Fatalf("NoFuse image carries fusion annotations")
+	}
+	fused, err = imgF.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err = imgP.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusedRes, fusedErr = fused.Call(imgF.Entry())
+	plainRes, plainErr = plain.Call(imgP.Entry())
+	return
+}
+
+// TestFusedErrorPathFidelity: failures inside a fused group must be
+// reported at the failing member's original byte pc with error text
+// byte-identical to the unfused engine's — including a fault at the
+// *middle* member of a triple, where a batch-advanced pc would point past
+// instructions that never executed.
+func TestFusedErrorPathFidelity(t *testing.T) {
+	t.Run("overflow at middle member of a triple", func(t *testing.T) {
+		// Thirteen pushes fit exactly; the fourteenth faults. The first
+		// twelve LI1s fill the stack, then LL0 LL0 ADD fuses to a triple
+		// whose first member lands the thirteenth word and whose SECOND
+		// member faults at depth 13.
+		p := &image.Proc{Name: "main", NumArgs: 0, NumLocals: 1}
+		var a image.Asm
+		for j := 0; j < 12; j++ {
+			a.Emit(isa.LI1)
+		}
+		a.Emit(isa.LL0)
+		a.Emit(isa.LL0)
+		a.Emit(isa.ADD)
+		a.Emit(isa.RET)
+		p.Body = a.Fragment()
+		mod := &image.Module{Name: "bad", Procs: []*image.Proc{p}}
+		prog := linkOne(t, mod, "main", linker.Options{})
+		i := bytes.Index(prog.Code, []byte{byte(isa.LL0), byte(isa.LL0), byte(isa.ADD)})
+		if i < 0 {
+			t.Fatal("triple not found in linked code")
+		}
+
+		_, _, fusedErr, plainErr, _, _ := fusedAndPlain(t, prog, i, isa.FPushPushALU)
+		if plainErr == nil || fusedErr == nil {
+			t.Fatalf("overflow did not fail: fused=%v plain=%v", fusedErr, plainErr)
+		}
+		// The failing member is the second LL0 at i+1; handler errors are
+		// wrapped at the post-advance pc, i.e. i+2 — NOT the group head and
+		// NOT the group end (i+3).
+		pc := i + 2
+		want := fmt.Sprintf("%s at pc %06x: %s: push at depth %d",
+			prog.ProcName(uint32(pc)), pc, ErrStack, EvalStackDepth)
+		if plainErr.Error() != want {
+			t.Fatalf("plain error = %q, want %q", plainErr, want)
+		}
+		if fusedErr.Error() != plainErr.Error() {
+			t.Fatalf("fused error diverges from plain:\n fused %q\n plain %q", fusedErr, plainErr)
+		}
+	})
+
+	t.Run("div-zero trap at the group tail", func(t *testing.T) {
+		p := &image.Proc{Name: "main", NumArgs: 0, NumLocals: 0}
+		var a image.Asm
+		a.Emit(isa.LI1)
+		a.Emit(isa.LI0)
+		a.Emit(isa.DIV)
+		a.Emit(isa.RET)
+		p.Body = a.Fragment()
+		mod := &image.Module{Name: "bad", Procs: []*image.Proc{p}}
+		prog := linkOne(t, mod, "main", linker.Options{})
+		i := bytes.Index(prog.Code, []byte{byte(isa.LI1), byte(isa.LI0), byte(isa.DIV)})
+		if i < 0 {
+			t.Fatal("triple not found in linked code")
+		}
+
+		_, _, fusedErr, plainErr, _, _ := fusedAndPlain(t, prog, i, isa.FPushPushALU)
+		if plainErr == nil || fusedErr == nil {
+			t.Fatalf("trap did not fail: fused=%v plain=%v", fusedErr, plainErr)
+		}
+		// The trap fires after DIV retired: both the trap text and the
+		// wrapper report the post-advance pc (the RET's byte address, i+3).
+		pc := i + 3
+		name := prog.ProcName(uint32(pc))
+		want := fmt.Sprintf("%s at pc %06x: %s: code %d at pc %06x (%s)",
+			name, pc, ErrTrap, TrapDivZero, pc, name)
+		if plainErr.Error() != want {
+			t.Fatalf("plain error = %q, want %q", plainErr, want)
+		}
+		if fusedErr.Error() != plainErr.Error() {
+			t.Fatalf("fused error diverges from plain:\n fused %q\n plain %q", fusedErr, plainErr)
+		}
+	})
+
+	t.Run("div-zero resumed through an in-machine handler", func(t *testing.T) {
+		// STRAP installs a handler, then a fused LIB/LI0/DIV triple traps
+		// mid-expression: the trapXfer must capture the same partial stack
+		// ([21], the word below the operands) and the same resumption state
+		// as the unfused engine — results AND metrics byte-identical.
+		mod := &image.Module{Name: "bad"}
+		handler := &image.Proc{Name: "handler", NumArgs: 1, NumLocals: 1}
+		{
+			var a image.Asm
+			a.Emit(isa.LL0)
+			a.Emit(isa.LI2)
+			a.Emit(isa.MUL)
+			a.Emit(isa.RET)
+			handler.Body = a.Fragment()
+		}
+		p := &image.Proc{Name: "main", NumArgs: 0, NumLocals: 0}
+		{
+			var a image.Asm
+			a.EmitLoadLocalDesc(1)
+			a.Emit(isa.STRAP)
+			a.Emit(isa.LIB, 21)
+			a.Emit(isa.LIB, 5)
+			a.Emit(isa.LI0)
+			a.Emit(isa.DIV) // 5/0 traps; handler(TrapDivZero) = 2*TrapDivZero
+			a.Emit(isa.ADD) // 21 + handler result
+			a.Emit(isa.RET)
+			p.Body = a.Fragment()
+		}
+		mod.Procs = []*image.Proc{p, handler}
+		prog := linkOne(t, mod, "main", linker.Options{})
+		i := bytes.Index(prog.Code, []byte{byte(isa.LIB), 5, byte(isa.LI0), byte(isa.DIV)})
+		if i < 0 {
+			t.Fatal("triple not found in linked code")
+		}
+
+		fusedRes, plainRes, fusedErr, plainErr, fused, plain := fusedAndPlain(t, prog, i, isa.FPushPushALU)
+		if fusedErr != nil || plainErr != nil {
+			t.Fatalf("handled trap failed the run: fused=%v plain=%v", fusedErr, plainErr)
+		}
+		want := []mem.Word{21 + 2*TrapDivZero}
+		if !reflect.DeepEqual(plainRes, want) {
+			t.Fatalf("plain results = %v, want %v", plainRes, want)
+		}
+		if !reflect.DeepEqual(fusedRes, plainRes) {
+			t.Fatalf("fused results = %v, plain = %v", fusedRes, plainRes)
+		}
+		if !reflect.DeepEqual(fused.Metrics(), plain.Metrics()) {
+			t.Fatalf("fused metrics diverge from plain:\n fused %+v\n plain %+v", fused.Metrics(), plain.Metrics())
 		}
 	})
 }

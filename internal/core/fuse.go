@@ -1,0 +1,427 @@
+package core
+
+import (
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Fused superinstruction dispatch. The Fuse pass (isa.Fuse, run once per
+// image at load time) annotates the predecoded stream with pair/triple
+// groups; Run consumes a whole group with one indirect call through the
+// tables below instead of two or three trips around the dispatch loop.
+//
+// The contract that keeps fusion architecturally invisible: a fused handler
+// replays the per-instruction discipline of Run's plain path member by
+// member — advance pc past the member, retire it on the instruction
+// counter, charge the dispatch cycle, then run the member's exact
+// semantics — and returns how many architectural instructions it retired,
+// which the dispatch site subtracts from the remaining budget batch. The
+// counter is advanced member by member INSIDE the handler (not summed at
+// the dispatch site afterwards) because the count must be right even when
+// the group never returns: a Go-level Config.Trap hook that panics
+// mid-group unwinds straight out of Run, and the pool's deferred recycle
+// then merges this machine's metrics — which must show exactly the members
+// whose execution began, as the plain loop (counting before each dispatch)
+// would have. At every point where machine state can leak (a trap
+// formatting "at pc", a call capturing the return pc, a transfer snapshot
+// reading the cycle counter, an error aborting the run, a panic unwinding
+// a run), the fused engine is therefore in byte-for-byte the state the
+// unfused engine would be in. Only the LAST member of a group may transfer
+// or trap (the shapes guarantee it), so a group never needs to resume in
+// its own middle.
+//
+// Like the per-opcode tables, the fused table comes in a checked flavour
+// (exact stack-fault errors, state maintained through every member) and a
+// certified flavour (cert.go's stack-bounds certificate makes the bounds
+// checks dead, and intermediate pushes that the group immediately consumes
+// are elided — the slots above sp are unobservable).
+
+// fusedFunc executes one fused group whose head slot is in at byte pc. It
+// returns the number of architectural instructions retired — on an error or
+// an in-machine trap transfer, the members whose execution began, exactly
+// the set the plain loop would have counted.
+type fusedFunc func(m *Machine, in *isa.Inst, pc uint32) (int, error)
+
+// fusedHandlers is the checked fused dispatch table, indexed by
+// isa.FusedOp; certFusedHandlers is its certificate-gated counterpart,
+// built by copy-and-override exactly like certHandlers.
+var fusedHandlers [isa.NumFusedOps]fusedFunc
+var certFusedHandlers [isa.NumFusedOps]fusedFunc
+
+func init() {
+	one := func(f fusedFunc, op isa.FusedOp) { fusedHandlers[op] = f }
+	one(fPushPushALU, isa.FPushPushALU)
+	one(fPushPushCmpJ, isa.FPushPushCmpJ)
+	one(fPushALU, isa.FPushALU)
+	one(fPushJz, isa.FPushJz)
+	one(fPushRet, isa.FPushRet)
+	one(fPushCall, isa.FPushCall)
+	one(fStorePush, isa.FStorePush)
+
+	initCertFused()
+}
+
+func initCertFused() {
+	certFusedHandlers = fusedHandlers
+
+	one := func(f fusedFunc, op isa.FusedOp) { certFusedHandlers[op] = f }
+	one(cfPushPushALU, isa.FPushPushALU)
+	one(cfPushPushCmpJ, isa.FPushPushCmpJ)
+	one(cfPushALU, isa.FPushALU)
+	one(cfPushJz, isa.FPushJz)
+	one(cfPushRet, isa.FPushRet)
+	one(cfPushCall, isa.FPushCall)
+	one(cfStorePush, isa.FStorePush)
+}
+
+// fusedPushVal computes a push-class member's value with the member's exact
+// metric accounting (LocalVarRefs/GlobalVarRefs, bank traffic, charged
+// reads); the caller pushes — or directly consumes — the result.
+func (m *Machine) fusedPushVal(in *isa.Inst) mem.Word {
+	op := in.Op
+	switch {
+	case (op >= isa.LL0 && op <= isa.LL7) || op == isa.LLB:
+		m.metrics.LocalVarRefs++
+		return m.frameLoad(m.lf, image.FrameHeaderWords+int(in.Arg))
+	case (op >= isa.LG0 && op <= isa.LG3) || op == isa.LGB:
+		m.metrics.GlobalVarRefs++
+		return m.read(m.gf + 2 + mem.Addr(in.Arg))
+	default: // LIN1..LIW: the literal was folded into Arg at predecode time
+		return mem.Word(in.Arg)
+	}
+}
+
+// fusedALUPush applies a binary ALU member to its popped operands and
+// pushes the result, reproducing hAdd..hShr (including the hDiv/hMod
+// divide-by-zero trap route) exactly.
+func (m *Machine) fusedALUPush(op isa.Op, a, b mem.Word) error {
+	switch op {
+	case isa.ADD:
+		return m.push(isa.Add(a, b))
+	case isa.SUB:
+		return m.push(isa.Sub(a, b))
+	case isa.MUL:
+		return m.push(isa.Mul(a, b))
+	case isa.DIV:
+		v, ok := isa.Div(a, b)
+		if !ok {
+			return m.divZero()
+		}
+		return m.push(v)
+	case isa.MOD:
+		v, ok := isa.Mod(a, b)
+		if !ok {
+			return m.divZero()
+		}
+		return m.push(v)
+	case isa.AND:
+		return m.push(a & b)
+	case isa.OR:
+		return m.push(a | b)
+	case isa.XOR:
+		return m.push(a ^ b)
+	case isa.SHL:
+		return m.push(isa.Shl(a, b))
+	}
+	return m.push(isa.Shr(a, b)) // isa.SHR, the only remaining fusable ALU
+}
+
+// fusedALUPushU is fusedALUPush over the unchecked primitives (the div/mod
+// zero-divisor route stays checked, matching cDiv/cMod).
+func (m *Machine) fusedALUPushU(op isa.Op, a, b mem.Word) error {
+	switch op {
+	case isa.ADD:
+		m.pushU(isa.Add(a, b))
+	case isa.SUB:
+		m.pushU(isa.Sub(a, b))
+	case isa.MUL:
+		m.pushU(isa.Mul(a, b))
+	case isa.DIV:
+		v, ok := isa.Div(a, b)
+		if !ok {
+			return m.divZero()
+		}
+		m.pushU(v)
+	case isa.MOD:
+		v, ok := isa.Mod(a, b)
+		if !ok {
+			return m.divZero()
+		}
+		m.pushU(v)
+	case isa.AND:
+		m.pushU(a & b)
+	case isa.OR:
+		m.pushU(a | b)
+	case isa.XOR:
+		m.pushU(a ^ b)
+	case isa.SHL:
+		m.pushU(isa.Shl(a, b))
+	case isa.SHR:
+		m.pushU(isa.Shr(a, b))
+	}
+	return nil
+}
+
+// fusedStore runs a store-class member (SL*, SLB, SGB) with hStoreLocal /
+// hStoreGlobal's exact semantics, including the metric bump preceding the
+// pop that the plain handlers perform even when the pop faults.
+func (m *Machine) fusedStore(in *isa.Inst) error {
+	if in.Op == isa.SGB {
+		m.metrics.GlobalVarRefs++
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		m.write(m.gf+2+mem.Addr(in.Arg), v)
+		return nil
+	}
+	m.metrics.LocalVarRefs++
+	v, err := m.pop()
+	if err != nil {
+		return err
+	}
+	m.frameStore(m.lf, image.FrameHeaderWords+int(in.Arg), v)
+	return nil
+}
+
+// The checked fused handlers. Each member advances pc and charges the
+// dispatch cycle before its semantics, and every stack operation goes
+// through the checked push/pop — so a fault at any member leaves the exact
+// state, error text and metrics of the unfused engine.
+
+func fPushPushALU(m *Machine, in *isa.Inst, pc uint32) (int, error) {
+	m.pc = pc + uint32(in.Size)
+	m.cycles += CycDispatch
+	m.metrics.Instructions++
+	if err := m.push(m.fusedPushVal(in)); err != nil {
+		return 1, err
+	}
+	in2 := &m.insts[m.pc]
+	m.pc += uint32(in2.Size)
+	m.cycles += CycDispatch
+	m.metrics.Instructions++
+	if err := m.push(m.fusedPushVal(in2)); err != nil {
+		return 2, err
+	}
+	in3 := &m.insts[m.pc]
+	m.pc += uint32(in3.Size)
+	m.cycles += CycDispatch
+	m.metrics.Instructions++
+	a, b, err := m.pop2()
+	if err != nil {
+		return 3, err
+	}
+	return 3, m.fusedALUPush(in3.Op, a, b)
+}
+
+func fPushPushCmpJ(m *Machine, in *isa.Inst, pc uint32) (int, error) {
+	m.pc = pc + uint32(in.Size)
+	m.cycles += CycDispatch
+	m.metrics.Instructions++
+	if err := m.push(m.fusedPushVal(in)); err != nil {
+		return 1, err
+	}
+	in2 := &m.insts[m.pc]
+	m.pc += uint32(in2.Size)
+	m.cycles += CycDispatch
+	m.metrics.Instructions++
+	if err := m.push(m.fusedPushVal(in2)); err != nil {
+		return 2, err
+	}
+	in3 := &m.insts[m.pc]
+	m.pc += uint32(in3.Size)
+	m.cycles += CycDispatch
+	m.metrics.Instructions++
+	a, b, err := m.pop2()
+	if err != nil {
+		return 3, err
+	}
+	if isa.Compare(in3.Op, a, b) {
+		m.pc = in3.Target
+		m.cycles += CycRefill
+	}
+	return 3, nil
+}
+
+func fPushALU(m *Machine, in *isa.Inst, pc uint32) (int, error) {
+	m.pc = pc + uint32(in.Size)
+	m.cycles += CycDispatch
+	m.metrics.Instructions++
+	if err := m.push(m.fusedPushVal(in)); err != nil {
+		return 1, err
+	}
+	in2 := &m.insts[m.pc]
+	m.pc += uint32(in2.Size)
+	m.cycles += CycDispatch
+	m.metrics.Instructions++
+	a, b, err := m.pop2()
+	if err != nil {
+		return 2, err
+	}
+	return 2, m.fusedALUPush(in2.Op, a, b)
+}
+
+func fPushJz(m *Machine, in *isa.Inst, pc uint32) (int, error) {
+	m.pc = pc + uint32(in.Size)
+	m.cycles += CycDispatch
+	m.metrics.Instructions++
+	if err := m.push(m.fusedPushVal(in)); err != nil {
+		return 1, err
+	}
+	in2 := &m.insts[m.pc]
+	m.pc += uint32(in2.Size)
+	m.cycles += CycDispatch
+	m.metrics.Instructions++
+	v, err := m.pop()
+	if err != nil {
+		return 2, err
+	}
+	if (v == 0) == (in2.Op == isa.JZB) {
+		m.pc = in2.Target
+		m.cycles += CycRefill
+	}
+	return 2, nil
+}
+
+func fPushRet(m *Machine, in *isa.Inst, pc uint32) (int, error) {
+	m.pc = pc + uint32(in.Size)
+	m.cycles += CycDispatch
+	m.metrics.Instructions++
+	if err := m.push(m.fusedPushVal(in)); err != nil {
+		return 1, err
+	}
+	m.pc += uint32(m.insts[m.pc].Size)
+	m.cycles += CycDispatch
+	m.metrics.Instructions++
+	m.snapshot()
+	return 2, m.doReturn()
+}
+
+func fPushCall(m *Machine, in *isa.Inst, pc uint32) (int, error) {
+	m.pc = pc + uint32(in.Size)
+	m.cycles += CycDispatch
+	m.metrics.Instructions++
+	if err := m.push(m.fusedPushVal(in)); err != nil {
+		return 1, err
+	}
+	in2 := &m.insts[m.pc]
+	m.pc += uint32(in2.Size)
+	m.cycles += CycDispatch
+	m.metrics.Instructions++
+	m.snapshot()
+	return 2, m.enterProc(mem.Addr(in2.GF), 0, false, in2.Target+isa.HeaderSkip, int(in2.FSI), KindDirectCall)
+}
+
+func fStorePush(m *Machine, in *isa.Inst, pc uint32) (int, error) {
+	m.pc = pc + uint32(in.Size)
+	m.cycles += CycDispatch
+	m.metrics.Instructions++
+	if err := m.fusedStore(in); err != nil {
+		return 1, err
+	}
+	in2 := &m.insts[m.pc]
+	m.pc += uint32(in2.Size)
+	m.cycles += CycDispatch
+	m.metrics.Instructions++
+	return 2, m.push(m.fusedPushVal(in2))
+}
+
+// The certified fused handlers. The stack-bounds certificate makes every
+// bounds check dead, so the group's pc advance and dispatch cycles are
+// batched up front (no member between them can observe either — only the
+// last member may transfer or trap, and by then the whole group's worth has
+// been charged, exactly as the unfused engine would have), and pushes the
+// group itself immediately consumes are elided: the words above sp are
+// unobservable, so handing the values across in registers changes nothing
+// a snapshot, a metric or a result can see.
+
+func cfPushPushALU(m *Machine, in *isa.Inst, pc uint32) (int, error) {
+	p2 := pc + uint32(in.Size)
+	in2 := &m.insts[p2]
+	in3 := &m.insts[p2+uint32(in2.Size)]
+	m.pc = in.FEnd
+	m.cycles += 3 * CycDispatch
+	m.metrics.Instructions += 3
+	a := m.fusedPushVal(in)
+	b := m.fusedPushVal(in2)
+	return 3, m.fusedALUPushU(in3.Op, a, b)
+}
+
+func cfPushPushCmpJ(m *Machine, in *isa.Inst, pc uint32) (int, error) {
+	p2 := pc + uint32(in.Size)
+	in2 := &m.insts[p2]
+	in3 := &m.insts[p2+uint32(in2.Size)]
+	m.pc = in.FEnd
+	m.cycles += 3 * CycDispatch
+	m.metrics.Instructions += 3
+	a := m.fusedPushVal(in)
+	b := m.fusedPushVal(in2)
+	if isa.Compare(in3.Op, a, b) {
+		m.pc = in3.Target
+		m.cycles += CycRefill
+	}
+	return 3, nil
+}
+
+func cfPushALU(m *Machine, in *isa.Inst, pc uint32) (int, error) {
+	in2 := &m.insts[pc+uint32(in.Size)]
+	m.pc = in.FEnd
+	m.cycles += 2 * CycDispatch
+	m.metrics.Instructions += 2
+	b := m.fusedPushVal(in)
+	a := m.popU()
+	return 2, m.fusedALUPushU(in2.Op, a, b)
+}
+
+func cfPushJz(m *Machine, in *isa.Inst, pc uint32) (int, error) {
+	in2 := &m.insts[pc+uint32(in.Size)]
+	m.pc = in.FEnd
+	m.cycles += 2 * CycDispatch
+	m.metrics.Instructions += 2
+	if v := m.fusedPushVal(in); (v == 0) == (in2.Op == isa.JZB) {
+		m.pc = in2.Target
+		m.cycles += CycRefill
+	}
+	return 2, nil
+}
+
+func cfPushRet(m *Machine, in *isa.Inst, pc uint32) (int, error) {
+	m.pc = in.FEnd
+	m.cycles += 2 * CycDispatch
+	m.metrics.Instructions += 2
+	m.pushU(m.fusedPushVal(in))
+	m.snapshot()
+	return 2, m.doReturn()
+}
+
+func cfPushCall(m *Machine, in *isa.Inst, pc uint32) (int, error) {
+	in2 := &m.insts[pc+uint32(in.Size)]
+	m.pc = in.FEnd
+	m.cycles += 2 * CycDispatch
+	m.metrics.Instructions += 2
+	m.pushU(m.fusedPushVal(in))
+	m.snapshot()
+	return 2, m.enterProc(mem.Addr(in2.GF), 0, false, in2.Target+isa.HeaderSkip, int(in2.FSI), KindDirectCall)
+}
+
+func cfStorePush(m *Machine, in *isa.Inst, pc uint32) (int, error) {
+	in2 := &m.insts[pc+uint32(in.Size)]
+	m.pc = in.FEnd
+	m.cycles += 2 * CycDispatch
+	m.metrics.Instructions += 2
+	m.fusedStoreU(in)
+	m.pushU(m.fusedPushVal(in2))
+	return 2, nil
+}
+
+// fusedStoreU is fusedStore over the unchecked pop.
+func (m *Machine) fusedStoreU(in *isa.Inst) {
+	if in.Op == isa.SGB {
+		m.metrics.GlobalVarRefs++
+		m.write(m.gf+2+mem.Addr(in.Arg), m.popU())
+		return
+	}
+	m.metrics.LocalVarRefs++
+	m.frameStore(m.lf, image.FrameHeaderWords+int(in.Arg), m.popU())
+}

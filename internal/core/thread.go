@@ -1,0 +1,71 @@
+package core
+
+import (
+	"repro/internal/isa"
+)
+
+// Threaded dispatch for certified images. Where the fused tables still pay
+// one table index per group, the threaded backend pays none: at load time
+// every code slot of a certified image is compiled to a closure that
+// already knows its handler, its successor pc and its retirement count —
+// the per-procedure handler chains of the certified stream, stitched into
+// one dense slice over the code space so that jumps, calls and returns
+// (which are just pc assignments) land on the next link of the right
+// chain. Run's certified fast path is then `thread[pc].run(m)` with no
+// decode, no validity test and no fused-vs-plain branch: each step is a
+// direct jump from handler to handler, with the central loop reduced to
+// the budget countdown.
+//
+// The backend is selected exactly the way cert.go's table is: only images
+// holding the verifier's stack-bounds certificate (and no Go-level trap
+// hook) build a thread, and Config.NoFuse turns it off together with
+// fusion. Step never uses it — single-stepping always retires exactly one
+// architectural instruction through the per-opcode table.
+
+// threadStep is one slot of a certified image's threaded code: run
+// executes from this slot (one instruction, or a whole fused group) and
+// reports how many architectural instructions it retired; retire mirrors
+// that count so the dispatch loop can gate a group on the remaining budget
+// before calling. Like the fused handlers, run advances the
+// retired-instruction counter itself, before the member's semantics — the
+// loop only drains its batch by the report — so the count survives a
+// panicking Go-level hook. A nil run marks a slot with no valid instruction — the
+// plain path reproduces the exact decode error.
+type threadStep struct {
+	run    func(m *Machine) (int, error)
+	retire uint8
+}
+
+// buildThread compiles the fused, predecoded stream into threaded code.
+// It is called once per certified image at load time, after fusion has
+// annotated insts.
+func buildThread(insts []isa.Inst) []threadStep {
+	t := make([]threadStep, len(insts))
+	for pc := range insts {
+		in := &insts[pc]
+		if !in.Valid() {
+			continue
+		}
+		if in.FLen > 1 {
+			f := certFusedHandlers[in.FOp]
+			head := uint32(pc)
+			t[pc] = threadStep{
+				run:    func(m *Machine) (int, error) { return f(m, in, head) },
+				retire: in.FLen,
+			}
+			continue
+		}
+		h := certHandlers[in.Op]
+		next := uint32(pc) + uint32(in.Size)
+		t[pc] = threadStep{
+			run: func(m *Machine) (int, error) {
+				m.pc = next
+				m.cycles += CycDispatch
+				m.metrics.Instructions++
+				return 1, h(m, in)
+			},
+			retire: 1,
+		}
+	}
+	return t
+}

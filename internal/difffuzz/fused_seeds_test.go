@@ -1,0 +1,44 @@
+package difffuzz
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/linker"
+	"repro/internal/workload"
+)
+
+// fusionSeeds are corpus seeds checked in specifically because each one's
+// generated program, early-bound, fuses to a stream exercising EVERY fused
+// shape — including FPushCall, which needs the DCALL form only early
+// binding emits. They live in testdata/fuzz/FuzzDifferential (seeds 6 and
+// 10 also in FuzzParkResume, parking mid-fused-stream).
+var fusionSeeds = []int64{6, 7, 10, 16}
+
+// TestFusionSeedCoverage pins the property the seeds were chosen for: if
+// the generator, compiler or matcher drifts and a shape stops appearing,
+// this fails rather than letting the corpus silently stop exercising it.
+func TestFusionSeedCoverage(t *testing.T) {
+	for _, seed := range fusionSeeds {
+		p := workload.RandomProgram(seed)
+		prog, _, err := p.Build(linker.Options{EarlyBind: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		img, err := core.LoadImage(prog, core.ConfigFastCalls)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var counts [isa.NumFusedOps]int
+		insts := img.Insts()
+		for i := range insts {
+			counts[insts[i].FOp]++
+		}
+		for f := isa.FusedOp(1); f < isa.NumFusedOps; f++ {
+			if counts[f] == 0 {
+				t.Errorf("seed %d: no %v group in the fused stream", seed, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package isa
+
+// Superinstruction fusion over the predecoded stream. Fuse is a second
+// link-time pass after Predecode: it peephole-matches hot instruction pairs
+// and triples (push-push-alu, compare-branch, push-then-direct-call with a
+// known header) and annotates the *head* slot of each match with a
+// synthesized FusedOp the engine can dispatch in one indirect call instead
+// of two or three.
+//
+// Fusion is an annotation, not a rewrite. The architectural fields of every
+// Inst (Op, Size, Arg, Target, …) are untouched, and every slot keeps an
+// annotation that is *locally* valid: it describes execution beginning at
+// that slot, independent of how control arrived. A jump landing in the
+// middle of some other slot's group simply executes the annotation of the
+// slot it lands on. Single-stepping, snapshots, disassembly and error
+// reporting therefore keep working in original byte pcs — the fused engine
+// reconstructs the exact per-instruction pc/cycle discipline inside each
+// superinstruction handler (see internal/core's fused tables).
+//
+// Shape rules (members after the first may not be targets of the fusion —
+// they still carry their own annotations — and only the LAST member of a
+// group may transfer control or trap):
+//
+//	push push alu     → FPushPushALU   (alu: binary ADD..SHR incl. DIV/MOD)
+//	push push cmpJ    → FPushPushCmpJ  (cmpJ: JEB..JGEB compare-branch)
+//	push alu          → FPushALU
+//	push JZB/JNZB     → FPushJz
+//	push RET          → FPushRet
+//	push DCALL/SDCALL → FPushCall      (only with the header pre-read: CallOK)
+//	store push        → FStorePush
+//
+// where push ∈ {LL0..LL7, LLB, LG0..LG3, LGB, LIN1..LIW} — operations that
+// cannot fail and cannot transfer — and store ∈ {SL0..SL7, SLB, SGB}.
+
+// FusedOp names a synthesized superinstruction. FNone (the zero value)
+// marks a slot that begins no fused group.
+type FusedOp uint8
+
+// Fused opcodes. Like the Op block, the order is load-bearing (the engine's
+// fused handler tables are indexed by FusedOp) and the block must end with
+// the NumFusedOps sentinel; fpclint checks the metadata table below against
+// this enumeration the same way it checks infos against Op.
+const (
+	FNone FusedOp = iota
+	FPushPushALU
+	FPushPushCmpJ
+	FPushALU
+	FPushJz
+	FPushRet
+	FPushCall
+	FStorePush
+
+	NumFusedOps // number of fused opcodes (including the FNone sentinel slot)
+)
+
+// FusedInfo is one row of the fused-op metadata table: the display name and
+// the number of architectural instructions a group of this shape retires.
+type FusedInfo struct {
+	Name string
+	Len  uint8 // architectural instructions per group (0 for FNone)
+}
+
+var fusedInfos = [NumFusedOps]FusedInfo{
+	FNone:         {Name: "FNone", Len: 0},
+	FPushPushALU:  {Name: "FPushPushALU", Len: 3},
+	FPushPushCmpJ: {Name: "FPushPushCmpJ", Len: 3},
+	FPushALU:      {Name: "FPushALU", Len: 2},
+	FPushJz:       {Name: "FPushJz", Len: 2},
+	FPushRet:      {Name: "FPushRet", Len: 2},
+	FPushCall:     {Name: "FPushCall", Len: 2},
+	FStorePush:    {Name: "FStorePush", Len: 2},
+}
+
+// FusedInfoOf returns the metadata for a fused opcode.
+func FusedInfoOf(f FusedOp) FusedInfo {
+	if f >= NumFusedOps {
+		return FusedInfo{Name: "FBAD"}
+	}
+	return fusedInfos[f]
+}
+
+// String implements fmt.Stringer.
+func (f FusedOp) String() string { return FusedInfoOf(f).Name }
+
+// IsFusePush reports whether op is a fusable push: it pushes exactly one
+// word computed without popping, cannot fail, cannot trap and cannot
+// transfer — the properties that let it run as a non-final group member.
+func (op Op) IsFusePush() bool {
+	return (op >= LL0 && op <= LL7) || op == LLB ||
+		(op >= LG0 && op <= LG3) || op == LGB ||
+		(op >= LIN1 && op <= LIW)
+}
+
+// IsFuseStore reports whether op is a fusable store: it pops exactly one
+// word and cannot trap or transfer. (SLB-class stores can only fail on an
+// empty stack, which the fused handler checks exactly like the plain one.)
+func (op Op) IsFuseStore() bool {
+	return (op >= SL0 && op <= SL7) || op == SLB || op == SGB
+}
+
+// IsFuseALU reports whether op is a fusable binary ALU operation (pops two,
+// pushes one; DIV/MOD may trap, which is why an ALU is always a group's
+// final member). NEG and NOT are unary and excluded.
+func (op Op) IsFuseALU() bool {
+	switch op {
+	case ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR:
+		return true
+	}
+	return false
+}
+
+// IsCompareJump reports whether op is one of the compare-and-branch forms.
+func (op Op) IsCompareJump() bool { return op >= JEB && op <= JGEB }
+
+// FuseOptions gates which matches Fuse is allowed to make.
+type FuseOptions struct {
+	// FuseCall, when non-nil, is consulted for the byte pc of every
+	// DCALL/SDCALL considered as a group's final member; returning false
+	// vetoes the FPushCall match. The loader wires the static verifier's
+	// call graph here: only call sites whose callee the verifier pinned
+	// (a non-May edge) are fused. When nil, any call with a pre-read
+	// header (CallOK) qualifies.
+	FuseCall func(pc uint32) bool
+}
+
+// Fuse annotates insts in place: for every slot, the longest shape match
+// beginning at that slot is recorded in FOp/FLen/FEnd. Annotations are
+// computed independently per slot, so overlapping matches are fine — the
+// engine consumes whichever annotation execution actually reaches. It
+// returns the number of slots annotated with a group head.
+func Fuse(insts []Inst, opt FuseOptions) int {
+	callOK := func(in *Inst, pc uint32) bool {
+		if (in.Op != DCALL && in.Op != SDCALL) || !in.CallOK {
+			return false
+		}
+		return opt.FuseCall == nil || opt.FuseCall(pc)
+	}
+	fused := 0
+	for pc := range insts {
+		in := &insts[pc]
+		if !in.Valid() {
+			continue
+		}
+		p2 := uint32(pc) + uint32(in.Size)
+		if p2 >= uint32(len(insts)) {
+			continue
+		}
+		in2 := &insts[p2]
+		if !in2.Valid() {
+			continue
+		}
+		annotate := func(f FusedOp, n uint8, end uint32) {
+			in.FOp, in.FLen, in.FEnd = f, n, end
+			fused++
+		}
+		p3 := p2 + uint32(in2.Size)
+		switch {
+		case in.Op.IsFusePush():
+			if in2.Op.IsFusePush() && p3 < uint32(len(insts)) {
+				if in3 := &insts[p3]; in3.Valid() {
+					switch {
+					case in3.Op.IsFuseALU():
+						annotate(FPushPushALU, 3, p3+uint32(in3.Size))
+					case in3.Op.IsCompareJump():
+						annotate(FPushPushCmpJ, 3, p3+uint32(in3.Size))
+					}
+				}
+				continue
+			}
+			switch {
+			case in2.Op.IsFuseALU():
+				annotate(FPushALU, 2, p3)
+			case in2.Op == JZB || in2.Op == JNZB:
+				annotate(FPushJz, 2, p3)
+			case in2.Op == RET:
+				annotate(FPushRet, 2, p3)
+			case callOK(in2, p2):
+				annotate(FPushCall, 2, p3)
+			}
+		case in.Op.IsFuseStore():
+			if in2.Op.IsFusePush() {
+				annotate(FStorePush, 2, p3)
+			}
+		}
+	}
+	return fused
+}

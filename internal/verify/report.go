@@ -182,6 +182,24 @@ func (r *Report) Warnings() []Diag {
 	return out
 }
 
+// CallFusable reports whether the call site at pc has a statically pinned
+// callee: a call-graph edge from pc that is not a may-edge. The loader
+// consults it when fusing superinstructions, so only call sites the
+// analysis resolved become FPushCall group tails. A linear scan — it runs
+// once per call site at image-load time, never on the execution path.
+func (r *Report) CallFusable(pc uint32) bool {
+	ok := false
+	for _, e := range r.Calls {
+		if e.FromPC == pc {
+			if e.May {
+				return false
+			}
+			ok = true
+		}
+	}
+	return ok
+}
+
 // DepthAt reports the abstract stack-depth bounds at pc; ok is false when
 // the verifier proved pc unreachable.
 func (r *Report) DepthAt(pc uint32) (lo, hi int, ok bool) {

@@ -27,8 +27,17 @@ type Pool struct {
 }
 
 // NewPool loads prog once under cfg and returns a pool of machines over
-// the shared image.
+// the shared image. The load is opportunistically verified: when the
+// static verifier grants the stack-bounds certificate the pool serves the
+// certified image — check-free handlers plus the threaded fused backend —
+// which is byte-identical in behaviour to the checked one (a continuously
+// fuzzed invariant, see internal/difffuzz). A program the verifier rejects
+// or cannot certify is served from the plain checked image exactly as
+// before; NewPool never rejects a program LoadImage accepts.
 func NewPool(prog *Program, cfg Config) (*Pool, error) {
+	if img, err := core.LoadImage(prog, cfg, core.WithVerify()); err == nil && img.Certified() {
+		return NewPoolFromImage(img), nil
+	}
 	img, err := LoadImage(prog, cfg)
 	if err != nil {
 		return nil, err
