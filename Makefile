@@ -65,8 +65,11 @@ fuzz-smoke:
 # oracle, which now also checks that (a) every generated program is admitted
 # by the static verifier under both linkage policies and (b) certified
 # (bounds-check-free) execution is byte-identical to checked execution.
+# certfrac then re-measures the corpus certified fraction and fails the
+# run if it regressed below the fraction recorded in BENCH_dispatch.json.
 verify-corpus:
 	$(GO) run ./cmd/fpcfuzz -n 10000
+	$(GO) run ./scripts/certfrac -n 10000 -check
 
 # Superinstruction soundness smoke: a second 10000-seed shift (fresh
 # range, no overlap with verify-corpus) through the oracle's fused-vs-plain

@@ -86,7 +86,15 @@ type Stats struct {
 	Evictions      uint64 // entries LRU- or explicitly evicted
 	NotFound       uint64 // lookups of hashes not resident
 	VerifyRejected uint64 // loads the verifier refused (never cached)
-	Resident       int    // images currently resident (including pinned)
+	// Admission split of the verified loads that were cached: Certified
+	// images run the check-free dispatch table; Uncertified images were
+	// admitted but denied the stack-bounds certificate, keyed per verifier
+	// reason code in UncertifiedByReason (one image can count under
+	// several reasons).
+	Certified           uint64
+	Uncertified         uint64
+	UncertifiedByReason map[string]uint64
+	Resident            int // images currently resident (including pinned)
 	Pinned         int    // resident images exempt from eviction
 	MemoryBytes    int64  // accounted bytes of resident images + warm machines
 	MemoryBudget   int64
@@ -312,6 +320,19 @@ func (r *Registry) submit(hash, srcKey string, build func() (*fpc.Program, error
 	r.mu.Lock()
 	ent.img = img
 	ent.pool = pool
+	if rep := img.VerifyReport(); rep != nil {
+		if rep.CertStackBounds {
+			r.stats.Certified++
+		} else {
+			r.stats.Uncertified++
+			if r.stats.UncertifiedByReason == nil {
+				r.stats.UncertifiedByReason = map[string]uint64{}
+			}
+			for _, reason := range rep.CertReasons() {
+				r.stats.UncertifiedByReason[reason]++
+			}
+		}
+	}
 	ent.bytes = img.MemoryFootprint() + int64(r.cfg.WarmMachines)*img.MachineFootprint()
 	r.mem += ent.bytes
 	evicted := r.evictLocked(ent)
@@ -471,6 +492,12 @@ func (r *Registry) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := r.stats
+	if len(r.stats.UncertifiedByReason) > 0 {
+		s.UncertifiedByReason = make(map[string]uint64, len(r.stats.UncertifiedByReason))
+		for k, v := range r.stats.UncertifiedByReason {
+			s.UncertifiedByReason[k] = v
+		}
+	}
 	s.Resident = r.residentLocked()
 	s.MemoryBytes = r.mem
 	s.MemoryBudget = r.cfg.MemoryBudget

@@ -63,7 +63,7 @@ func (s *Server) handleCallHash(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp := RunResponse{Hash: ent.Hash(), Cached: true, Certified: ent.Certified()}
+	resp := RunResponse{Hash: ent.Hash(), Cached: true, Certified: ent.Certified(), CertReasons: certReasons(ent)}
 	fillRun(&resp, cr, runErr)
 	writeJSON(w, status, &resp)
 }

@@ -53,10 +53,26 @@ type RunResponse struct {
 	// verification, linking or predecode work was done for it).
 	Cached bool `json:"cached"`
 	// Certified reports whether the run used the verifier-certified fast
-	// dispatch table (stack-bounds checks elided).
+	// dispatch table (stack-bounds checks elided). When a verified image
+	// was admitted but denied the certificate, CertReasons carries the
+	// verifier's distinct reason codes — why this program fell back to the
+	// checked table.
 	Certified   bool     `json:"certified,omitempty"`
+	CertReasons []string `json:"certReasons,omitempty"`
 	Error       string   `json:"error,omitempty"`
 	Diagnostics []string `json:"diagnostics,omitempty"`
+}
+
+// certReasons extracts the denial reason codes of an uncertified verified
+// image; nil for certified or unverified images.
+func certReasons(ent *registry.Entry) []string {
+	if ent.Certified() {
+		return nil
+	}
+	if rep := ent.Image().VerifyReport(); rep != nil {
+		return rep.CertReasons()
+	}
+	return nil
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -120,7 +136,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp := RunResponse{Hash: ent.Hash(), Cached: cached, Certified: ent.Certified()}
+	resp := RunResponse{Hash: ent.Hash(), Cached: cached, Certified: ent.Certified(), CertReasons: certReasons(ent)}
 	fillRun(&resp, cr, runErr)
 	writeJSON(w, status, &resp)
 }

@@ -1,0 +1,85 @@
+package verify
+
+import (
+	"math/bits"
+
+	"repro/internal/isa"
+)
+
+// Stage 2 of the verifier: certificate derivation over the stage-1
+// fixpoint. The worklist guarantees every pc's last step saw its final
+// state, so most value rules were already enforced in flow; what remains
+// here are the judgments that depend on facts falsified AFTER a site's
+// last step (the retain discipline of a summarized callee) and the
+// diagnostics deliberately deferred until the trap-arming question
+// settled (the unarmed-TRAPB stack effect).
+func (a *analyzer) certify() {
+	if !a.values {
+		return
+	}
+	for pc := 0; pc < len(a.code); pc++ {
+		if !a.reached[pc] || !a.insts[pc].Valid() {
+			continue
+		}
+		s := a.state[pc]
+		if pp, ok := a.defFlow[uint32(pc)]; ok {
+			// A fixed stack effect looked definitely out of bounds at some
+			// point of the fixpoint. Re-judge against the final interval:
+			// still definite means the instruction can never execute
+			// cleanly; otherwise the site's last step already recorded the
+			// maybe- diagnostics.
+			pops, pushes := pp[0], pp[1]
+			if s.d.hi < pops {
+				a.diag(uint32(pc), LevelError, ReasonStackUnderflow,
+					"%s pops %d with at most %d on the stack", a.insts[pc].Op, pops, s.d.hi)
+			} else if lo := max(s.d.lo-pops, 0); lo+pushes > maxDepth {
+				a.diag(uint32(pc), LevelError, ReasonStackOverflow,
+					"%s pushes to depth %d past the %d-word stack", a.insts[pc].Op, lo+pushes, maxDepth)
+			}
+		}
+		switch a.insts[pc].Op {
+		case isa.FREE:
+			a.certFree(uint32(pc), s)
+
+		case isa.TRAPB:
+			if a.armed {
+				break
+			}
+			// No reachable STRAP ever arms a handler: the deferred Go-path
+			// stack effect is the only behaviour, so report it the way the
+			// conservative analysis would.
+			if s.d.lo+1 > maxDepth {
+				a.diag(uint32(pc), LevelError, ReasonStackOverflow,
+					"%s pushes to depth %d past the %d-word stack", a.insts[pc].Op, s.d.lo+1, maxDepth)
+			} else if s.d.hi+1 > maxDepth {
+				a.diagCert(uint32(pc), ReasonMaybeOverflow,
+					"%s can push to depth %d past the %d-word stack", a.insts[pc].Op, s.d.hi+1, maxDepth)
+			}
+		}
+		if a.taint {
+			return
+		}
+	}
+}
+
+// certFree re-validates an own-frame FREE against the final summaries:
+// the freed procedure must have retained its frame on every return path,
+// and a frame cannot free itself.
+func (a *analyzer) certFree(pc uint32, s absState) {
+	if !s.d.exact() || s.vals == nil || s.d.lo < 1 {
+		// Stage 1 already tainted these.
+		return
+	}
+	v := s.vals[len(s.vals)-1]
+	if v.kind != vCtx || v.src&srcOwn == 0 {
+		return
+	}
+	cur := int(a.regionOf[pc])
+	for m := v.regs; m != 0; m &= m - 1 {
+		T := bits.TrailingZeros64(m)
+		if T == cur || !a.retainedAll[T] || !a.retSeen[T] {
+			a.setTaint()
+			return
+		}
+	}
+}

@@ -77,10 +77,22 @@ const (
 	// ReasonArgOverrun: a call site can carry more stack words than the
 	// callee's frame class holds below its size.
 	ReasonArgOverrun Reason = "arg-overrun"
-	// ReasonDynamicTransfer: a reachable XFERO / COCREATE / STRAP / FREE /
-	// FFREE / raw store — control or memory effects the verifier tracks
-	// only as may-edges, so the certificate is withheld.
+	// ReasonDynamicTransfer: a reachable XFERO or STRAP whose target the
+	// summary engine could not pin to a tracked context — the transfer is a
+	// may-edge, so the certificate is withheld. (COCREATE with a constant
+	// descriptor, transfers between tracked coroutines and STRAP of a known
+	// handler no longer raise this; they are certified via resume pools and
+	// handler summaries.)
 	ReasonDynamicTransfer Reason = "dynamic-transfer"
+	// ReasonUnsafeFree: a reachable FREE or FFREE of a context the engine
+	// cannot prove dead-safe — an unknown word, a possibly live caller or
+	// transferrer frame, a possible double free, or a frame whose procedure
+	// does not retain on every return.
+	ReasonUnsafeFree Reason = "unsafe-free"
+	// ReasonHeapStore: a reachable STIND or WFB — a raw store that can
+	// rewrite frame words, saved pcs or table linkage, invalidating every
+	// static fact downstream.
+	ReasonHeapStore Reason = "heap-store"
 	// ReasonUnresolvedLink: an external call's link-vector slot is not a
 	// statically known procedure descriptor.
 	ReasonUnresolvedLink Reason = "unresolved-link"
@@ -99,6 +111,10 @@ type Diag struct {
 	Level  Level
 	Reason Reason
 	Msg    string
+	// Cert marks a Warn that withholds the stack-bounds certificate: the
+	// reason codes of these diagnostics explain an Admitted-but-uncertified
+	// verdict.
+	Cert bool
 }
 
 // String renders the diagnostic one per line, fpcdis-style.
@@ -121,14 +137,53 @@ type ProcInfo struct {
 	// its result arity interval. Both are -1 when no RET was reached (the
 	// procedure provably never returns normally).
 	ResultLo, ResultHi int
+	// Entry contexts the summary engine attributed to the procedure.
+	// Called: reachable as an ordinary callee. TrapHandler: installed by a
+	// reachable STRAP with a constant descriptor. XferTarget: a frame of
+	// this procedure can be entered or resumed by a coroutine transfer.
+	Called, TrapHandler, XferTarget bool
+	// ResumeLo/ResumeHi bound the cross-depths (stack words carried) of the
+	// transfers that can resume a suspended frame of this procedure — its
+	// resume pool. Both are -1 when no tracked transfer targets it.
+	ResumeLo, ResumeHi int
+	// Retained reports that every reached return of the procedure carries
+	// the RETAIN mark, so its frame outlives the call (§4 keepers).
+	Retained bool
 }
 
-// CallEdge is one edge of the conservative call graph. May marks an edge
-// the verifier cannot pin down (coroutine transfers, traps, unresolved
-// link-vector slots): the callee is unknown, so Callee is the zero value.
+// EdgeKind classifies a call-graph edge.
+type EdgeKind uint8
+
+// Edge kinds. EdgeCall is an ordinary call with a statically resolved
+// callee; EdgeXfer a coroutine transfer whose target region the summary
+// engine pinned down; EdgeTrap a trap dispatch to a known handler;
+// EdgeMay an edge whose target is unknown.
+const (
+	EdgeCall EdgeKind = iota
+	EdgeXfer
+	EdgeTrap
+	EdgeMay
+)
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeCall:
+		return "call"
+	case EdgeXfer:
+		return "xfer"
+	case EdgeTrap:
+		return "trap"
+	}
+	return "may"
+}
+
+// CallEdge is one edge of the call graph. May mirrors Kind == EdgeMay:
+// the callee is unknown, so Callee is the zero value.
 type CallEdge struct {
 	FromPC uint32
 	Callee uint32 // callee entry pc (0 and May=true for unknown targets)
+	Kind   EdgeKind
 	May    bool
 }
 
@@ -183,21 +238,58 @@ func (r *Report) Warnings() []Diag {
 }
 
 // CallFusable reports whether the call site at pc has a statically pinned
-// callee: a call-graph edge from pc that is not a may-edge. The loader
-// consults it when fusing superinstructions, so only call sites the
-// analysis resolved become FPushCall group tails. A linear scan — it runs
-// once per call site at image-load time, never on the execution path.
+// callee: at least one EdgeCall from pc and no may-edge. Transfer and trap
+// edges neither qualify nor disqualify — a trap edge the summary engine
+// attributed to a neighbouring TRAPB never lands on a call pc, and an
+// unarmed TRAPB contributes no edge at all. The loader consults this when
+// fusing superinstructions, so only call sites the analysis resolved
+// become FPushCall group tails. A linear scan — it runs once per call
+// site at image-load time, never on the execution path.
 func (r *Report) CallFusable(pc uint32) bool {
 	ok := false
 	for _, e := range r.Calls {
 		if e.FromPC == pc {
-			if e.May {
+			if e.Kind == EdgeMay {
 				return false
 			}
-			ok = true
+			if e.Kind == EdgeCall {
+				ok = true
+			}
 		}
 	}
 	return ok
+}
+
+// CertReasons returns the sorted distinct reason codes of the
+// certificate-blocking diagnostics: why an admitted program was denied
+// CertStackBounds. Empty for certified (or rejected) programs.
+func (r *Report) CertReasons() []string {
+	seen := map[Reason]bool{}
+	var out []string
+	for _, d := range r.Diags {
+		if d.Cert && !seen[d.Reason] {
+			seen[d.Reason] = true
+			out = append(out, string(d.Reason))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PrimaryCertReason returns the reason code of the certificate-blocking
+// diagnostic at the lowest pc — the headline answer to "why is this
+// program not certified" — or "" when nothing blocks the certificate.
+func (r *Report) PrimaryCertReason() string {
+	best := -1
+	for i, d := range r.Diags {
+		if d.Cert && (best < 0 || d.PC < r.Diags[best].PC) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return ""
+	}
+	return string(r.Diags[best].Reason)
 }
 
 // DepthAt reports the abstract stack-depth bounds at pc; ok is false when
@@ -237,7 +329,27 @@ func (r *Report) String() string {
 		if p.ResultLo >= 0 {
 			res = fmt.Sprintf("results [%d,%d]", p.ResultLo, p.ResultHi)
 		}
-		fmt.Fprintf(&b, "  proc %s @%06x: max stack %d, %s\n", p.Name, p.Entry, p.MaxDepth, res)
+		var ctx []string
+		if p.Called {
+			ctx = append(ctx, "called")
+		}
+		if p.TrapHandler {
+			ctx = append(ctx, "trap handler")
+		}
+		if p.XferTarget {
+			ctx = append(ctx, "xfer target")
+		}
+		if p.ResumeLo >= 0 {
+			ctx = append(ctx, fmt.Sprintf("resume [%d,%d]", p.ResumeLo, p.ResumeHi))
+		}
+		if p.Retained {
+			ctx = append(ctx, "retained")
+		}
+		line := fmt.Sprintf("  proc %s @%06x: max stack %d, %s", p.Name, p.Entry, p.MaxDepth, res)
+		if len(ctx) > 0 {
+			line += " (" + strings.Join(ctx, ", ") + ")"
+		}
+		fmt.Fprintf(&b, "%s\n", line)
 	}
 	return b.String()
 }

@@ -1,0 +1,961 @@
+package verify
+
+import (
+	"math/bits"
+
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Stage 1 of the verifier: the per-procedure summary engine. step() is the
+// abstract transfer function over absState; procedures are entered once in
+// the canonical [0,0] context and summarized at their RETs (result depth,
+// result values, freed set), call sites consume summaries, and XFERO
+// sites with tracked targets feed the per-region resume pools. All side
+// tables grow monotonically and requeue their registered readers, so the
+// worklist converges to a fixpoint regardless of step order.
+
+// Site-registration kinds (dedup keys in a.siteSeen).
+const (
+	siteXfer = iota
+	siteLRC
+	siteLL
+)
+
+func (a *analyzer) addSite(list *[]uint32, kind, r int, pc uint32) {
+	key := uint64(kind)<<60 | uint64(uint32(r))<<30 | uint64(pc)
+	if !a.siteSeen[key] {
+		a.siteSeen[key] = true
+		*list = append(*list, pc)
+	}
+}
+
+func (a *analyzer) addTrapSite(pc uint32) {
+	if !a.trapSeen[pc] {
+		a.trapSeen[pc] = true
+		a.trapSites = append(a.trapSites, pc)
+	}
+}
+
+// topState widens the stack to unknown while keeping the frame-local facts
+// (assigned locals, retain mark, freed regions) that a wild stack cannot
+// invalidate on its own.
+func topState(s absState) absState {
+	return absState{d: top, stored: s.stored, ret: s.ret, freed: s.freed}
+}
+
+// xferSrcAdd records that a frame of region src can transfer into region
+// T, so T's retctx may name an src frame suspended at an XFERO.
+func (a *analyzer) xferSrcAdd(T, src int) {
+	bit := uint64(1) << uint(src)
+	if a.xferSrc[T]&bit == 0 {
+		a.xferSrc[T] |= bit
+		for _, p := range a.lrcSites[T] {
+			a.enqueue(p)
+		}
+	}
+}
+
+// bumpPool folds one transfer (cross-depth dx, transferring region src,
+// freed mask) into region T's resume pool and wakes T's XFERO sites.
+func (a *analyzer) bumpPool(T, dx, src int, freed uint64) {
+	changed := false
+	if !a.poolOK[T] {
+		a.poolOK[T] = true
+		a.pool[T] = interval{dx, dx}
+		changed = true
+	} else if j := a.pool[T].join(interval{dx, dx}); j != a.pool[T] {
+		a.pool[T] = j
+		changed = true
+	}
+	if a.poolFreed[T]|freed != a.poolFreed[T] {
+		a.poolFreed[T] |= freed
+		changed = true
+	}
+	if changed {
+		for _, p := range a.xferSites[T] {
+			a.enqueue(p)
+		}
+	}
+	a.xferSrcAdd(T, src)
+}
+
+// handlerResults joins the result summaries of all known trap handlers.
+func (a *analyzer) handlerResults() (interval, bool) {
+	var rh interval
+	ok := false
+	for m := a.handlers; m != 0; m &= m - 1 {
+		T := bits.TrailingZeros64(m)
+		if !a.sumOK[T] {
+			continue
+		}
+		if !ok {
+			rh, ok = a.sum[T], true
+		} else {
+			rh = rh.join(a.sum[T])
+		}
+	}
+	return rh, ok
+}
+
+func (a *analyzer) handlerFreed() uint64 {
+	var f uint64
+	for m := a.handlers; m != 0; m &= m - 1 {
+		f |= a.sumFreed[bits.TrailingZeros64(m)]
+	}
+	return f
+}
+
+// applyEffect applies a fixed stack effect at pc: definite faults are
+// Errors (the path ends), possible faults are certificate-blocking Warns
+// (the surviving depths continue).
+func (a *analyzer) applyEffect(pc uint32, d interval, pops, pushes int) (interval, bool) {
+	if d.hi < pops {
+		if a.values {
+			// The interval may still widen (resume pools, callee
+			// summaries); defer the judgment to certify.
+			a.defFlow[pc] = [2]int{pops, pushes}
+			return interval{}, false
+		}
+		a.diag(pc, LevelError, ReasonStackUnderflow,
+			"%s pops %d with at most %d on the stack", a.insts[pc].Op, pops, d.hi)
+		return interval{}, false
+	}
+	if d.lo < pops {
+		a.diagCert(pc, ReasonMaybeUnderflow,
+			"%s pops %d with as few as %d on the stack", a.insts[pc].Op, pops, d.lo)
+	}
+	after := interval{d.lo - pops, d.hi - pops}
+	if after.lo < 0 {
+		after.lo = 0
+	}
+	if after.lo+pushes > maxDepth {
+		if a.values {
+			// Joins can lower the floor later; defer as above.
+			a.defFlow[pc] = [2]int{pops, pushes}
+			return interval{}, false
+		}
+		a.diag(pc, LevelError, ReasonStackOverflow,
+			"%s pushes to depth %d past the %d-word stack", a.insts[pc].Op, after.lo+pushes, maxDepth)
+		return interval{}, false
+	}
+	if after.hi+pushes > maxDepth {
+		a.diagCert(pc, ReasonMaybeOverflow,
+			"%s can push to depth %d past the %d-word stack", a.insts[pc].Op, after.hi+pushes, maxDepth)
+		after.hi = maxDepth - pushes
+	}
+	after.lo += pushes
+	after.hi += pushes
+	return after, true
+}
+
+func (a *analyzer) step(pc uint32, s absState) {
+	in := &a.insts[pc]
+	if !in.Valid() {
+		reason := ReasonTruncated
+		if isa.Op(a.code[pc]) >= isa.NumOps {
+			reason = ReasonBadOpcode
+		}
+		a.diag(pc, LevelError, reason, "%v", in.Err(a.code, int(pc)))
+		return
+	}
+	if r := a.regionOf[pc]; r >= 0 && s.d.hi > a.maxHi[r] {
+		a.maxHi[r] = s.d.hi
+	}
+	op := in.Op
+	next := pc + uint32(in.Size)
+
+	switch {
+	case op == isa.HALT:
+		return
+
+	case op == isa.RET:
+		a.doRet(pc, s)
+		return
+
+	case op.IsJump():
+		a.doJump(pc, in, s, next)
+		return
+
+	case op.IsCall():
+		a.doCall(pc, in, s, next)
+		return
+
+	case op == isa.XFERO:
+		a.doXfer(pc, s, next)
+		return
+
+	case op == isa.TRAPB:
+		a.doTrapB(pc, s, next)
+		return
+
+	case op == isa.DIV || op == isa.MOD:
+		a.doDivMod(pc, s, next)
+		return
+
+	case op == isa.STRAP:
+		a.doStrap(pc, s, next)
+		return
+
+	case op == isa.COCREATE:
+		a.doCocreate(pc, in, s, next)
+		return
+
+	case op == isa.FREE:
+		a.doFree(pc, s, next)
+		return
+
+	case op == isa.FFREE:
+		if a.values {
+			a.setTaint()
+		}
+		a.diagCert(pc, ReasonUnsafeFree, "%s releases a context the verifier cannot track", op)
+		if after, ok := a.applyEffect(pc, s.d, 1, 0); ok {
+			a.propagate(pc, next, absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed})
+		}
+		return
+
+	case op == isa.STIND || op == isa.WFB:
+		// A raw store can rewrite frame words, saved pcs or table linkage:
+		// nothing value tracking rests on survives it.
+		if a.values {
+			a.setTaint()
+		}
+		a.diagCert(pc, ReasonHeapStore,
+			"%s stores through an arbitrary pointer and can reach frame or table linkage", op)
+		info := isa.InfoOf(op)
+		if after, ok := a.applyEffect(pc, s.d, int(info.Pops), int(info.Pushes)); ok {
+			a.propagate(pc, next, absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed})
+		}
+		return
+	}
+
+	// Remaining opcodes have a fixed effect from the metadata table, plus
+	// per-opcode operand sanity checks and value transfer.
+	info := isa.InfoOf(op)
+	if info.Pops < 0 || info.Pushes < 0 {
+		// Defensive: a variable effect not handled above.
+		a.diagCert(pc, ReasonDynamicTransfer, "%s has a state-dependent stack effect", op)
+		a.propagate(pc, next, topState(s))
+		return
+	}
+	switch {
+	case op >= isa.LL0 && op <= isa.LAB:
+		a.checkLocal(pc, in)
+	case op >= isa.LG0 && op <= isa.SGB:
+		a.checkGlobal(pc, in)
+	case op == isa.AFB:
+		if int(in.Arg) >= len(a.p.FrameSizes) {
+			a.diag(pc, LevelError, ReasonBadFrameSize,
+				"AFB class %d outside the %d-class frame-size table", in.Arg, len(a.p.FrameSizes))
+			return
+		}
+	}
+	after, ok := a.applyEffect(pc, s.d, int(info.Pops), int(info.Pushes))
+	if !ok {
+		return
+	}
+	out := absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed}
+	if op == isa.RETAIN {
+		out.ret = true
+	}
+	if a.values && after.exact() {
+		a.stepValues(pc, in, s, &out)
+	}
+	a.propagate(pc, next, out)
+}
+
+// stepValues transfers the value stack across a fixed-effect opcode; out.d
+// is exact here, so materializing unknown slots is always well-defined.
+func (a *analyzer) stepValues(pc uint32, in *isa.Inst, s absState, out *absState) {
+	op := in.Op
+	info := isa.InfoOf(op)
+	out.vals = dropPush(s.vals, int(info.Pops), int(info.Pushes))
+	r := int(a.regionOf[pc])
+	setTop := func(v value) {
+		if out.vals == nil {
+			out.vals = materialize(nil, out.d.lo)
+		}
+		out.vals[len(out.vals)-1] = v
+	}
+	switch {
+	case op >= isa.LIN1 && op <= isa.LIW:
+		setTop(wordVal(mem.Word(uint16(in.Arg))))
+
+	case op == isa.LRC:
+		if r >= 0 && r < maxTrackedRegions {
+			a.addSite(&a.lrcSites[r], siteLRC, r, pc)
+			if a.callEntered[r] {
+				// A caller's or trapper's frame: suspended inside a call,
+				// outside the resume-pool model.
+				setTop(ctxVal(srcTaint, 0))
+			} else {
+				setTop(ctxVal(srcEntered|srcZero, a.xferSrc[r]))
+			}
+		}
+
+	case op == isa.LLF:
+		if r >= 0 && r < maxTrackedRegions {
+			setTop(ctxVal(srcOwn, uint64(1)<<uint(r)))
+		}
+
+	case op == isa.DUP:
+		v := valAt(s.vals, s.d.lo-1)
+		if v != topVal {
+			if out.vals == nil {
+				out.vals = materialize(nil, out.d.lo)
+			}
+			out.vals[len(out.vals)-1] = v
+			out.vals[len(out.vals)-2] = v
+		}
+
+	case op == isa.EXCH:
+		x, y := valAt(s.vals, s.d.lo-1), valAt(s.vals, s.d.lo-2)
+		if x != topVal || y != topVal {
+			if out.vals == nil {
+				out.vals = materialize(nil, out.d.lo)
+			}
+			out.vals[len(out.vals)-1] = y
+			out.vals[len(out.vals)-2] = x
+		}
+
+	case (op >= isa.LL0 && op <= isa.LL7) || op == isa.LLB:
+		slot := int(in.Arg)
+		if r >= 0 && slot < 64 && s.stored>>uint(slot)&1 == 1 {
+			a.addSite(&a.llSites[r], siteLL, r, pc)
+			setTop(a.envGet(r, slot))
+		}
+
+	case (op >= isa.SL0 && op <= isa.SL7) || op == isa.SLB:
+		slot := int(in.Arg)
+		if r >= 0 && slot < 64 {
+			out.stored |= uint64(1) << uint(slot)
+			a.envSet(r, slot, valAt(s.vals, s.d.lo-1))
+		}
+	}
+}
+
+func materialize(vals []value, n int) []value {
+	if vals != nil {
+		return vals
+	}
+	out := make([]value, n)
+	for i := range out {
+		out[i] = topVal
+	}
+	return out
+}
+
+// envGet / envSet maintain the flow-insensitive per-region local value
+// environment; reads are guarded by the per-pc must-assigned bit.
+func (a *analyzer) envGet(r, slot int) value {
+	env := a.env[r]
+	if slot >= len(env) {
+		return topVal
+	}
+	return env[slot]
+}
+
+func (a *analyzer) envSet(r, slot int, v value) {
+	env := a.env[r]
+	for len(env) <= slot {
+		env = append(env, value{}) // zero value is never read before a store sets it
+	}
+	old := env[slot]
+	var j value
+	if a.envInit[r]>>uint(slot)&1 == 0 {
+		a.envInit[r] |= uint64(1) << uint(slot)
+		j = v
+	} else {
+		j = old.join(v)
+	}
+	env[slot] = j
+	a.env[r] = env
+	if j != old {
+		for _, p := range a.llSites[r] {
+			a.enqueue(p)
+		}
+	}
+}
+
+// checkLocal bounds local-variable accesses against the procedure's frame
+// class. A load past the frame reads a neighbouring heap word (garbage but
+// harmless); a store there corrupts the neighbour, so it blocks the
+// certificate.
+func (a *analyzer) checkLocal(pc uint32, in *isa.Inst) {
+	r := a.regionOf[pc]
+	if r < 0 || a.regions[r].fsi >= len(a.p.FrameSizes) {
+		return
+	}
+	payload := a.p.FrameSizes[a.regions[r].fsi]
+	off := image.FrameHeaderWords + int(in.Arg)
+	if off < payload {
+		return
+	}
+	op := in.Op
+	store := (op >= isa.SL0 && op <= isa.SL7) || op == isa.SLB
+	if store {
+		a.diagCert(pc, ReasonLocalRange,
+			"%s local %d: word %d of a %d-word frame (class %d)", op, in.Arg, off, payload, a.regions[r].fsi)
+	} else {
+		a.diag(pc, LevelWarn, ReasonLocalRange,
+			"%s local %d: word %d of a %d-word frame (class %d)", op, in.Arg, off, payload, a.regions[r].fsi)
+	}
+}
+
+// checkGlobal bounds global accesses against the module's declared global
+// count; a store past it lands in the neighbouring link vector or frame.
+func (a *analyzer) checkGlobal(pc uint32, in *isa.Inst) {
+	r := a.regionOf[pc]
+	if r < 0 {
+		return
+	}
+	ng := a.regions[r].inst.Module.NumGlobals
+	if int(in.Arg) < ng {
+		return
+	}
+	if in.Op == isa.SGB {
+		a.diagCert(pc, ReasonGlobalRange,
+			"SGB global %d of %d in module %s", in.Arg, ng, a.regions[r].inst.Module.Name)
+	} else {
+		a.diag(pc, LevelWarn, ReasonGlobalRange,
+			"%s global %d of %d in module %s", in.Op, in.Arg, ng, a.regions[r].inst.Module.Name)
+	}
+}
+
+func (a *analyzer) doJump(pc uint32, in *isa.Inst, s absState, next uint32) {
+	info := isa.InfoOf(in.Op)
+	after, ok := a.applyEffect(pc, s.d, int(info.Pops), 0)
+	if !ok {
+		return
+	}
+	out := absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed}
+	if a.values && after.exact() {
+		out.vals = dropPush(s.vals, int(info.Pops), 0)
+	}
+	t := in.Target
+	if int64(t) >= int64(len(a.code)) || !a.insts[t].Valid() {
+		a.diag(pc, LevelError, ReasonBadJumpTarget,
+			"%s to %06x: no instruction decodes there", in.Op, t)
+	} else {
+		if !a.boundary[t] {
+			a.diag(pc, LevelWarn, ReasonJumpIntoOperands,
+				"%s lands at %06x, inside another instruction's operand bytes", in.Op, t)
+		}
+		a.propagate(pc, t, out)
+	}
+	if in.Op != isa.JB && in.Op != isa.JW {
+		a.propagate(pc, next, out) // conditional: may fall through
+	}
+}
+
+// doRet folds the state at a RET into its procedure's summary (result
+// depth, result values, freed set, retain discipline) and requeues every
+// call and transfer site waiting on it.
+func (a *analyzer) doRet(pc uint32, s absState) {
+	r := a.regionOf[pc]
+	if r < 0 {
+		a.diagCert(pc, ReasonCrossProcFlow, "RET outside any procedure; its result depth cannot be attributed")
+		return
+	}
+	a.retSeen[r] = true
+	if !s.ret {
+		a.retainedAll[r] = false
+	}
+	changed := false
+	if !a.sumOK[r] {
+		a.sumOK[r] = true
+		a.sum[r] = s.d
+		changed = true
+	} else if j := a.sum[r].join(s.d); j != a.sum[r] {
+		a.sum[r] = j
+		changed = true
+	}
+	if a.values {
+		if !a.sumValsN[r] {
+			a.sumValsN[r] = true
+			a.sumVals[r] = s.vals
+			changed = true
+		} else if j := joinVals(a.sumVals[r], s.vals); !valsEqual(j, a.sumVals[r]) {
+			a.sumVals[r] = j
+			changed = true
+		}
+	}
+	if a.sumFreed[r]|s.freed != a.sumFreed[r] {
+		a.sumFreed[r] |= s.freed
+		changed = true
+	}
+	if !changed {
+		return
+	}
+	for _, site := range a.deps[r] {
+		a.enqueue(site)
+	}
+	if r < maxTrackedRegions && a.handlers>>uint(r)&1 == 1 {
+		for _, site := range a.trapSites {
+			a.enqueue(site)
+		}
+	}
+}
+
+func valsEqual(x, y []value) bool {
+	if (x == nil) != (y == nil) || len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *analyzer) doCall(pc uint32, in *isa.Inst, s absState, next uint32) {
+	op := in.Op
+	r := a.regionOf[pc]
+	var entry uint32
+	var fsi int
+	var ok bool
+
+	switch {
+	case op.IsExternalCall():
+		if r < 0 {
+			a.diagCert(pc, ReasonIrregularCall, "external call outside any procedure")
+			a.mayEdge(pc)
+			a.propagate(pc, next, topState(s))
+			return
+		}
+		inst := a.regions[r].inst
+		slot := int(in.Arg)
+		ctx, present := a.data[inst.GF-1-mem.Addr(slot)]
+		if !present || ctx == 0 {
+			// The machine XFERs to NIL: the computation halts there.
+			a.diagCert(pc, ReasonUnresolvedLink,
+				"link vector slot %d of %s is empty", slot, inst.Module.Name)
+			a.mayEdge(pc)
+			return
+		}
+		if !image.IsProc(ctx) {
+			// The F3 fallback: xferOut plus a transfer to whatever the slot
+			// holds — outside the value model entirely.
+			if a.values {
+				a.setTaint()
+			}
+			a.diagCert(pc, ReasonUnresolvedLink,
+				"link vector slot %d of %s holds %04x, not a procedure descriptor", slot, inst.Module.Name, ctx)
+			a.mayEdge(pc)
+			a.propagate(pc, next, topState(s))
+			return
+		}
+		entry, fsi, ok = a.resolveDescriptor(pc, ctx, ReasonBadDescriptor, "")
+
+	case op.IsLocalCall():
+		if r < 0 {
+			a.diagCert(pc, ReasonIrregularCall, "local call outside any procedure")
+			a.mayEdge(pc)
+			a.propagate(pc, next, topState(s))
+			return
+		}
+		inst := a.regions[r].inst
+		if ev := int(in.Arg); ev >= len(inst.EVOffsets) {
+			a.diag(pc, LevelError, ReasonBadEntryVector,
+				"%s entry %d past the %d-slot entry vector of %s", op, ev, len(inst.EVOffsets), inst.Module.Name)
+			return
+		}
+		entry, fsi, ok = a.resolveEntry(pc, inst.CodeBase, int(in.Arg), ReasonBadEntryVector, "")
+
+	default: // DCALL / SDCALL
+		if !in.CallOK {
+			a.diag(pc, LevelError, ReasonBadCallHeader,
+				"%s header at %06x lies outside the %d-byte code space", op, in.Target, len(a.code))
+			return
+		}
+		entry = in.Target + isa.HeaderSkip
+		fsi = int(in.FSI)
+		if int64(entry) >= int64(len(a.code)) || !a.insts[entry].Valid() {
+			a.diag(pc, LevelError, ReasonBadCallHeader,
+				"%s entry %06x does not decode", op, entry)
+			return
+		}
+		if fsi >= len(a.p.FrameSizes) {
+			a.diag(pc, LevelError, ReasonBadFrameSize,
+				"%s header class %d outside the %d-class frame-size table", op, fsi, len(a.p.FrameSizes))
+			return
+		}
+		ok = true
+	}
+	if !ok {
+		return
+	}
+	a.finishCall(pc, next, s, entry, fsi)
+}
+
+// finishCall wires a resolved call site: the arg-record fit check, the
+// call edge, and the interprocedural fall-through (the callee's summary
+// becomes the caller's state after the call).
+func (a *analyzer) finishCall(pc, next uint32, s absState, entry uint32, fsi int) {
+	a.edge(pc, entry, EdgeCall)
+	if payload := a.p.FrameSizes[fsi]; image.FrameHeaderWords+s.d.hi > payload {
+		a.diagCert(pc, ReasonArgOverrun,
+			"call can carry %d stack words into a %d-word frame (class %d)", s.d.hi, payload, fsi)
+	}
+	cr, isEntry := a.entryRegion[entry]
+	if !isEntry {
+		// The target decodes but is not a procedure entry the linker laid
+		// out: its RETs cannot be attributed, so its result depth is
+		// unknown.
+		if a.values {
+			a.setTaint()
+		}
+		a.diagCert(pc, ReasonIrregularCall,
+			"call target %06x is not a linked procedure entry", entry)
+		a.joinInto(entry, a.entryState(s.freed))
+		a.propagate(pc, next, topState(s))
+		return
+	}
+	a.markCallEntered(cr)
+	a.joinInto(entry, a.entryState(s.freed))
+	key := uint64(cr)<<32 | uint64(pc)
+	if !a.depSeen[key] {
+		a.depSeen[key] = true
+		a.deps[cr] = append(a.deps[cr], pc)
+	}
+	if a.sumOK[cr] {
+		out := absState{d: a.sum[cr], stored: s.stored, ret: s.ret, freed: s.freed | a.sumFreed[cr]}
+		if a.values && out.d.exact() && a.sumValsN[cr] && len(a.sumVals[cr]) == out.d.lo {
+			out.vals = a.sumVals[cr]
+		}
+		a.propagate(pc, next, out)
+	}
+	// Summary still unknown: the callee provably never returns (yet); the
+	// fall-through stays unreached until a RET appears.
+}
+
+// xferFallback is the conservative XFERO semantics: target and resumption
+// stack unknown.
+func (a *analyzer) xferFallback(pc uint32, s absState, next uint32) {
+	if _, ok := a.applyEffect(pc, s.d, 1, 0); !ok {
+		return
+	}
+	a.diagCert(pc, ReasonDynamicTransfer, "XFERO target and resumption stack are unknown")
+	a.mayEdge(pc)
+	a.propagate(pc, next, topState(s))
+}
+
+func (a *analyzer) doXfer(pc uint32, s absState, next uint32) {
+	cur := int(a.regionOf[pc])
+	if !a.values || cur < 0 || cur >= maxTrackedRegions {
+		if a.values {
+			a.setTaint()
+		}
+		a.xferFallback(pc, s, next)
+		return
+	}
+	if !s.d.exact() || s.vals == nil || s.d.lo < 1 {
+		a.setTaint()
+		a.xferFallback(pc, s, next)
+		return
+	}
+	v := s.vals[len(s.vals)-1]
+	dx := s.d.lo - 1 // cross-depth: the words carried to the target
+
+	// Any successful transfer suspends this frame here; a later transfer
+	// into this region resumes it with the pool state.
+	a.addSite(&a.xferSites[cur], siteXfer, cur, pc)
+
+	switch {
+	case v.kind == vWord && v.word == 0:
+		// Transfer to NIL: the computation halts. No successor.
+		return
+
+	case v.isProcWord():
+		// A descriptor: the machine enterProcs it with this frame as the
+		// return link, so the callee's RETURN resumes us with its results —
+		// call semantics on a transfer opcode.
+		T, ok := a.resolveDescQuiet(v.word)
+		if !ok {
+			a.setTaint()
+			a.xferFallback(pc, s, next)
+			return
+		}
+		treg := a.regions[T]
+		a.edge(pc, treg.entry, EdgeXfer)
+		if payload := a.p.FrameSizes[treg.fsi]; image.FrameHeaderWords+dx > payload {
+			a.diagCert(pc, ReasonArgOverrun,
+				"transfer can carry %d stack words into a %d-word frame (class %d)", dx, payload, treg.fsi)
+		}
+		a.joinInto(treg.entry, a.entryState(s.freed))
+		a.xferSrcAdd(T, cur)
+		key := uint64(T)<<32 | uint64(pc)
+		if !a.depSeen[key] {
+			a.depSeen[key] = true
+			a.deps[T] = append(a.deps[T], pc)
+		}
+		if a.sumOK[T] {
+			out := absState{d: a.sum[T], stored: s.stored, ret: s.ret, freed: s.freed | a.sumFreed[T]}
+			a.propagate(pc, next, out)
+		}
+
+	case v.kind == vCtx && v.transferable():
+		if v.regs&s.freed != 0 {
+			a.setTaint()
+			a.xferFallback(pc, s, next)
+			return
+		}
+		for m := v.regs; m != 0; m &= m - 1 {
+			T := bits.TrailingZeros64(m)
+			treg := a.regions[T]
+			a.edge(pc, treg.entry, EdgeXfer)
+			if v.src&srcCreated != 0 {
+				// The target may be an embryo: starting it delivers the
+				// carried words into its fresh frame's locals.
+				if payload := a.p.FrameSizes[treg.fsi]; image.FrameHeaderWords+dx > payload {
+					a.diagCert(pc, ReasonArgOverrun,
+						"transfer can carry %d stack words into a %d-word frame (class %d)", dx, payload, treg.fsi)
+				}
+				a.joinInto(treg.entry, a.entryState(s.freed))
+			}
+			a.bumpPool(T, dx, cur, s.freed)
+		}
+
+	default:
+		// Unknown word, the running frame itself, or a possibly
+		// call-suspended frame: outside the pool model.
+		a.setTaint()
+		a.xferFallback(pc, s, next)
+		return
+	}
+
+	// Resumption of this frame: the depths (and freed sets) of transfers
+	// targeting this region. Until a pool forms, the site stays suspended.
+	if a.poolOK[cur] {
+		out := absState{d: a.pool[cur], stored: s.stored, ret: s.ret, freed: s.freed | a.poolFreed[cur]}
+		a.propagate(pc, next, out)
+	}
+}
+
+func (a *analyzer) doTrapB(pc uint32, s absState, next uint32) {
+	if !a.values {
+		a.mayEdge(pc)
+		if a.trapsPossible {
+			// An in-machine handler's RETURN restores the trapper's
+			// operands beneath the handler's results: at least d.lo words,
+			// at most a full stack.
+			a.propagate(pc, next, absState{d: interval{s.d.lo, maxDepth}, stored: s.stored, ret: s.ret, freed: s.freed})
+			return
+		}
+		if after, ok := a.applyEffect(pc, s.d, 0, 1); ok {
+			a.propagate(pc, next, absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed})
+		}
+		return
+	}
+	a.addTrapSite(pc)
+	var out interval
+	any := false
+	// Unarmed path: the Go hook pushes the unhandled marker (on certified
+	// machines an unarmed TRAPB is a clean terminal error instead). A
+	// definite or possible overflow here is reported by certify() only if
+	// no reachable STRAP ever arms a handler, mirroring the conservative
+	// analysis's two-pass behaviour.
+	if s.d.lo+1 <= maxDepth {
+		hi := s.d.hi + 1
+		if hi > maxDepth {
+			hi = maxDepth
+		}
+		out, any = interval{s.d.lo + 1, hi}, true
+	}
+	freed := s.freed
+	if a.armed {
+		if rh, ok := a.handlerResults(); ok {
+			lo, hi := s.d.lo+rh.lo, s.d.hi+rh.hi
+			if hi > maxDepth {
+				a.diagCert(pc, ReasonMaybeOverflow,
+					"trap handler results can restore to depth %d past the %d-word stack", hi, maxDepth)
+				hi = maxDepth
+			}
+			if lo <= maxDepth { // else: every armed execution faults on restore
+				armedAfter := interval{lo, hi}
+				if any {
+					out = out.join(armedAfter)
+				} else {
+					out, any = armedAfter, true
+				}
+				freed |= a.handlerFreed()
+			}
+			for m := a.handlers; m != 0; m &= m - 1 {
+				a.edge(pc, a.regions[bits.TrailingZeros64(m)].entry, EdgeTrap)
+			}
+		}
+	}
+	if any {
+		o := absState{d: out, stored: s.stored, ret: s.ret, freed: freed}
+		if s.d.exact() && out.exact() && out.lo == s.d.lo+1 {
+			// Both paths preserve the operand prefix and push one word.
+			o.vals = dropPush(s.vals, 0, 1)
+		}
+		a.propagate(pc, next, o)
+	}
+}
+
+func (a *analyzer) doDivMod(pc uint32, s absState, next uint32) {
+	after, ok := a.applyEffect(pc, s.d, 2, 1)
+	if !ok {
+		return
+	}
+	if !a.values {
+		if a.trapsPossible {
+			// Division by zero can transfer to a handler; its result depth
+			// is unknown (handler results replace the quotient).
+			a.propagate(pc, next, absState{d: interval{after.lo - 1, maxDepth}, stored: s.stored, ret: s.ret, freed: s.freed})
+			return
+		}
+		a.propagate(pc, next, absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed})
+		return
+	}
+	a.addTrapSite(pc)
+	out := after
+	freed := s.freed
+	if a.armed {
+		if rh, ok := a.handlerResults(); ok {
+			base := interval{after.lo - 1, after.hi - 1} // operands consumed, quotient not pushed
+			lo, hi := base.lo+rh.lo, base.hi+rh.hi
+			if hi > maxDepth {
+				a.diagCert(pc, ReasonMaybeOverflow,
+					"trap handler results can restore to depth %d past the %d-word stack", hi, maxDepth)
+				hi = maxDepth
+			}
+			if lo <= maxDepth {
+				out = out.join(interval{lo, hi})
+				freed |= a.handlerFreed()
+			}
+			for m := a.handlers; m != 0; m &= m - 1 {
+				a.edge(pc, a.regions[bits.TrailingZeros64(m)].entry, EdgeTrap)
+			}
+		}
+	}
+	o := absState{d: out, stored: s.stored, ret: s.ret, freed: freed}
+	if out == after && out.exact() {
+		o.vals = dropPush(s.vals, 2, 1)
+	}
+	a.propagate(pc, next, o)
+}
+
+func (a *analyzer) doStrap(pc uint32, s absState, next uint32) {
+	if a.values && s.d.exact() && s.vals != nil && s.d.lo >= 1 {
+		v := s.vals[len(s.vals)-1]
+		out := absState{d: interval{s.d.lo - 1, s.d.lo - 1}, stored: s.stored, ret: s.ret, freed: s.freed,
+			vals: dropPush(s.vals, 1, 0)}
+		if v.kind == vWord && v.word == 0 {
+			// Disarms the trap handler: no dynamic behaviour at all.
+			a.propagate(pc, next, out)
+			return
+		}
+		if v.isProcWord() {
+			if T, ok := a.resolveDescQuiet(v.word); ok {
+				a.edge(pc, a.regions[T].entry, EdgeTrap)
+				if !a.armed || a.handlers>>uint(T)&1 == 0 {
+					a.armed = true
+					a.handlers |= uint64(1) << uint(T)
+					a.markCallEntered(T)
+					for _, site := range a.trapSites {
+						a.enqueue(site)
+					}
+				}
+				a.propagate(pc, next, out)
+				return
+			}
+		}
+		// A word the machine would transfer into blindly on the next trap.
+		a.setTaint()
+	} else if a.values {
+		a.setTaint()
+	}
+	a.sawStrap = true
+	a.diagCert(pc, ReasonDynamicTransfer, "STRAP installs a dynamic trap handler")
+	a.mayEdge(pc)
+	if after, ok := a.applyEffect(pc, s.d, 1, 0); ok {
+		a.propagate(pc, next, absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed})
+	}
+}
+
+func (a *analyzer) doCocreate(pc uint32, in *isa.Inst, s absState, next uint32) {
+	if !a.values {
+		a.diagCert(pc, ReasonDynamicTransfer, "COCREATE constructs a coroutine context resumed outside call/return structure")
+		a.mayEdge(pc)
+		if after, ok := a.applyEffect(pc, s.d, 1, 1); ok {
+			a.propagate(pc, next, absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed})
+		}
+		return
+	}
+	// COCREATE itself is safe: a non-descriptor operand is a clean terminal
+	// error and a descriptor that doesn't resolve never starts running. The
+	// result is a tracked embryo only for a known constant descriptor;
+	// anything else becomes an untracked word whose later transfer or free
+	// (if any) falls out of the model there.
+	after, ok := a.applyEffect(pc, s.d, 1, 1)
+	if !ok {
+		return
+	}
+	out := absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed}
+	if after.exact() {
+		out.vals = dropPush(s.vals, 1, 1)
+		v := valAt(s.vals, s.d.lo-1)
+		if v.isProcWord() {
+			if T, ok := a.resolveDescQuiet(v.word); ok {
+				if out.vals == nil {
+					out.vals = materialize(nil, after.lo)
+				}
+				out.vals[len(out.vals)-1] = ctxVal(srcCreated, uint64(1)<<uint(T))
+			}
+		}
+	}
+	a.propagate(pc, next, out)
+}
+
+func (a *analyzer) doFree(pc uint32, s absState, next uint32) {
+	fallback := func() {
+		a.diagCert(pc, ReasonUnsafeFree, "FREE releases a context the verifier cannot track")
+		if after, ok := a.applyEffect(pc, s.d, 1, 0); ok {
+			a.propagate(pc, next, absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed})
+		}
+	}
+	if !a.values {
+		fallback()
+		return
+	}
+	if !s.d.exact() || s.vals == nil || s.d.lo < 1 {
+		a.setTaint()
+		fallback()
+		return
+	}
+	v := s.vals[len(s.vals)-1]
+	switch {
+	case v.kind == vWord:
+		if image.IsProc(v.word) || v.word == 0 {
+			// ErrBadContext: a clean terminal error on every machine.
+			return
+		}
+		// Frees a raw address.
+		a.setTaint()
+		fallback()
+
+	case v.kind == vCtx && v.freeable():
+		if v.regs&s.freed != 0 {
+			// A frame of the same region may already be gone: FREE would
+			// tear down recycled storage.
+			a.setTaint()
+			fallback()
+			return
+		}
+		// Own-frame frees additionally require the retain discipline;
+		// certify() checks that against the final summaries.
+		out := absState{d: interval{s.d.lo - 1, s.d.lo - 1}, stored: s.stored, ret: s.ret,
+			freed: s.freed | v.regs, vals: dropPush(s.vals, 1, 0)}
+		a.propagate(pc, next, out)
+
+	default:
+		a.setTaint()
+		fallback()
+	}
+}

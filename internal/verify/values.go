@@ -1,0 +1,161 @@
+package verify
+
+import (
+	"repro/internal/image"
+	"repro/internal/mem"
+)
+
+// The value lattice of the summary engine. The interval analysis alone
+// cannot certify coroutine or trap programs: XFERO's depth effect depends
+// on WHERE the popped context word can point, and FREE's safety on where
+// the freed frame came from. So, for programs whose transfer surface is
+// statically disciplined, the engine tracks a small abstract value for
+// every evaluation-stack slot and definitely-assigned local: a 16-bit
+// constant (procedure descriptors are link-time LIW immediates), or a
+// context word with a provenance and a may-set of frame regions.
+//
+// Value tracking is best-effort and certificate-only: it may sharpen the
+// depth flow (resume pools, handler result summaries) but it must never
+// manufacture an Error-level rejection on its own, and the moment anything
+// reachable can corrupt the discipline the facts rest on (a raw store, an
+// untracked FREE, a transfer to an unknown context), the whole analysis
+// reruns with values off — falling back to exactly the conservative
+// interval semantics, which need no such facts.
+
+// value kinds.
+const (
+	vTop  uint8 = iota // anything
+	vWord              // exactly the 16-bit constant .word
+	vCtx               // a context word: a frame of one of the .regs regions
+)
+
+// provenance bits of a vCtx value (OR-monotone: a join accumulates bits,
+// and every bit makes the value LESS usable).
+const (
+	srcCreated uint8 = 1 << iota // a COCREATE result: an embryo (or since-started) frame
+	srcEntered                   // retctx in a transfer-only region: a frame suspended at an XFERO
+	srcOwn                       // myctx: the running procedure's own frame
+	srcTaint                     // retctx where the region can be call- or trap-entered
+	srcZero                      // may also be NIL (transfer halts; free faults cleanly)
+)
+
+// value is one abstract stack or local slot.
+type value struct {
+	kind uint8
+	src  uint8    // vCtx provenance bits
+	word mem.Word // vWord payload
+	regs uint64   // vCtx region bitset
+}
+
+var topVal = value{kind: vTop}
+
+func wordVal(w mem.Word) value        { return value{kind: vWord, word: w} }
+func ctxVal(src uint8, regs uint64) value { return value{kind: vCtx, src: src, regs: regs} }
+
+// join is the lattice join; monotone in both arguments.
+func (a value) join(b value) value {
+	if a == b {
+		return a
+	}
+	if a.kind != b.kind {
+		return topVal
+	}
+	switch a.kind {
+	case vWord:
+		if a.word == b.word {
+			return a
+		}
+		return topVal
+	case vCtx:
+		return value{kind: vCtx, src: a.src | b.src, regs: a.regs | b.regs}
+	}
+	return topVal
+}
+
+// transferable reports whether an XFERO to this context word is covered by
+// the resume-pool model: the target is provably NIL (halt), an embryo
+// created by COCREATE, or a frame suspended at an XFERO site — never a
+// frame suspended inside a call, a trap, or the running frame itself.
+func (v value) transferable() bool {
+	return v.kind == vCtx && v.src&(srcOwn|srcTaint) == 0
+}
+
+// freeable reports whether a FREE of this context word can be certified at
+// all: only frames we created, or the retained own frames a procedure
+// hands back (checked against the all-returns-retained bit separately).
+// Freeing a caller or transferrer (srcEntered) tears down a live frame.
+func (v value) freeable() bool {
+	return v.kind == vCtx && v.src&(srcEntered|srcTaint) == 0 &&
+		v.src&(srcCreated|srcOwn) != 0
+}
+
+// maxTrackedRegions bounds the region bitsets; programs with more regions
+// run with values off (they keep the old conservative analysis).
+const maxTrackedRegions = 64
+
+// pushVal appends v to a copied vals slice (vals are shared across joins,
+// so never mutated in place); nil stays nil.
+func pushVal(vals []value, d interval, v value) []value {
+	if vals == nil {
+		if d.lo != d.hi {
+			return nil
+		}
+		vals = make([]value, 0, d.lo+1)
+		for i := 0; i < d.lo; i++ {
+			vals = append(vals, topVal)
+		}
+	}
+	out := make([]value, len(vals)+1)
+	copy(out, vals)
+	out[len(vals)] = v
+	return out
+}
+
+// valAt reads stack slot i (0 = bottom); absent tracking reads top.
+func valAt(vals []value, i int) value {
+	if vals == nil || i < 0 || i >= len(vals) {
+		return topVal
+	}
+	return vals[i]
+}
+
+// dropPush models a generic effect: pop `pops` slots, push `pushes`
+// unknown results. Returns nil when the inputs aren't tracked.
+func dropPush(vals []value, pops, pushes int) []value {
+	if vals == nil || pops > len(vals) {
+		return nil
+	}
+	out := make([]value, len(vals)-pops, len(vals)-pops+pushes)
+	copy(out, vals[:len(vals)-pops])
+	for i := 0; i < pushes; i++ {
+		out = append(out, topVal)
+	}
+	return out
+}
+
+// joinVals joins two stacks pointwise; arity mismatch or an untracked side
+// loses tracking.
+func joinVals(a, b []value) []value {
+	if a == nil || b == nil || len(a) != len(b) {
+		return nil
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return a
+	}
+	out := make([]value, len(a))
+	for i := range a {
+		out[i] = a[i].join(b[i])
+	}
+	return out
+}
+
+// isProcWord reports whether v is a known constant carrying the procedure
+// descriptor tag.
+func (v value) isProcWord() bool { return v.kind == vWord && image.IsProc(v.word) }

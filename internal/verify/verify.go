@@ -1,41 +1,38 @@
-// Package verify is the link-time bytecode verifier: an abstract
-// interpreter over the predecoded instruction stream of a linked program.
-// Where the execution engine discovers a bad jump target, a stack fault or
-// an unresolvable descriptor only when execution reaches it — after a
-// server has already spent step budget — the verifier walks every
-// statically reachable pc once, at link/load time, and computes:
+// Package verify is the link-time bytecode verifier: a two-stage static
+// analysis over the predecoded instruction stream of a linked program.
 //
-//   - per-pc evaluation-stack depth bounds (an interval [lo, hi]);
-//   - jump and branch target validity (and whether a target lands inside
-//     another instruction's operand bytes);
-//   - procedure-descriptor resolvability: gfi within the GFT, entry index
-//     within the instance's entry vector, under both linkage policies
-//     (link-vector external calls and §6 early-bound direct calls);
-//   - frame-size-index sanity for DCALL/SDCALL inline headers, entry
-//     vectors and AFB;
-//   - fall-off-the-end and reachable-invalid-slot detection (invalid
-//     slots that are never reachable — entry vectors, inline headers,
-//     padding — are deliberately NOT reported);
-//   - a conservative call graph with well-bracketed call/return
-//     structure; coroutine transfers (XFERO, COCREATE) and traps are
-//     modeled as may-edges with unknown resumption stacks.
+// Stage 1 — the summary engine (summary.go) — is a worklist abstract
+// interpreter computing, for every reachable pc, an evaluation-stack depth
+// interval plus (for programs whose transfer surface is statically
+// disciplined) an abstract value per stack slot and definitely-assigned
+// local (values.go). Procedures are analyzed once, CFA2-style, against a
+// canonical [0,0] entry context — the engine's enterProc always delivers
+// the argument record into frame locals and clears the stack — and
+// tabulated: each call site reads the callee's result-depth summary, so
+// recursion converges and every call site sees its own return depth
+// rather than a join over unrelated callers. Transfers get the same
+// treatment: XFERO sites with statically known targets feed per-region
+// resume pools (the depths a suspended frame can be resumed with),
+// COCREATE results and retctx/myctx words carry provenance, and STRAP
+// with a known handler descriptor turns TRAPB/DIV into calls against the
+// handler's result summary. The moment anything reachable could corrupt
+// the facts this rests on (a raw store, an untracked FREE, a transfer to
+// an unknown context), the analysis restarts with values off and falls
+// back to the purely conservative interval semantics.
 //
-// The analysis is a worklist fixpoint over depth intervals. Procedure
-// entries are the roots, each at depth 0 (the engine's enterProc delivers
-// the argument record into frame locals and clears the stack). Calls are
-// modeled interprocedurally: the depth after a call site is the callee's
-// result-depth summary — the join of the depth intervals at its reachable
-// RETs — recomputed to fixpoint, which handles recursion without flagging
-// it. Transfers the verifier cannot trace (XFERO targets, trap-handler
-// results) conservatively resume with the full interval [0, EvalStackDepth].
+// Stage 2 — certificate derivation (certify.go) — re-walks the fixpoint
+// and decides the stack-bounds certificate: whether every reachable
+// instruction provably keeps the stack inside [0, isa.EvalStackDepth] and
+// nothing reachable can corrupt the linkage the proof depends on. It also
+// assembles the per-context report: entry kinds, resume-depth pools,
+// result summaries and the reason codes explaining a withheld
+// certificate.
 //
 // Diagnostics come in two grades. Error marks a pc where reaching it
 // definitely fails or corrupts the machine — the program is rejected
-// (Report.Admitted() == false). Warn marks what cannot be proven safe; the
-// program is admitted, but any certificate-blocking Warn withholds
-// CertStackBounds, the certificate that lets the engine skip its
-// per-instruction stack bounds checks (see the soundness sketch in
-// DESIGN.md).
+// (Report.Admitted() == false). Warn marks what cannot be proven safe;
+// the program is admitted, but any certificate-blocking Warn (Diag.Cert)
+// withholds CertStackBounds.
 package verify
 
 import (
@@ -66,6 +63,44 @@ func (a interval) join(b interval) interval {
 	return a
 }
 
+func (a interval) exact() bool { return a.lo == a.hi }
+
+// absState is the per-pc abstract state. The depth interval drives
+// admission; the rest exists only while value tracking is on and only
+// ever sharpens or withholds the certificate.
+type absState struct {
+	d      interval
+	stored uint64  // must-assigned local slots (definite assignment)
+	ret    bool    // current frame retained on every path reaching pc
+	freed  uint64  // regions a frame of which may have been freed
+	vals   []value // stack values, bottom first; nil = untracked
+}
+
+func (s absState) join(o absState) absState {
+	return absState{
+		d:      s.d.join(o.d),
+		stored: s.stored & o.stored,
+		ret:    s.ret && o.ret,
+		freed:  s.freed | o.freed,
+		vals:   joinVals(s.vals, o.vals),
+	}
+}
+
+func (s absState) equal(o absState) bool {
+	if s.d != o.d || s.stored != o.stored || s.ret != o.ret || s.freed != o.freed {
+		return false
+	}
+	if (s.vals == nil) != (o.vals == nil) || len(s.vals) != len(o.vals) {
+		return false
+	}
+	for i := range s.vals {
+		if s.vals[i] != o.vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // region is one procedure's code range [entry, end) as the linker laid it
 // out; end is the next inline header in the segment (or the segment end).
 type region struct {
@@ -92,24 +127,61 @@ type analyzer struct {
 	instByCB    map[uint32]*image.Instance
 	boundary    []bool // canonical instruction boundaries per region
 
-	// trapsPossible: a STRAP is reachable, so DIV/MOD/TRAPB may transfer
-	// to an in-machine handler whose result depth is unknown. Determined
-	// by iterating the whole analysis (reachability of STRAP depends on
-	// the analysis, which depends on this flag; it only flips false→true,
-	// so at most two passes run).
-	trapsPossible bool
-	sawStrap      bool
+	// values: stage 1 tracks the value lattice. Cleared (with a full
+	// rerun) the first time the run or the certificate scan discovers a
+	// taint — a reachable operation that could invalidate value-derived
+	// facts. The fallback run is exactly the old conservative analysis.
+	values bool
+	taint  bool
 
-	state   []interval
+	state   []absState
 	reached []bool
 	work    []uint32
 	queued  []bool
 
-	sum     []interval // per region: result-depth summary (join of RET depths)
-	sumOK   []bool
-	deps    [][]uint32 // per region: call-site pcs awaiting its summary
-	depSeen map[uint64]bool
-	maxHi   []int // per region: max hi over its reached pcs
+	// Per-region result summaries (join of RET states).
+	sum      []interval // result-depth summary
+	sumOK    []bool
+	sumVals  [][]value // result values (nil once arities disagree)
+	sumValsN []bool    // sumVals meaningful (at least one RET folded)
+	sumFreed []uint64  // regions the callee's subtree may free
+	deps     [][]uint32 // call/desc-transfer sites awaiting the summary
+	depSeen  map[uint64]bool
+	maxHi    []int // per region: max hi over its reached pcs
+
+	// Per-region resume pools: the depths (and freed masks) a frame of
+	// the region can be resumed with at its XFERO suspension points.
+	pool      []interval
+	poolOK    []bool
+	poolFreed []uint64
+	xferSrc   []uint64   // regions with an XFERO site targeting this region
+	xferSites [][]uint32 // XFERO pcs inside this region (requeued on pool growth)
+	lrcSites  [][]uint32 // LRC pcs inside this region
+	llSites   [][]uint32 // guarded local loads inside this region
+	siteSeen  map[uint64]bool
+
+	// Trap-handler model (values mode): armed is "a STRAP arming some
+	// handler is reachable"; handlers is the region set of statically known
+	// handler descriptors. The conservative fallback instead reruns with
+	// trapsPossible once a run reaches any STRAP (sawStrap), exactly the
+	// old two-pass interval analysis.
+	armed         bool
+	handlers      uint64
+	trapSites     []uint32 // TRAPB/DIV/MOD pcs, requeued when the model grows
+	trapSeen      map[uint32]bool
+	sawStrap      bool
+	trapsPossible bool
+	// defFlow records pcs whose fixed stack effect looked like a definite
+	// under/overflow mid-fixpoint (values mode). Joins move both interval
+	// ends, so the judgment is non-monotone: certify re-checks each site
+	// against the final state and only then emits the Error.
+	defFlow map[uint32][2]int // pc -> {pops, pushes}
+
+	callEntered []bool    // region can be entered by a static call or as a trap handler
+	retainedAll []bool    // every reached RET of the region carries the retained mark
+	retSeen     []bool    // region has a reached RET
+	env         [][]value // per region, per local slot: join of stored values
+	envInit     []uint64  // slots of env holding at least one stored value
 
 	diags    []Diag
 	seen     map[diagKey]bool
@@ -136,13 +208,25 @@ func Program(p *image.Program) *Report {
 	}
 	a.buildRegions()
 	a.buildBoundaries()
+	a.values = len(a.regions) > 0 && len(a.regions) <= maxTrackedRegions
 	for {
 		a.reset()
 		a.run()
-		if !a.sawStrap || a.trapsPossible {
-			break
+		a.certify()
+		if a.values && a.taint {
+			// Something reachable invalidates the value-derived facts:
+			// rerun with the conservative interval semantics only.
+			a.values, a.taint = false, false
+			continue
 		}
-		a.trapsPossible = true
+		if !a.values && a.sawStrap && !a.trapsPossible {
+			// Conservative mode reached a STRAP: rerun with in-machine trap
+			// dispatch possible everywhere (the handler installed at any
+			// point governs every TRAPB and division).
+			a.trapsPossible = true
+			continue
+		}
+		break
 	}
 	return a.report()
 }
@@ -207,30 +291,55 @@ func (a *analyzer) buildBoundaries() {
 
 func (a *analyzer) reset() {
 	n := len(a.code)
-	a.state = make([]interval, n)
+	nr := len(a.regions)
+	a.state = make([]absState, n)
 	a.reached = make([]bool, n)
 	a.work = a.work[:0]
 	a.queued = make([]bool, n)
-	a.sum = make([]interval, len(a.regions))
-	a.sumOK = make([]bool, len(a.regions))
-	a.deps = make([][]uint32, len(a.regions))
+	a.sum = make([]interval, nr)
+	a.sumOK = make([]bool, nr)
+	a.sumVals = make([][]value, nr)
+	a.sumValsN = make([]bool, nr)
+	a.sumFreed = make([]uint64, nr)
+	a.deps = make([][]uint32, nr)
 	a.depSeen = map[uint64]bool{}
-	a.maxHi = make([]int, len(a.regions))
+	a.maxHi = make([]int, nr)
 	for i := range a.maxHi {
 		a.maxHi[i] = -1
 	}
+	a.pool = make([]interval, nr)
+	a.poolOK = make([]bool, nr)
+	a.poolFreed = make([]uint64, nr)
+	a.xferSrc = make([]uint64, nr)
+	a.xferSites = make([][]uint32, nr)
+	a.lrcSites = make([][]uint32, nr)
+	a.llSites = make([][]uint32, nr)
+	a.siteSeen = map[uint64]bool{}
+	a.armed = false
+	a.handlers = 0
+	a.trapSites = a.trapSites[:0]
+	a.trapSeen = map[uint32]bool{}
+	a.sawStrap = false
+	a.defFlow = map[uint32][2]int{}
+	a.callEntered = make([]bool, nr)
+	a.retainedAll = make([]bool, nr)
+	for i := range a.retainedAll {
+		a.retainedAll[i] = true
+	}
+	a.retSeen = make([]bool, nr)
+	a.env = make([][]value, nr)
+	a.envInit = make([]uint64, nr)
 	a.diags = nil
 	a.seen = map[diagKey]bool{}
 	a.certOK = true
 	a.calls = nil
 	a.callSeen = map[CallEdge]bool{}
-	a.sawStrap = false
 
 	// Roots: every linked procedure entry, at depth 0 — any of them can be
 	// the target of a serving call, a coroutine creation or a trap handler
 	// installation, and enterProc always clears the stack.
 	for _, reg := range a.regions {
-		a.joinInto(reg.entry, interval{0, 0})
+		a.joinInto(reg.entry, a.entryState(0))
 	}
 	// The program's start descriptor must itself resolve.
 	if a.p.Entry != 0 {
@@ -241,6 +350,17 @@ func (a *analyzer) reset() {
 			a.resolveDescriptor(0, a.p.Entry, ReasonBadDescriptor, "entry ")
 		}
 	}
+}
+
+// entryState is the canonical procedure entry context: empty stack, no
+// definitely-assigned locals (arguments arrive as frame garbage as far as
+// the value lattice is concerned), carrying the caller's freed set.
+func (a *analyzer) entryState(freed uint64) absState {
+	s := absState{d: interval{0, 0}, freed: freed}
+	if a.values {
+		s.vals = []value{}
+	}
+	return s
 }
 
 func (a *analyzer) run() {
@@ -259,27 +379,27 @@ func (a *analyzer) enqueue(pc uint32) {
 	}
 }
 
-// joinInto merges d into pc's state, queueing pc when it grew.
-func (a *analyzer) joinInto(pc uint32, d interval) {
+// joinInto merges s into pc's state, queueing pc when it grew.
+func (a *analyzer) joinInto(pc uint32, s absState) {
 	if int(pc) >= len(a.code) {
 		return
 	}
 	if !a.reached[pc] {
 		a.reached[pc] = true
-		a.state[pc] = d
+		a.state[pc] = s
 		a.enqueue(pc)
 		return
 	}
-	if j := a.state[pc].join(d); j != a.state[pc] {
+	if j := a.state[pc].join(s); !j.equal(a.state[pc]) {
 		a.state[pc] = j
 		a.enqueue(pc)
 	}
 }
 
-// propagate flows d along an intra-procedural edge from → to (fall-through
+// propagate flows s along an intra-procedural edge from → to (fall-through
 // or jump), reporting a fall off the end of the code space and flows that
 // cross a procedure boundary.
-func (a *analyzer) propagate(from, to uint32, d interval) {
+func (a *analyzer) propagate(from, to uint32, s absState) {
 	if int(to) >= len(a.code) {
 		a.diag(from, LevelError, ReasonFallOffEnd,
 			"execution runs past the %d-byte code space", len(a.code))
@@ -289,7 +409,7 @@ func (a *analyzer) propagate(from, to uint32, d interval) {
 		a.diagCert(from, ReasonCrossProcFlow,
 			"control flows from %s into %s without a call", a.regionName(rf), a.regionName(rt))
 	}
-	a.joinInto(to, d)
+	a.joinInto(to, s)
 }
 
 func (a *analyzer) regionName(r int32) string {
@@ -323,375 +443,43 @@ func (a *analyzer) diag(pc uint32, lvl Level, reason Reason, format string, args
 // diagCert emits a Warn that also withholds the stack-bounds certificate.
 func (a *analyzer) diagCert(pc uint32, reason Reason, format string, args ...interface{}) {
 	a.certOK = false
-	a.diag(pc, LevelWarn, reason, format, args...)
+	k := diagKey{pc, reason}
+	if a.seen[k] {
+		return
+	}
+	a.seen[k] = true
+	a.diags = append(a.diags, Diag{
+		PC: pc, Proc: a.procName(pc), Level: LevelWarn, Reason: reason, Cert: true,
+		Msg: fmt.Sprintf(format, args...),
+	})
 }
 
-func (a *analyzer) edge(from, callee uint32, may bool) {
-	e := CallEdge{FromPC: from, Callee: callee, May: may}
+// setTaint abandons value tracking: the current run finishes (its
+// admission diagnostics are discarded anyway) and Program reruns the
+// whole analysis with the conservative semantics.
+func (a *analyzer) setTaint() { a.taint = true }
+
+func (a *analyzer) edge(from, callee uint32, kind EdgeKind) {
+	e := CallEdge{FromPC: from, Callee: callee, Kind: kind, May: kind == EdgeMay}
 	if !a.callSeen[e] {
 		a.callSeen[e] = true
 		a.calls = append(a.calls, e)
 	}
 }
 
-func (a *analyzer) mayEdge(pc uint32) { a.edge(pc, 0, true) }
+func (a *analyzer) mayEdge(pc uint32) { a.edge(pc, 0, EdgeMay) }
 
-// applyEffect applies a fixed stack effect at pc: definite faults are
-// Errors (the path ends), possible faults are certificate-blocking Warns
-// (the surviving depths continue).
-func (a *analyzer) applyEffect(pc uint32, d interval, pops, pushes int) (interval, bool) {
-	if d.hi < pops {
-		a.diag(pc, LevelError, ReasonStackUnderflow,
-			"%s pops %d with at most %d on the stack", a.insts[pc].Op, pops, d.hi)
-		return interval{}, false
-	}
-	if d.lo < pops {
-		a.diagCert(pc, ReasonMaybeUnderflow,
-			"%s pops %d with as few as %d on the stack", a.insts[pc].Op, pops, d.lo)
-	}
-	after := interval{d.lo - pops, d.hi - pops}
-	if after.lo < 0 {
-		after.lo = 0
-	}
-	if after.lo+pushes > maxDepth {
-		a.diag(pc, LevelError, ReasonStackOverflow,
-			"%s pushes to depth %d past the %d-word stack", a.insts[pc].Op, after.lo+pushes, maxDepth)
-		return interval{}, false
-	}
-	if after.hi+pushes > maxDepth {
-		a.diagCert(pc, ReasonMaybeOverflow,
-			"%s can push to depth %d past the %d-word stack", a.insts[pc].Op, after.hi+pushes, maxDepth)
-		after.hi = maxDepth - pushes
-	}
-	after.lo += pushes
-	after.hi += pushes
-	return after, true
-}
-
-func (a *analyzer) step(pc uint32, d interval) {
-	in := &a.insts[pc]
-	if !in.Valid() {
-		reason := ReasonTruncated
-		if isa.Op(a.code[pc]) >= isa.NumOps {
-			reason = ReasonBadOpcode
-		}
-		a.diag(pc, LevelError, reason, "%v", in.Err(a.code, int(pc)))
+// markCallEntered records that region r can be entered by a static call
+// or trap dispatch: its retctx may then name a frame suspended inside a
+// call, which the resume-pool model must not cover.
+func (a *analyzer) markCallEntered(r int) {
+	if r < 0 || r >= len(a.callEntered) || a.callEntered[r] {
 		return
 	}
-	if r := a.regionOf[pc]; r >= 0 && d.hi > a.maxHi[r] {
-		a.maxHi[r] = d.hi
+	a.callEntered[r] = true
+	for _, pc := range a.lrcSites[r] {
+		a.enqueue(pc)
 	}
-	op := in.Op
-	next := pc + uint32(in.Size)
-
-	switch {
-	case op == isa.HALT:
-		return
-
-	case op == isa.RET:
-		a.doRet(pc, d)
-		return
-
-	case op.IsJump():
-		a.doJump(pc, in, d, next)
-		return
-
-	case op.IsCall():
-		a.doCall(pc, in, d, next)
-		return
-
-	case op == isa.XFERO:
-		// The popped context word is arbitrary; the transfer may reach any
-		// resumable frame. When something later transfers back here, the
-		// resumption arrives with that transfer's stack — unknown.
-		if _, ok := a.applyEffect(pc, d, 1, 0); !ok {
-			return
-		}
-		a.diagCert(pc, ReasonDynamicTransfer, "XFERO target and resumption stack are unknown")
-		a.mayEdge(pc)
-		a.propagate(pc, next, top)
-		return
-
-	case op == isa.TRAPB:
-		a.mayEdge(pc)
-		if a.trapsPossible {
-			// An in-machine handler's RETURN restores the trapper's
-			// operands beneath the handler's results: at least d.lo words,
-			// at most a full stack.
-			a.propagate(pc, next, interval{d.lo, maxDepth})
-			return
-		}
-		if after, ok := a.applyEffect(pc, d, 0, 1); ok {
-			a.propagate(pc, next, after)
-		}
-		return
-
-	case op == isa.DIV || op == isa.MOD:
-		after, ok := a.applyEffect(pc, d, 2, 1)
-		if !ok {
-			return
-		}
-		if a.trapsPossible {
-			// Division by zero can transfer to a handler; its result depth
-			// is unknown (handler results replace the quotient).
-			a.propagate(pc, next, interval{after.lo - 1, maxDepth})
-			return
-		}
-		a.propagate(pc, next, after)
-		return
-
-	case op == isa.STRAP:
-		a.sawStrap = true
-		a.diagCert(pc, ReasonDynamicTransfer, "STRAP installs a dynamic trap handler")
-		a.mayEdge(pc)
-		if after, ok := a.applyEffect(pc, d, 1, 0); ok {
-			a.propagate(pc, next, after)
-		}
-		return
-
-	case op == isa.COCREATE:
-		a.diagCert(pc, ReasonDynamicTransfer, "COCREATE constructs a coroutine context resumed outside call/return structure")
-		a.mayEdge(pc)
-		if after, ok := a.applyEffect(pc, d, 1, 1); ok {
-			a.propagate(pc, next, after)
-		}
-		return
-
-	case op == isa.FREE || op == isa.FFREE:
-		a.diagCert(pc, ReasonDynamicTransfer, "%s releases a context the verifier cannot track", op)
-		if after, ok := a.applyEffect(pc, d, 1, 0); ok {
-			a.propagate(pc, next, after)
-		}
-		return
-
-	case op == isa.STIND || op == isa.WFB:
-		a.diagCert(pc, ReasonDynamicTransfer, "%s stores through an arbitrary pointer and can reach frame or table linkage", op)
-		info := isa.InfoOf(op)
-		if after, ok := a.applyEffect(pc, d, int(info.Pops), int(info.Pushes)); ok {
-			a.propagate(pc, next, after)
-		}
-		return
-	}
-
-	// Remaining opcodes have a fixed effect from the metadata table, plus
-	// per-opcode operand sanity checks.
-	info := isa.InfoOf(op)
-	if info.Pops < 0 || info.Pushes < 0 {
-		// Defensive: a variable effect not handled above.
-		a.diagCert(pc, ReasonDynamicTransfer, "%s has a state-dependent stack effect", op)
-		a.propagate(pc, next, top)
-		return
-	}
-	switch {
-	case op >= isa.LL0 && op <= isa.LAB:
-		a.checkLocal(pc, in)
-	case op >= isa.LG0 && op <= isa.SGB:
-		a.checkGlobal(pc, in)
-	case op == isa.AFB:
-		if int(in.Arg) >= len(a.p.FrameSizes) {
-			a.diag(pc, LevelError, ReasonBadFrameSize,
-				"AFB class %d outside the %d-class frame-size table", in.Arg, len(a.p.FrameSizes))
-			return
-		}
-	}
-	if after, ok := a.applyEffect(pc, d, int(info.Pops), int(info.Pushes)); ok {
-		a.propagate(pc, next, after)
-	}
-}
-
-// checkLocal bounds local-variable accesses against the procedure's frame
-// class. A load past the frame reads a neighbouring heap word (garbage but
-// harmless); a store there corrupts the neighbour, so it blocks the
-// certificate.
-func (a *analyzer) checkLocal(pc uint32, in *isa.Inst) {
-	r := a.regionOf[pc]
-	if r < 0 || a.regions[r].fsi >= len(a.p.FrameSizes) {
-		return
-	}
-	payload := a.p.FrameSizes[a.regions[r].fsi]
-	off := image.FrameHeaderWords + int(in.Arg)
-	if off < payload {
-		return
-	}
-	op := in.Op
-	store := (op >= isa.SL0 && op <= isa.SL7) || op == isa.SLB
-	if store {
-		a.diagCert(pc, ReasonLocalRange,
-			"%s local %d: word %d of a %d-word frame (class %d)", op, in.Arg, off, payload, a.regions[r].fsi)
-	} else {
-		a.diag(pc, LevelWarn, ReasonLocalRange,
-			"%s local %d: word %d of a %d-word frame (class %d)", op, in.Arg, off, payload, a.regions[r].fsi)
-	}
-}
-
-// checkGlobal bounds global accesses against the module's declared global
-// count; a store past it lands in the neighbouring link vector or frame.
-func (a *analyzer) checkGlobal(pc uint32, in *isa.Inst) {
-	r := a.regionOf[pc]
-	if r < 0 {
-		return
-	}
-	ng := a.regions[r].inst.Module.NumGlobals
-	if int(in.Arg) < ng {
-		return
-	}
-	if in.Op == isa.SGB {
-		a.diagCert(pc, ReasonGlobalRange,
-			"SGB global %d of %d in module %s", in.Arg, ng, a.regions[r].inst.Module.Name)
-	} else {
-		a.diag(pc, LevelWarn, ReasonGlobalRange,
-			"%s global %d of %d in module %s", in.Op, in.Arg, ng, a.regions[r].inst.Module.Name)
-	}
-}
-
-func (a *analyzer) doJump(pc uint32, in *isa.Inst, d interval, next uint32) {
-	info := isa.InfoOf(in.Op)
-	after, ok := a.applyEffect(pc, d, int(info.Pops), 0)
-	if !ok {
-		return
-	}
-	t := in.Target
-	if int64(t) >= int64(len(a.code)) || !a.insts[t].Valid() {
-		a.diag(pc, LevelError, ReasonBadJumpTarget,
-			"%s to %06x: no instruction decodes there", in.Op, t)
-	} else {
-		if !a.boundary[t] {
-			a.diag(pc, LevelWarn, ReasonJumpIntoOperands,
-				"%s lands at %06x, inside another instruction's operand bytes", in.Op, t)
-		}
-		a.propagate(pc, t, after)
-	}
-	if in.Op != isa.JB && in.Op != isa.JW {
-		a.propagate(pc, next, after) // conditional: may fall through
-	}
-}
-
-// doRet folds the depth at a RET into its procedure's result summary and
-// requeues every call site waiting on it.
-func (a *analyzer) doRet(pc uint32, d interval) {
-	r := a.regionOf[pc]
-	if r < 0 {
-		a.diagCert(pc, ReasonCrossProcFlow, "RET outside any procedure; its result depth cannot be attributed")
-		return
-	}
-	if !a.sumOK[r] {
-		a.sumOK[r] = true
-		a.sum[r] = d
-	} else if j := a.sum[r].join(d); j != a.sum[r] {
-		a.sum[r] = j
-	} else {
-		return
-	}
-	for _, site := range a.deps[r] {
-		a.enqueue(site)
-	}
-}
-
-func (a *analyzer) doCall(pc uint32, in *isa.Inst, d interval, next uint32) {
-	op := in.Op
-	r := a.regionOf[pc]
-	var entry uint32
-	var fsi int
-	var ok bool
-
-	switch {
-	case op.IsExternalCall():
-		if r < 0 {
-			a.diagCert(pc, ReasonIrregularCall, "external call outside any procedure")
-			a.mayEdge(pc)
-			a.propagate(pc, next, top)
-			return
-		}
-		inst := a.regions[r].inst
-		slot := int(in.Arg)
-		ctx, present := a.data[inst.GF-1-mem.Addr(slot)]
-		if !present || ctx == 0 {
-			// The machine XFERs to NIL: the computation halts there.
-			a.diagCert(pc, ReasonUnresolvedLink,
-				"link vector slot %d of %s is empty", slot, inst.Module.Name)
-			a.mayEdge(pc)
-			return
-		}
-		if !image.IsProc(ctx) {
-			a.diagCert(pc, ReasonUnresolvedLink,
-				"link vector slot %d of %s holds %04x, not a procedure descriptor", slot, inst.Module.Name, ctx)
-			a.mayEdge(pc)
-			a.propagate(pc, next, top)
-			return
-		}
-		entry, fsi, ok = a.resolveDescriptor(pc, ctx, ReasonBadDescriptor, "")
-
-	case op.IsLocalCall():
-		if r < 0 {
-			a.diagCert(pc, ReasonIrregularCall, "local call outside any procedure")
-			a.mayEdge(pc)
-			a.propagate(pc, next, top)
-			return
-		}
-		inst := a.regions[r].inst
-		if ev := int(in.Arg); ev >= len(inst.EVOffsets) {
-			a.diag(pc, LevelError, ReasonBadEntryVector,
-				"%s entry %d past the %d-slot entry vector of %s", op, ev, len(inst.EVOffsets), inst.Module.Name)
-			return
-		}
-		entry, fsi, ok = a.resolveEntry(pc, inst.CodeBase, int(in.Arg), ReasonBadEntryVector, "")
-
-	default: // DCALL / SDCALL
-		if !in.CallOK {
-			a.diag(pc, LevelError, ReasonBadCallHeader,
-				"%s header at %06x lies outside the %d-byte code space", op, in.Target, len(a.code))
-			return
-		}
-		entry = in.Target + isa.HeaderSkip
-		fsi = int(in.FSI)
-		if int64(entry) >= int64(len(a.code)) || !a.insts[entry].Valid() {
-			a.diag(pc, LevelError, ReasonBadCallHeader,
-				"%s entry %06x does not decode", op, entry)
-			return
-		}
-		if fsi >= len(a.p.FrameSizes) {
-			a.diag(pc, LevelError, ReasonBadFrameSize,
-				"%s header class %d outside the %d-class frame-size table", op, fsi, len(a.p.FrameSizes))
-			return
-		}
-		ok = true
-	}
-	if !ok {
-		return
-	}
-	a.finishCall(pc, next, d, entry, fsi)
-}
-
-// finishCall wires a resolved call site: the arg-record fit check, the
-// call edge, and the interprocedural fall-through (the callee's result
-// summary becomes the caller's depth after the call).
-func (a *analyzer) finishCall(pc, next uint32, d interval, entry uint32, fsi int) {
-	a.edge(pc, entry, false)
-	if payload := a.p.FrameSizes[fsi]; image.FrameHeaderWords+d.hi > payload {
-		a.diagCert(pc, ReasonArgOverrun,
-			"call can carry %d stack words into a %d-word frame (class %d)", d.hi, payload, fsi)
-	}
-	cr, isEntry := a.entryRegion[entry]
-	if !isEntry {
-		// The target decodes but is not a procedure entry the linker laid
-		// out: its RETs cannot be attributed, so its result depth is
-		// unknown.
-		a.diagCert(pc, ReasonIrregularCall,
-			"call target %06x is not a linked procedure entry", entry)
-		a.joinInto(entry, interval{0, 0})
-		a.propagate(pc, next, top)
-		return
-	}
-	key := uint64(cr)<<32 | uint64(pc)
-	if !a.depSeen[key] {
-		a.depSeen[key] = true
-		a.deps[cr] = append(a.deps[cr], pc)
-	}
-	if a.sumOK[cr] {
-		a.propagate(pc, next, a.sum[cr])
-	}
-	// Summary still unknown: the callee provably never returns (yet); the
-	// fall-through stays unreached until a RET appears.
 }
 
 // resolveDescriptor statically walks the §5.1 indirection chain of a
@@ -755,6 +543,43 @@ func (a *analyzer) resolveEntry(pc uint32, cb uint32, evIdx int, reason Reason, 
 	return entry, fsi, true
 }
 
+// resolveDescQuiet resolves a descriptor word to a region index without
+// emitting any diagnostic: the value analysis uses it to classify COCREATE
+// operands and XFERO/STRAP targets, where an unresolvable word merely
+// degrades the value to untracked (the machine errors cleanly at runtime).
+func (a *analyzer) resolveDescQuiet(desc mem.Word) (r int, ok bool) {
+	if !image.IsProc(desc) {
+		return 0, false
+	}
+	gfi, ev := image.UnpackProc(desc)
+	gfte, present := a.data[image.GFTBase+mem.Addr(gfi)]
+	if !present {
+		return 0, false
+	}
+	gf, bias := image.UnpackGFTEntry(gfte)
+	lo, okLo := a.data[gf]
+	hi, okHi := a.data[gf+1]
+	if !okLo || !okHi {
+		return 0, false
+	}
+	cb := uint32(lo) | uint32(hi)<<16
+	evIdx := ev + bias
+	evAddr := int64(cb) + int64(2*evIdx)
+	if evAddr+1 >= int64(len(a.code)) || evAddr < 0 {
+		return 0, false
+	}
+	evOff := uint32(a.code[evAddr]) | uint32(a.code[evAddr+1])<<8
+	fsiAddr := int64(cb) + int64(evOff)
+	if fsiAddr+1 >= int64(len(a.code)) {
+		return 0, false
+	}
+	r, isEntry := a.entryRegion[uint32(fsiAddr)+1]
+	if !isEntry || r >= maxTrackedRegions {
+		return 0, false
+	}
+	return r, true
+}
+
 func (a *analyzer) report() *Report {
 	r := &Report{
 		Diags:  a.diags,
@@ -763,14 +588,26 @@ func (a *analyzer) report() *Report {
 	}
 	for pc := range a.code {
 		if a.reached[pc] {
-			r.Depths[uint32(pc)] = [2]int{a.state[pc].lo, a.state[pc].hi}
+			r.Depths[uint32(pc)] = [2]int{a.state[pc].d.lo, a.state[pc].d.hi}
 		}
 	}
 	for i, reg := range a.regions {
-		pi := ProcInfo{Name: reg.name, Entry: reg.entry, MaxDepth: a.maxHi[i], ResultLo: -1, ResultHi: -1}
+		pi := ProcInfo{Name: reg.name, Entry: reg.entry, MaxDepth: a.maxHi[i],
+			ResultLo: -1, ResultHi: -1, ResumeLo: -1, ResumeHi: -1}
 		if a.sumOK[i] {
 			pi.ResultLo, pi.ResultHi = a.sum[i].lo, a.sum[i].hi
 		}
+		if i < maxTrackedRegions {
+			pi.Called = a.callEntered[i] && (a.handlers>>uint(i))&1 == 0
+			pi.TrapHandler = (a.handlers>>uint(i))&1 == 1
+			pi.XferTarget = a.xferSrc[i] != 0
+		} else {
+			pi.Called = a.callEntered[i]
+		}
+		if a.poolOK[i] {
+			pi.ResumeLo, pi.ResumeHi = a.pool[i].lo, a.pool[i].hi
+		}
+		pi.Retained = a.retainedAll[i] && a.retSeen[i]
 		r.Procs = append(r.Procs, pi)
 	}
 	r.CertStackBounds = a.certOK && r.Admitted()

@@ -33,10 +33,13 @@ type Block struct {
 }
 
 // File is the whole record: the fixed comparison point plus the latest
-// measurement.
+// measurement. The "verify" block belongs to scripts/certfrac and is
+// carried through untouched so a bench refresh never loses the recorded
+// certified fraction.
 type File struct {
-	Baseline *Block `json:"baseline,omitempty"`
-	Current  *Block `json:"current,omitempty"`
+	Baseline *Block          `json:"baseline,omitempty"`
+	Current  *Block          `json:"current,omitempty"`
+	Verify   json.RawMessage `json:"verify,omitempty"`
 }
 
 func main() {

@@ -1,0 +1,191 @@
+// Command certfrac measures the verifier's certified fraction over the
+// difffuzz seed corpus: for each generator seed it builds the program
+// under both linkage policies, runs the link-time verifier, and counts
+// admissions and stack-bounds certificates. The result is merged into
+// BENCH_dispatch.json as the "verify" block (the benchmark blocks written
+// by scripts/benchjson are preserved untouched), so the certified-fraction
+// headline lives next to the DispatchCertified numbers it pays off in.
+//
+// Like benchjson, the first recorded measurement is seeded as the
+// baseline; -check then enforces a ratchet: the run fails when the freshly
+// measured fraction drops below the recorded one, so CI catches a verifier
+// precision regression the way it catches a dispatch slowdown.
+//
+//	go run ./scripts/certfrac -n 10000 -check
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/linker"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+// verifyBlock is the "verify" key of BENCH_dispatch.json.
+type verifyBlock struct {
+	Commit string `json:"commit,omitempty"`
+	Date   string `json:"date,omitempty"`
+	Note   string `json:"note,omitempty"`
+	// Seeds is the corpus size measured (generator seeds 0..Seeds-1).
+	Seeds int `json:"seeds"`
+	// Admitted / Certified count seeds whose programs pass verification /
+	// earn CertStackBounds under the late-bound linkage; the Early variants
+	// are the same counts under §6 early binding.
+	Admitted       int     `json:"admitted"`
+	Certified      int     `json:"certified"`
+	Fraction       float64 `json:"fraction"`
+	CertifiedEarly int     `json:"certified_early"`
+	FractionEarly  float64 `json:"fraction_early"`
+	// Baseline is the first recorded measurement, kept for before/after
+	// comparison and as the -check ratchet floor.
+	Baseline *verifyBlock `json:"baseline,omitempty"`
+}
+
+// fileShape reads/writes BENCH_dispatch.json while leaving the benchmark
+// blocks exactly as scripts/benchjson wrote them.
+type fileShape struct {
+	Baseline json.RawMessage `json:"baseline,omitempty"`
+	Current  json.RawMessage `json:"current,omitempty"`
+	Verify   *verifyBlock    `json:"verify,omitempty"`
+}
+
+func main() {
+	var (
+		n       = flag.Int("n", 10000, "number of generator seeds to measure")
+		start   = flag.Int64("start", 0, "first seed")
+		out     = flag.String("out", "BENCH_dispatch.json", "record file (verify block merged in place)")
+		check   = flag.Bool("check", false, "fail when the fraction regresses below the recorded one")
+		note    = flag.String("note", "", "note stored with the measurement")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent verifier goroutines")
+		quiet   = flag.Bool("quiet", false, "suppress the progress line")
+	)
+	flag.Parse()
+
+	var admitted, certified, certifiedEarly, done atomic.Int64
+	seeds := make(chan int64)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seeds {
+				p := workload.RandomProgram(seed)
+				ok := true
+				for _, early := range []bool{false, true} {
+					prog, _, err := p.Build(linker.Options{EarlyBind: early})
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "certfrac: seed %d early=%v: build: %v\n", seed, early, err)
+						ok = false
+						continue
+					}
+					rep := verify.Program(prog)
+					if !rep.Admitted() {
+						ok = false
+						continue
+					}
+					if rep.CertStackBounds {
+						if early {
+							certifiedEarly.Add(1)
+						} else {
+							certified.Add(1)
+						}
+					}
+				}
+				if ok {
+					admitted.Add(1)
+				}
+				if d := done.Add(1); !*quiet && d%1000 == 0 {
+					fmt.Fprintf(os.Stderr, "certfrac: %d/%d seeds verified\n", d, *n)
+				}
+			}
+		}()
+	}
+	for seed := *start; seed < *start+int64(*n); seed++ {
+		seeds <- seed
+	}
+	close(seeds)
+	wg.Wait()
+
+	cur := &verifyBlock{
+		Commit:         gitHead(),
+		Date:           time.Now().Format("2006-01-02"),
+		Note:           *note,
+		Seeds:          *n,
+		Admitted:       int(admitted.Load()),
+		Certified:      int(certified.Load()),
+		Fraction:       frac(int(certified.Load()), *n),
+		CertifiedEarly: int(certifiedEarly.Load()),
+		FractionEarly:  frac(int(certifiedEarly.Load()), *n),
+	}
+
+	var f fileShape
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "certfrac: %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	prev := f.Verify
+	if prev != nil {
+		if prev.Baseline != nil {
+			cur.Baseline = prev.Baseline
+		} else {
+			base := *prev
+			base.Note = strings.TrimSpace(base.Note + " (baseline: interval verifier)")
+			cur.Baseline = &base
+		}
+	} else {
+		base := *cur
+		base.Note = strings.TrimSpace(base.Note + " (seeded from first measurement)")
+		cur.Baseline = &base
+	}
+
+	fmt.Printf("certfrac: seeds %d: admitted %d, certified %d (%.4f late-bound, %.4f early-bound)\n",
+		cur.Seeds, cur.Admitted, cur.Certified, cur.Fraction, cur.FractionEarly)
+	if cur.Baseline != nil && cur.Baseline != cur {
+		fmt.Printf("certfrac: recorded baseline: %.4f over %d seeds\n", cur.Baseline.Fraction, cur.Baseline.Seeds)
+	}
+
+	if *check && prev != nil && cur.Fraction < prev.Fraction-1e-9 {
+		fmt.Fprintf(os.Stderr, "certfrac: FAIL: fraction %.4f regressed below recorded %.4f\n",
+			cur.Fraction, prev.Fraction)
+		os.Exit(1)
+	}
+
+	f.Verify = cur
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "certfrac:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "certfrac:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("certfrac: wrote verify block to %s\n", *out)
+}
+
+func frac(k, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(k) / float64(n)
+}
+
+func gitHead() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
