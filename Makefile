@@ -28,7 +28,7 @@ bench:
 # measurements; the committed "baseline" block (the decode-per-step
 # engine before the decode-once refactor) is preserved for comparison.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkPoolThroughput$$|BenchmarkMachine|BenchmarkInterpreterDispatch' -count 3 . \
+	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkPoolThroughput$$|BenchmarkMachine|BenchmarkInterpreterDispatch|BenchmarkResetCertified' -count 3 . \
 		| $(GO) run ./scripts/benchjson -out BENCH_dispatch.json
 
 # Record the registry serving benchmarks into BENCH_serve.json: the cache

@@ -47,6 +47,14 @@ type LoadedImage struct {
 	// static analysis never saw).
 	report    *verify.Report
 	certified bool
+	// resetElide: the verifier's heap-effects analysis proved the program
+	// write-free (no globals, no record stores, no unplaceable writes), so
+	// Machine.Reset may skip the memory restore and allocator rewind when
+	// the dirty window confirms the run never wrote a data word. The static
+	// certificate makes the empty window the common case; the dynamic check
+	// keeps the elision unconditionally sound (a Go trap hook, or a config
+	// whose frame traffic lands in storage, just falls back to the copy).
+	resetElide bool
 }
 
 // LoadOption configures LoadImage.
@@ -111,6 +119,7 @@ func LoadImage(prog *image.Program, cfg Config, opts ...LoadOption) (*LoadedImag
 		}
 		img.report = rep
 		img.certified = rep.CertStackBounds && cfg.Trap == nil
+		img.resetElide = rep.CertHeapEffects && rep.WriteFree
 	}
 	insts, err := isa.Predecode(prog.Code)
 	if err != nil {
@@ -189,6 +198,12 @@ func (img *LoadedImage) VerifyReport() *verify.Report { return img.report }
 // handler table (verifier stack-bounds certificate held and no trap hook).
 func (img *LoadedImage) Certified() bool { return img.certified }
 
+// ResetElide reports whether machines over this image take the Reset fast
+// path: the heap-effects certificate proved the program write-free, so a
+// run that confirms an empty dirty window skips the memory restore and
+// allocator rewind entirely.
+func (img *LoadedImage) ResetElide() bool { return img.resetElide }
+
 // MemoryFootprint reports the bytes a resident LoadedImage pins: the boot
 // snapshot of the main data space, the predecoded instruction stream, the
 // code space and the free-frame/boot bookkeeping. A registry holding
@@ -220,18 +235,19 @@ func (img *LoadedImage) MachineFootprint() int64 {
 // memcpy plus cheap register allocation, no linking or loading.
 func (img *LoadedImage) NewMachine() (*Machine, error) {
 	m := &Machine{
-		cfg:       img.cfg,
-		img:       img,
-		prog:      img.prog,
-		m:         mem.New(),
-		code:      img.prog.Code,
-		insts:     img.insts,
-		rs:        ifu.New(img.cfg.ReturnStackDepth),
-		banks:     regbank.New(img.cfg.RegBanks, img.cfg.BankWords),
-		stackBank: -1,
-		stdFSI:    img.stdFSI,
-		curFSI:    -1,
-		h:         &handlers,
+		cfg:        img.cfg,
+		img:        img,
+		prog:       img.prog,
+		m:          mem.New(),
+		code:       img.prog.Code,
+		insts:      img.insts,
+		rs:         ifu.New(img.cfg.ReturnStackDepth),
+		banks:      regbank.New(img.cfg.RegBanks, img.cfg.BankWords),
+		stackBank:  -1,
+		stdFSI:     img.stdFSI,
+		curFSI:     -1,
+		resetElide: img.resetElide,
+		h:          &handlers,
 	}
 	if img.certified {
 		m.h = &certHandlers

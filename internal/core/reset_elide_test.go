@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/linker"
+	"repro/internal/mem"
+)
+
+// loadElidable links fib and loads it verified: fib is write-free (frame
+// traffic only), so the image must carry the Reset-elision grant.
+func loadElidable(t *testing.T, cfg Config) *LoadedImage {
+	t.Helper()
+	prog := linkOne(t, fibModule(), "main", linker.Options{})
+	img, err := LoadImage(prog, cfg, WithVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := img.VerifyReport()
+	if !rep.CertHeapEffects || !rep.WriteFree {
+		t.Fatalf("fib not write-free certified: heap %v writeFree %v\n%s",
+			rep.CertHeapEffects, rep.WriteFree, rep)
+	}
+	if !img.ResetElide() {
+		t.Fatal("write-free certificate granted but image does not elide Reset")
+	}
+	return img
+}
+
+// TestResetElide runs an elidable image on every configuration and demands
+// that Reset restore the boot image exactly — whether the run left the
+// dirty window empty (FastCalls: frame traffic stays in the banks, the
+// restore is elided) or not (Mesa: frames live in storage, the dynamic
+// guard falls back to the full restore) — and that a reused run is
+// byte-identical to a fresh one.
+func TestResetElide(t *testing.T) {
+	for name, cfg := range allConfigs() {
+		t.Run(name, func(t *testing.T) {
+			img := loadElidable(t, cfg)
+			boot, err := img.NewMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bootMem := boot.Mem().PeekRange(0, mem.Size)
+
+			ref, res0 := uninterrupted(t, img, 4)
+			refMet := ref.Metrics()
+
+			m, res1 := uninterrupted(t, img, 4)
+			if !reflect.DeepEqual(res1, res0) {
+				t.Fatalf("results %v, want %v", res1, res0)
+			}
+			elided := m.Mem().DirtyWords() == 0
+			if name == "fastcalls" && !elided {
+				t.Errorf("fastcalls run dirtied %d words; the elision never fires", m.Mem().DirtyWords())
+			}
+			if name == "mesa" && elided {
+				t.Error("mesa run left the window clean; the fallback path is untested")
+			}
+			m.Reset()
+			if got := m.Mem().PeekRange(0, mem.Size); !reflect.DeepEqual(got, bootMem) {
+				t.Fatalf("memory after Reset (elided=%v) differs from the boot image", elided)
+			}
+			res2, err := m.Call(img.Entry(), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res2, res0) {
+				t.Fatalf("reused results %v, want %v", res2, res0)
+			}
+			if !reflect.DeepEqual(m.Metrics(), refMet) {
+				t.Fatalf("reused metrics diverge from fresh:\nreused %+v\nfresh  %+v", m.Metrics(), refMet)
+			}
+		})
+	}
+}
+
+// TestResetElideSnapshotRestore is the regression for the elided-Reset /
+// continuation interaction: Restore boots its target through Reset before
+// writing the parked delta back, so a machine whose Reset was elided (no
+// memcpy happened) must still present exactly the boot image underneath
+// the delta — no stale words from its own previous run may survive into
+// the resumed session.
+func TestResetElideSnapshotRestore(t *testing.T) {
+	for name, cfg := range allConfigs() {
+		t.Run(name, func(t *testing.T) {
+			img := loadElidable(t, cfg)
+			ref, res0 := uninterrupted(t, img, 4)
+
+			// Park a session mid-run; its continuation carries the delta.
+			x, err := img.NewMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			half := ref.Metrics().Instructions / 2
+			x.SetRunBudget(half)
+			if _, err := x.Call(img.Entry(), 4); !errors.Is(err, ErrMaxSteps) {
+				t.Fatalf("budget cut: err = %v, want ErrMaxSteps", err)
+			}
+			c, err := x.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Dirty a second machine with a full run of its own, then land
+			// the parked session on it. Under FastCalls the run leaves the
+			// window clean and Restore's inner Reset is elided; under Mesa
+			// it pays the full restore. Either way the resumed session must
+			// finish exactly like the uninterrupted run.
+			y, err := img.NewMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := y.Call(img.Entry(), 4); err != nil {
+				t.Fatal(err)
+			}
+			if err := y.Restore(c); err != nil {
+				t.Fatal(err)
+			}
+			if err := y.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got := y.Results(); !reflect.DeepEqual(got, res0) {
+				t.Fatalf("%s: resumed results %v, want %v", name, got, res0)
+			}
+
+			// And the machine must still reset cleanly afterwards.
+			boot, err := img.NewMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			y.Reset()
+			if got, want := y.Mem().PeekRange(0, mem.Size), boot.Mem().PeekRange(0, mem.Size); !reflect.DeepEqual(got, want) {
+				t.Fatal("memory after post-resume Reset differs from the boot image")
+			}
+			res2, err := y.Call(img.Entry(), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res2, res0) {
+				t.Fatalf("post-resume reused results %v, want %v", res2, res0)
+			}
+		})
+	}
+}

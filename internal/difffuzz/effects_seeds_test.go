@@ -1,0 +1,76 @@
+package difffuzz
+
+import (
+	"testing"
+
+	"repro/internal/linker"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+// effectsSeeds are corpus seeds checked in because the heap-effects
+// analysis newly certifies each one's generated program — under both
+// linkage policies — while the program exercises the storage shape the
+// certificate was built for. The records seeds store through tracked
+// record pointers (STIND/WFB traffic the old analysis always surrendered
+// on) yet hold both certificates; the writeFree seeds additionally prove
+// the empty write set that arms the Reset elision.
+var effectsSeeds = []struct {
+	seed      int64
+	records   bool // Writes.Records: stores through run-allocated records
+	writeFree bool // empty write set outside the frame arena: Reset elides
+}{
+	{12, true, false},
+	{17, true, false},
+	{32, true, false},
+	{169, true, false},
+	{37, false, true},
+	{78, false, true},
+	{157, false, true},
+}
+
+// TestEffectsSeedCoverage pins the property the seeds were chosen for:
+// each program must keep both certificates and the write-set shape that
+// witnesses its feature. If the generator or the analysis drifts and a
+// seed loses its certificate, its record traffic, or its write-freedom,
+// this fails rather than letting the corpus silently stop exercising
+// certified heap writes and elided Resets.
+func TestEffectsSeedCoverage(t *testing.T) {
+	for _, c := range effectsSeeds {
+		for _, early := range []bool{false, true} {
+			prog, _, err := workload.RandomProgram(c.seed).Build(linker.Options{EarlyBind: early})
+			if err != nil {
+				t.Fatalf("seed %d early=%v: %v", c.seed, early, err)
+			}
+			r := verify.Program(prog)
+			if !r.CertStackBounds || !r.CertHeapEffects {
+				t.Errorf("seed %d early=%v: lost a certificate (stack %v, heap %v):\n%s",
+					c.seed, early, r.CertStackBounds, r.CertHeapEffects, r)
+				continue
+			}
+			if r.Writes.Records != c.records {
+				t.Errorf("seed %d early=%v: Writes.Records = %v, want %v (writes %s)",
+					c.seed, early, r.Writes.Records, c.records, r.Writes)
+			}
+			if r.WriteFree != c.writeFree {
+				t.Errorf("seed %d early=%v: WriteFree = %v, want %v (writes %s)",
+					c.seed, early, r.WriteFree, c.writeFree, r.Writes)
+			}
+			if r.MaxDirtyWords != 0 {
+				t.Errorf("seed %d early=%v: MaxDirtyWords = %d, want 0 (no global writes)",
+					c.seed, early, r.MaxDirtyWords)
+			}
+		}
+	}
+}
+
+// TestEffectsSeedDifferential pushes every pinned seed through the full
+// oracle; checkReset in particular drives the run-Reset-run chain that the
+// writeFree seeds' elided Reset must survive byte-identically.
+func TestEffectsSeedDifferential(t *testing.T) {
+	for _, c := range effectsSeeds {
+		if err := CheckSeed(c.seed); err != nil {
+			t.Errorf("seed %d: %v", c.seed, err)
+		}
+	}
+}

@@ -36,6 +36,14 @@
 //     FNone sentinel, which fuses nothing), and every FusedOp except FNone
 //     acquires exactly one handler in core's `fusedHandlers` table. These
 //     checks engage only when the isa package declares a FusedOp block.
+//  5. The heap-effect column of the isa metadata is total: every opcode is
+//     covered by exactly one heap(class, lo, hi) fill, each fill names a
+//     declared HeapEffect constant, and each range is non-empty. The
+//     verifier's write-set analysis keys on this column; an uncovered
+//     opcode would silently carry the zero class (HeapNone) and its writes
+//     would vanish from the heap-effects certificate — an unsound summary,
+//     not a crash. Engages only when the isa package declares a HeapEffect
+//     block.
 //
 // The certified tables (cert.go, and certFusedHandlers in fuse.go) are
 // exempt by construction: each is a copy of its checked counterpart made
@@ -117,6 +125,9 @@ func analyze(fset *token.FileSet, isaFiles, coreFiles []*ast.File) []Diagnostic 
 	if ops != nil {
 		checkInfos(isaFiles, ops, opPos, report)
 		checkHandlers(coreFiles, ops, opPos, report)
+		if classes := heapEffectConsts(isaFiles); classes != nil {
+			checkHeapEffects(isaFiles, ops, opPos, classes, report)
+		}
 	}
 	fops, fopPos := fusedConsts(isaFiles, report)
 	if fops != nil {
@@ -125,6 +136,99 @@ func analyze(fset *token.FileSet, isaFiles, coreFiles []*ast.File) []Diagnostic 
 	}
 	checkRetirement(coreFiles, report)
 	return diags
+}
+
+// heapEffectConsts collects the names declared in the HeapEffect const
+// block (the classes the verifier's write-set analysis keys on). Nil when
+// the isa package declares no such block — invariant 5 then disengages,
+// like the fused checks without a FusedOp block.
+func heapEffectConsts(isaFiles []*ast.File) map[string]bool {
+	for _, f := range isaFiles {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST || len(gd.Specs) == 0 {
+				continue
+			}
+			first, ok := gd.Specs[0].(*ast.ValueSpec)
+			if !ok || !isIdent(first.Type, "HeapEffect") {
+				continue
+			}
+			classes := map[string]bool{}
+			for _, spec := range gd.Specs {
+				for _, n := range spec.(*ast.ValueSpec).Names {
+					classes[n.Name] = true
+				}
+			}
+			return classes
+		}
+	}
+	return nil
+}
+
+// checkHeapEffects verifies invariant 5: the heap-effect column is filled
+// by heap(class, lo, hi) range calls in the isa metadata init, every
+// opcode is covered by exactly one fill, and every fill names a declared
+// HeapEffect class. An uncovered opcode would carry the zero class
+// (HeapNone) silently — the verifier would then treat its writes as free,
+// an unsound write-set summary rather than a crash.
+func checkHeapEffects(isaFiles []*ast.File, ops []string, opPos map[string]token.Pos, classes map[string]bool, report func(token.Pos, string, ...any)) {
+	idx := map[string]int{}
+	for i, op := range ops {
+		idx[op] = i
+	}
+	covered := make([]int, len(ops))
+	found := false
+	for _, f := range isaFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isIdent(call.Fun, "heap") {
+				return true
+			}
+			found = true
+			if len(call.Args) != 3 {
+				report(call.Pos(), "heap-effect fill must be heap(class, lo, hi)")
+				return true
+			}
+			cls, ok := call.Args[0].(*ast.Ident)
+			if !ok || !classes[cls.Name] {
+				report(call.Args[0].Pos(), "heap-effect fill class is not a declared HeapEffect constant")
+				return true
+			}
+			lo, okLo := call.Args[1].(*ast.Ident)
+			hi, okHi := call.Args[2].(*ast.Ident)
+			if !okLo || !okHi {
+				report(call.Pos(), "heap-effect fill bounds must be opcode identifiers")
+				return true
+			}
+			loI, okLo := idx[lo.Name]
+			hiI, okHi := idx[hi.Name]
+			if !okLo || !okHi {
+				report(call.Pos(), "heap-effect fill bounds %s..%s are not defined opcodes", lo.Name, hi.Name)
+				return true
+			}
+			if loI > hiI {
+				report(call.Pos(), "heap-effect fill %s..%s is an empty range", lo.Name, hi.Name)
+				return true
+			}
+			for i := loI; i <= hiI; i++ {
+				covered[i]++
+			}
+			return true
+		})
+	}
+	if !found {
+		report(token.NoPos, "HeapEffect classes declared but no heap(class, lo, hi) fills found in package isa")
+		return
+	}
+	for i, op := range ops {
+		switch covered[i] {
+		case 1:
+		case 0:
+			report(opPos[op], "opcode %s has no heap-effect class (would silently default to HeapNone)", op)
+		default:
+			report(opPos[op], "opcode %s is covered by %d heap-effect fills, want exactly 1", op, covered[i])
+		}
+	}
 }
 
 // opcodeConsts recovers the opcode numbering from the isa const block: the

@@ -87,17 +87,22 @@ type Stats struct {
 	NotFound       uint64 // lookups of hashes not resident
 	VerifyRejected uint64 // loads the verifier refused (never cached)
 	// Admission split of the verified loads that were cached: Certified
-	// images run the check-free dispatch table; Uncertified images were
-	// admitted but denied the stack-bounds certificate, keyed per verifier
-	// reason code in UncertifiedByReason (one image can count under
-	// several reasons).
+	// counts images holding at least one verifier certificate, split in
+	// CertifiedByCert by which — "stack_bounds" (check-free dispatch
+	// only), "heap_effects" (bounded writes / Reset elision only) or
+	// "both". Uncertified counts images admitted with neither
+	// certificate. UncertifiedByReason keys every denied certificate's
+	// reason codes — a partially certified image contributes the reasons
+	// for the certificate it missed, and one image can count under
+	// several reasons.
 	Certified           uint64
+	CertifiedByCert     map[string]uint64
 	Uncertified         uint64
 	UncertifiedByReason map[string]uint64
-	Resident            int // images currently resident (including pinned)
-	Pinned         int    // resident images exempt from eviction
-	MemoryBytes    int64  // accounted bytes of resident images + warm machines
-	MemoryBudget   int64
+	Resident            int   // images currently resident (including pinned)
+	Pinned              int   // resident images exempt from eviction
+	MemoryBytes         int64 // accounted bytes of resident images + warm machines
+	MemoryBudget        int64
 }
 
 // Entry is one resident program: the shared verified image and its warm
@@ -321,14 +326,35 @@ func (r *Registry) submit(hash, srcKey string, build func() (*fpc.Program, error
 	ent.img = img
 	ent.pool = pool
 	if rep := img.VerifyReport(); rep != nil {
-		if rep.CertStackBounds {
+		sb, he := rep.CertStackBounds, rep.CertHeapEffects
+		if sb || he {
 			r.stats.Certified++
+			cert := "stack_bounds"
+			switch {
+			case sb && he:
+				cert = "both"
+			case he:
+				cert = "heap_effects"
+			}
+			if r.stats.CertifiedByCert == nil {
+				r.stats.CertifiedByCert = map[string]uint64{}
+			}
+			r.stats.CertifiedByCert[cert]++
 		} else {
 			r.stats.Uncertified++
+		}
+		if !sb || !he {
 			if r.stats.UncertifiedByReason == nil {
 				r.stats.UncertifiedByReason = map[string]uint64{}
 			}
-			for _, reason := range rep.CertReasons() {
+			var reasons []string
+			if !sb {
+				reasons = append(reasons, rep.CertReasons()...)
+			}
+			if !he {
+				reasons = append(reasons, rep.HeapCertReasons()...)
+			}
+			for _, reason := range reasons {
 				r.stats.UncertifiedByReason[reason]++
 			}
 		}
@@ -496,6 +522,12 @@ func (r *Registry) Stats() Stats {
 		s.UncertifiedByReason = make(map[string]uint64, len(r.stats.UncertifiedByReason))
 		for k, v := range r.stats.UncertifiedByReason {
 			s.UncertifiedByReason[k] = v
+		}
+	}
+	if len(r.stats.CertifiedByCert) > 0 {
+		s.CertifiedByCert = make(map[string]uint64, len(r.stats.CertifiedByCert))
+		for k, v := range r.stats.CertifiedByCert {
+			s.CertifiedByCert[k] = v
 		}
 	}
 	s.Resident = r.residentLocked()

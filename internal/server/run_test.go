@@ -134,10 +134,10 @@ func TestRunVerifyOff(t *testing.T) {
 func TestRunBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, server.Config{Verify: true})
 	cases := []server.RunRequest{
-		{},                                     // no modules
-		{Modules: map[string]string{"m": goodSrc}},                   // no entry
-		{Modules: map[string]string{"m": goodSrc}, Entry: "nodot"},   // malformed entry
-		{Modules: map[string]string{"m": "not a module"}, Entry: "m.main"}, // compile error
+		{}, // no modules
+		{Modules: map[string]string{"m": goodSrc}},                                        // no entry
+		{Modules: map[string]string{"m": goodSrc}, Entry: "nodot"},                        // malformed entry
+		{Modules: map[string]string{"m": "not a module"}, Entry: "m.main"},                // compile error
 		{Modules: map[string]string{"m": goodSrc}, Entry: "m.main", Args: []int64{99999}}, // arg range
 	}
 	for i, rq := range cases {

@@ -44,7 +44,7 @@ const numKinds = len(core.Metrics{}.Transfers)
 
 type writer struct{ buf []byte }
 
-func (w *writer) u8(v byte)     { w.buf = append(w.buf, v) }
+func (w *writer) u8(v byte) { w.buf = append(w.buf, v) }
 func (w *writer) bool(v bool) {
 	if v {
 		w.u8(1)
@@ -52,10 +52,10 @@ func (w *writer) bool(v bool) {
 		w.u8(0)
 	}
 }
-func (w *writer) u16(v uint16)  { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
-func (w *writer) u32(v uint32)  { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
-func (w *writer) u64(v uint64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
-func (w *writer) str(s string)  { w.u32(uint32(len(s))); w.buf = append(w.buf, s...) }
+func (w *writer) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) str(s string) { w.u32(uint32(len(s))); w.buf = append(w.buf, s...) }
 func (w *writer) words(v []uint16) {
 	w.u32(uint32(len(v)))
 	for _, x := range v {

@@ -1,8 +1,6 @@
 package verify
 
 import (
-	"math/bits"
-
 	"repro/internal/isa"
 )
 
@@ -75,11 +73,13 @@ func (a *analyzer) certFree(pc uint32, s absState) {
 		return
 	}
 	cur := int(a.regionOf[pc])
-	for m := v.regs; m != 0; m &= m - 1 {
-		T := bits.TrailingZeros64(m)
+	bad := false
+	v.regs.forEach(func(T int) {
 		if T == cur || !a.retainedAll[T] || !a.retSeen[T] {
-			a.setTaint()
-			return
+			bad = true
 		}
+	})
+	if bad {
+		a.setTaint()
 	}
 }

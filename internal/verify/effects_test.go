@@ -1,0 +1,237 @@
+package verify_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func hasReasonStr(reasons []string, want verify.Reason) bool {
+	for _, r := range reasons {
+		if r == string(want) {
+			return true
+		}
+	}
+	return false
+}
+
+// A callee that stores through a caller-passed record pointer writes
+// storage the summary analysis cannot place: record values never cross a
+// call boundary, so the store surrenders to the conservative semantics.
+// The program stays admitted but holds neither certificate, and the write
+// set is Unknown with the heap-unknown-target reason.
+func TestHeapWriteThroughCallerRecordUncertified(t *testing.T) {
+	w := &workload.Program{
+		Name: "caller-record",
+		Sources: map[string]string{"cr": `
+module cr;
+proc poke(p, v) { store(p, v); return 0; }
+proc main(n) {
+  var a = alloc(4);
+  poke(a, n);
+  var v = load(a);
+  dealloc(a);
+  return v;
+}
+`},
+		Module: "cr", Proc: "main",
+	}
+	for _, early := range []bool{false, true} {
+		r := verify.Program(buildWorkload(t, w, early))
+		if !r.Admitted() {
+			t.Fatalf("early=%v: rejected:\n%s", early, r)
+		}
+		if r.CertHeapEffects {
+			t.Errorf("early=%v: heap certificate granted to an unplaceable store", early)
+		}
+		if !r.Writes.Unknown {
+			t.Errorf("early=%v: write set %s, want unknown", early, r.Writes)
+		}
+		if r.MaxDirtyWords != -1 {
+			t.Errorf("early=%v: MaxDirtyWords = %d, want -1 (vacuous bound)", early, r.MaxDirtyWords)
+		}
+		if !hasReasonStr(r.HeapCertReasons(), verify.ReasonHeapUnknownTarget) {
+			t.Errorf("early=%v: heap reasons %v, want %s", early, r.HeapCertReasons(), verify.ReasonHeapUnknownTarget)
+		}
+	}
+}
+
+// A record pointer handed to a coroutine through a transfer escapes into a
+// retained frame: the resumed side sees an untracked value and its store
+// cannot be placed. Admitted, uncertified, unknown write set.
+func TestHeapEscapeViaRetainedFrameUncertified(t *testing.T) {
+	w := &workload.Program{
+		Name: "retained-escape",
+		Sources: map[string]string{"re": `
+module re;
+proc prod(start) {
+  var who = retctx();
+  var p = start;
+  while (1) {
+    store(p, 7);
+    p = transfer(who, 0);
+  }
+}
+proc main() {
+  var a = alloc(4);
+  var co = cocreate(prod);
+  transfer(co, a);
+  var v = load(a);
+  dealloc(a);
+  return v;
+}
+`},
+		Module: "re", Proc: "main",
+	}
+	for _, early := range []bool{false, true} {
+		r := verify.Program(buildWorkload(t, w, early))
+		if !r.Admitted() {
+			t.Fatalf("early=%v: rejected:\n%s", early, r)
+		}
+		if r.CertHeapEffects {
+			t.Errorf("early=%v: heap certificate granted to an escaped record", early)
+		}
+		if !r.Writes.Unknown {
+			t.Errorf("early=%v: write set %s, want unknown", early, r.Writes)
+		}
+		if !hasReasonStr(r.HeapCertReasons(), verify.ReasonHeapUnknownTarget) {
+			t.Errorf("early=%v: heap reasons %v, want %s", early, r.HeapCertReasons(), verify.ReasonHeapUnknownTarget)
+		}
+	}
+}
+
+// A module-global write lands in boot-image storage: statically placed and
+// bounded (the stack-bounds certificate survives), but it escapes the run,
+// so the heap certificate is denied with heap-escape and the dirty bound
+// is the module's global window.
+func TestHeapWriteIntoBootImage(t *testing.T) {
+	w := &workload.Program{
+		Name: "boot-write",
+		Sources: map[string]string{"bw": `
+module bw;
+var total = 0;
+proc main(n) {
+  total = total + n;
+  return total;
+}
+`},
+		Module: "bw", Proc: "main",
+	}
+	for _, early := range []bool{false, true} {
+		r := verify.Program(buildWorkload(t, w, early))
+		if !r.Admitted() {
+			t.Fatalf("early=%v: rejected:\n%s", early, r)
+		}
+		if !r.CertStackBounds {
+			t.Errorf("early=%v: global write cost the stack-bounds certificate:\n%s", early, r)
+		}
+		if r.CertHeapEffects {
+			t.Errorf("early=%v: heap certificate granted to a boot-image write", early)
+		}
+		if !r.Writes.Globals || r.Writes.Unknown {
+			t.Errorf("early=%v: write set %s, want globals and placed", early, r.Writes)
+		}
+		if r.MaxDirtyWords < 1 || r.MaxDirtyWords != r.GlobalWords {
+			t.Errorf("early=%v: MaxDirtyWords = %d (GlobalWords %d), want the module's global window",
+				early, r.MaxDirtyWords, r.GlobalWords)
+		}
+		if !hasReasonStr(r.HeapCertReasons(), verify.ReasonHeapEscape) {
+			t.Errorf("early=%v: heap reasons %v, want %s", early, r.HeapCertReasons(), verify.ReasonHeapEscape)
+		}
+	}
+}
+
+// An armed trap handler that writes a global poisons the whole program's
+// write set through the trap edge: any instruction dispatching through the
+// handler can write boot-image state.
+func TestTrapHandlerWritesUncertified(t *testing.T) {
+	w := &workload.Program{
+		Name: "trap-writes",
+		Sources: map[string]string{"tw": `
+module tw;
+var hits = 0;
+proc handler(code) { hits = hits + 1; return code; }
+proc main() {
+  settrap(handler);
+  return trap(3);
+}
+`},
+		Module: "tw", Proc: "main",
+	}
+	for _, early := range []bool{false, true} {
+		r := verify.Program(buildWorkload(t, w, early))
+		if !r.Admitted() {
+			t.Fatalf("early=%v: rejected:\n%s", early, r)
+		}
+		if r.CertHeapEffects {
+			t.Errorf("early=%v: heap certificate granted despite a writing trap handler", early)
+		}
+		if !r.Writes.Globals {
+			t.Errorf("early=%v: write set %s, want globals", early, r.Writes)
+		}
+		if !hasReasonStr(r.HeapCertReasons(), verify.ReasonHeapEscape) {
+			t.Errorf("early=%v: heap reasons %v, want %s", early, r.HeapCertReasons(), verify.ReasonHeapEscape)
+		}
+		h, ok := procInfo(r, "tw.handler")
+		if !ok {
+			t.Fatalf("early=%v: no tw.handler in report", early)
+		}
+		if !h.Writes.Globals {
+			t.Errorf("early=%v: handler write set %s, want globals", early, h.Writes)
+		}
+	}
+}
+
+// The value analysis used to switch off beyond 64 procedures (one word of
+// region bits); the sparse region set lifts that to 256. A 70-procedure
+// program whose every procedure allocates, stores into and frees a record
+// must hold both certificates — with the old cap the stores would taint
+// and the heap writes would be unplaceable.
+func TestManyProcsCertified(t *testing.T) {
+	const procs = 70
+	var sb strings.Builder
+	sb.WriteString("module big;\n")
+	for i := 0; i < procs-1; i++ {
+		next := fmt.Sprintf("p%d", i+1)
+		if i == procs-2 {
+			next = "last"
+		}
+		fmt.Fprintf(&sb, `proc p%d(x) {
+  var a = alloc(4);
+  store(a, x);
+  var v = load(a);
+  dealloc(a);
+  return v + %s(x);
+}
+`, i, next)
+	}
+	sb.WriteString("proc last(x) { return x; }\n")
+	sb.WriteString("proc main(n) { return p0(n); }\n")
+
+	w := &workload.Program{
+		Name:    "many-procs",
+		Sources: map[string]string{"big": sb.String()},
+		Module:  "big", Proc: "main",
+	}
+	for _, early := range []bool{false, true} {
+		r := verify.Program(buildWorkload(t, w, early))
+		if !r.Admitted() {
+			t.Fatalf("early=%v: rejected:\n%s", early, r)
+		}
+		if len(r.Procs) <= 64 {
+			t.Fatalf("early=%v: only %d procedures; the test no longer exceeds the old cap", early, len(r.Procs))
+		}
+		if !r.CertStackBounds {
+			t.Errorf("early=%v: %d-proc program denied the stack-bounds certificate:\n%s", early, len(r.Procs), r)
+		}
+		if !r.CertHeapEffects {
+			t.Errorf("early=%v: %d-proc program denied the heap certificate:\n%s", early, len(r.Procs), r)
+		}
+		if !r.Writes.Records {
+			t.Errorf("early=%v: write set %s, want records (every proc stores into one)", early, r.Writes)
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package verify
 
 import (
-	"math/bits"
-
 	"repro/internal/image"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -39,18 +37,17 @@ func (a *analyzer) addTrapSite(pc uint32) {
 }
 
 // topState widens the stack to unknown while keeping the frame-local facts
-// (assigned locals, retain mark, freed regions) that a wild stack cannot
-// invalidate on its own.
+// (assigned locals, retain mark, freed sets, local values) that a wild
+// stack cannot invalidate on its own.
 func topState(s absState) absState {
-	return absState{d: top, stored: s.stored, ret: s.ret, freed: s.freed}
+	return s.deriv(top)
 }
 
 // xferSrcAdd records that a frame of region src can transfer into region
 // T, so T's retctx may name an src frame suspended at an XFERO.
 func (a *analyzer) xferSrcAdd(T, src int) {
-	bit := uint64(1) << uint(src)
-	if a.xferSrc[T]&bit == 0 {
-		a.xferSrc[T] |= bit
+	if !a.xferSrc[T].has(src) {
+		a.xferSrc[T] = a.xferSrc[T].add(src)
 		for _, p := range a.lrcSites[T] {
 			a.enqueue(p)
 		}
@@ -59,7 +56,7 @@ func (a *analyzer) xferSrcAdd(T, src int) {
 
 // bumpPool folds one transfer (cross-depth dx, transferring region src,
 // freed mask) into region T's resume pool and wakes T's XFERO sites.
-func (a *analyzer) bumpPool(T, dx, src int, freed uint64) {
+func (a *analyzer) bumpPool(T, dx, src int, freed regSet) {
 	changed := false
 	if !a.poolOK[T] {
 		a.poolOK[T] = true
@@ -69,8 +66,8 @@ func (a *analyzer) bumpPool(T, dx, src int, freed uint64) {
 		a.pool[T] = j
 		changed = true
 	}
-	if a.poolFreed[T]|freed != a.poolFreed[T] {
-		a.poolFreed[T] |= freed
+	if u := a.poolFreed[T].union(freed); u != a.poolFreed[T] {
+		a.poolFreed[T] = u
 		changed = true
 	}
 	if changed {
@@ -85,26 +82,57 @@ func (a *analyzer) bumpPool(T, dx, src int, freed uint64) {
 func (a *analyzer) handlerResults() (interval, bool) {
 	var rh interval
 	ok := false
-	for m := a.handlers; m != 0; m &= m - 1 {
-		T := bits.TrailingZeros64(m)
+	a.handlers.forEach(func(T int) {
 		if !a.sumOK[T] {
-			continue
+			return
 		}
 		if !ok {
 			rh, ok = a.sum[T], true
 		} else {
 			rh = rh.join(a.sum[T])
 		}
-	}
+	})
 	return rh, ok
 }
 
-func (a *analyzer) handlerFreed() uint64 {
-	var f uint64
-	for m := a.handlers; m != 0; m &= m - 1 {
-		f |= a.sumFreed[bits.TrailingZeros64(m)]
-	}
+func (a *analyzer) handlerFreed() regSet {
+	var f regSet
+	a.handlers.forEach(func(T int) {
+		f = f.union(a.sumFreed[T])
+	})
 	return f
+}
+
+// recSite returns the stable allocation-site index of the AFB at pc,
+// registering it on first sight. Programs with more reachable AFB sites
+// than the set width degrade those allocations to untracked words.
+func (a *analyzer) recSite(pc uint32) (int, bool) {
+	if s, ok := a.recSiteOf[pc]; ok {
+		return s, true
+	}
+	if len(a.sitePayload) >= maxTrackedRegions {
+		return 0, false
+	}
+	fsi := int(a.insts[pc].Arg)
+	if fsi < 0 || fsi >= len(a.p.FrameSizes) {
+		return 0, false
+	}
+	s := len(a.sitePayload)
+	a.recSiteOf[pc] = s
+	a.sitePayload = append(a.sitePayload, a.p.FrameSizes[fsi])
+	return s, true
+}
+
+// minSitePayload is the smallest record body any site of the set grants:
+// the bound certified writes must stay under.
+func (a *analyzer) minSitePayload(sites regSet) int {
+	min := -1
+	sites.forEach(func(s int) {
+		if s < len(a.sitePayload) && (min < 0 || a.sitePayload[s] < min) {
+			min = a.sitePayload[s]
+		}
+	})
+	return min
 }
 
 // applyEffect applies a fixed stack effect at pc: definite faults are
@@ -207,27 +235,11 @@ func (a *analyzer) step(pc uint32, s absState) {
 		return
 
 	case op == isa.FFREE:
-		if a.values {
-			a.setTaint()
-		}
-		a.diagCert(pc, ReasonUnsafeFree, "%s releases a context the verifier cannot track", op)
-		if after, ok := a.applyEffect(pc, s.d, 1, 0); ok {
-			a.propagate(pc, next, absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed})
-		}
+		a.doFFree(pc, s, next)
 		return
 
 	case op == isa.STIND || op == isa.WFB:
-		// A raw store can rewrite frame words, saved pcs or table linkage:
-		// nothing value tracking rests on survives it.
-		if a.values {
-			a.setTaint()
-		}
-		a.diagCert(pc, ReasonHeapStore,
-			"%s stores through an arbitrary pointer and can reach frame or table linkage", op)
-		info := isa.InfoOf(op)
-		if after, ok := a.applyEffect(pc, s.d, int(info.Pops), int(info.Pushes)); ok {
-			a.propagate(pc, next, absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed})
-		}
+		a.doStore(pc, in, s, next)
 		return
 	}
 
@@ -256,7 +268,7 @@ func (a *analyzer) step(pc uint32, s absState) {
 	if !ok {
 		return
 	}
-	out := absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed}
+	out := s.deriv(after)
 	if op == isa.RETAIN {
 		out.ret = true
 	}
@@ -264,6 +276,62 @@ func (a *analyzer) step(pc uint32, s absState) {
 		a.stepValues(pc, in, s, &out)
 	}
 	a.propagate(pc, next, out)
+}
+
+// doStore handles STIND and WFB. A store the record model can bound — a
+// tracked record pointer, sites alive, offset under every site's payload —
+// stays inside run-allocated storage and is certifiable. Anything else can
+// rewrite frame words, saved pcs or table linkage: nothing value tracking
+// rests on survives it, so the analysis reruns conservatively.
+func (a *analyzer) doStore(pc uint32, in *isa.Inst, s absState, next uint32) {
+	op := in.Op
+	if a.values && s.d.exact() && s.vals != nil && s.d.lo >= 2 {
+		ptr := s.vals[len(s.vals)-1]
+		off := 0
+		if op == isa.WFB {
+			off = int(in.Arg)
+		}
+		if ptr.kind == vRec && !ptr.regs.empty() && !ptr.regs.intersects(s.frec) {
+			if max := a.minSitePayload(ptr.regs); max >= 0 && int(ptr.hi)+off < max {
+				out := s.deriv(interval{s.d.lo - 2, s.d.lo - 2})
+				out.vals = dropPush(s.vals, 2, 0)
+				a.propagate(pc, next, out)
+				return
+			}
+		}
+	}
+	if a.values {
+		a.setTaint()
+	}
+	a.diagCert(pc, ReasonHeapStore,
+		"%s stores through an arbitrary pointer and can reach frame or table linkage", op)
+	info := isa.InfoOf(op)
+	if after, ok := a.applyEffect(pc, s.d, int(info.Pops), int(info.Pushes)); ok {
+		a.propagate(pc, next, s.deriv(after))
+	}
+}
+
+// doFFree handles FFREE: releasing a tracked record pointer at offset zero
+// returns exactly the storage an AFB granted. The freed sites join the
+// freed-record set, so later stores through stale pointers to them taint.
+func (a *analyzer) doFFree(pc uint32, s absState, next uint32) {
+	if a.values && s.d.exact() && s.vals != nil && s.d.lo >= 1 {
+		v := s.vals[len(s.vals)-1]
+		if v.kind == vRec && v.lo == 0 && v.hi == 0 && !v.regs.empty() && !v.regs.intersects(s.frec) {
+			out := s.deriv(interval{s.d.lo - 1, s.d.lo - 1})
+			out.vals = dropPush(s.vals, 1, 0)
+			out.frec = s.frec.union(v.regs)
+			a.propagate(pc, next, out)
+			return
+		}
+	}
+	if a.values {
+		a.setTaint()
+	}
+	a.diagCert(pc, ReasonUnsafeFree, "FFREE releases a context the verifier cannot track")
+	if after, ok := a.applyEffect(pc, s.d, 1, 0); ok {
+		a.propagate(pc, next, s.deriv(after))
+	}
 }
 
 // stepValues transfers the value stack across a fixed-effect opcode; out.d
@@ -289,7 +357,7 @@ func (a *analyzer) stepValues(pc uint32, in *isa.Inst, s absState, out *absState
 			if a.callEntered[r] {
 				// A caller's or trapper's frame: suspended inside a call,
 				// outside the resume-pool model.
-				setTop(ctxVal(srcTaint, 0))
+				setTop(ctxVal(srcTaint, regSet{}))
 			} else {
 				setTop(ctxVal(srcEntered|srcZero, a.xferSrc[r]))
 			}
@@ -297,7 +365,25 @@ func (a *analyzer) stepValues(pc uint32, in *isa.Inst, s absState, out *absState
 
 	case op == isa.LLF:
 		if r >= 0 && r < maxTrackedRegions {
-			setTop(ctxVal(srcOwn, uint64(1)<<uint(r)))
+			setTop(ctxVal(srcOwn, rs1(r)))
+		}
+
+	case op == isa.AFB:
+		if site, ok := a.recSite(pc); ok {
+			setTop(value{kind: vRec, regs: rs1(site)})
+		}
+
+	case op == isa.ADD || op == isa.SUB:
+		x, y := valAt(s.vals, s.d.lo-2), valAt(s.vals, s.d.lo-1)
+		var v value
+		var ok bool
+		if op == isa.ADD {
+			v, ok = addVals(x, y)
+		} else {
+			v, ok = subVals(x, y)
+		}
+		if ok {
+			setTop(v)
 		}
 
 	case op == isa.DUP:
@@ -324,14 +410,28 @@ func (a *analyzer) stepValues(pc uint32, in *isa.Inst, s absState, out *absState
 		slot := int(in.Arg)
 		if r >= 0 && slot < 64 && s.stored>>uint(slot)&1 == 1 {
 			a.addSite(&a.llSites[r], siteLL, r, pc)
-			setTop(a.envGet(r, slot))
+			// Prefer the flow-sensitive value (it carries branch
+			// refinements the flow-insensitive environment joins away),
+			// and mark the copy so a later compare-branch can refine the
+			// local through it.
+			v := locGet(s.locs, slot)
+			if v == topVal {
+				v = a.envGet(r, slot)
+			}
+			v.slot = uint8(slot + 1)
+			setTop(v)
 		}
 
 	case (op >= isa.SL0 && op <= isa.SL7) || op == isa.SLB:
 		slot := int(in.Arg)
 		if r >= 0 && slot < 64 {
 			out.stored |= uint64(1) << uint(slot)
-			a.envSet(r, slot, valAt(s.vals, s.d.lo-1))
+			sv := valAt(s.vals, s.d.lo-1).clearSlot()
+			a.envSet(r, slot, sv)
+			out.locs = locSet(s.locs, slot, sv)
+			if out.vals != nil {
+				out.vals = scrubSlot(out.vals, uint8(slot+1))
+			}
 		}
 	}
 }
@@ -396,6 +496,11 @@ func (a *analyzer) checkLocal(pc uint32, in *isa.Inst) {
 	op := in.Op
 	store := (op >= isa.SL0 && op <= isa.SL7) || op == isa.SLB
 	if store {
+		// The store lands in a neighbouring frame or record: facts about
+		// other frames' locals no longer hold.
+		if a.values {
+			a.setTaint()
+		}
 		a.diagCert(pc, ReasonLocalRange,
 			"%s local %d: word %d of a %d-word frame (class %d)", op, in.Arg, off, payload, a.regions[r].fsi)
 	} else {
@@ -430,24 +535,176 @@ func (a *analyzer) doJump(pc uint32, in *isa.Inst, s absState, next uint32) {
 	if !ok {
 		return
 	}
-	out := absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed}
+	out := s.deriv(after)
 	if a.values && after.exact() {
 		out.vals = dropPush(s.vals, int(info.Pops), 0)
 	}
 	t := in.Target
-	if int64(t) >= int64(len(a.code)) || !a.insts[t].Valid() {
+	badTarget := int64(t) >= int64(len(a.code)) || !a.insts[t].Valid()
+	if badTarget {
 		a.diag(pc, LevelError, ReasonBadJumpTarget,
 			"%s to %06x: no instruction decodes there", in.Op, t)
-	} else {
-		if !a.boundary[t] {
-			a.diag(pc, LevelWarn, ReasonJumpIntoOperands,
-				"%s lands at %06x, inside another instruction's operand bytes", in.Op, t)
+	} else if !a.boundary[t] {
+		a.diag(pc, LevelWarn, ReasonJumpIntoOperands,
+			"%s lands at %06x, inside another instruction's operand bytes", in.Op, t)
+	}
+	if !badTarget {
+		if st, feasible := a.refineBranch(out, s, in.Op, true); feasible {
+			a.propagate(pc, t, st)
 		}
-		a.propagate(pc, t, out)
 	}
 	if in.Op != isa.JB && in.Op != isa.JW {
-		a.propagate(pc, next, out) // conditional: may fall through
+		if st, feasible := a.refineBranch(out, s, in.Op, false); feasible {
+			a.propagate(pc, next, st) // conditional: may fall through
+		}
 	}
+}
+
+// negateCmp maps a compare-branch opcode to the opcode whose taken
+// condition is its fall-through condition.
+func negateCmp(op isa.Op) isa.Op {
+	switch op {
+	case isa.JEB:
+		return isa.JNEB
+	case isa.JNEB:
+		return isa.JEB
+	case isa.JLB:
+		return isa.JGEB
+	case isa.JGEB:
+		return isa.JLB
+	case isa.JLEB:
+		return isa.JGB
+	case isa.JGB:
+		return isa.JLEB
+	}
+	return op
+}
+
+// refineBranch narrows the branch operands' ranges on one outgoing edge of
+// a conditional jump and writes them back through their local-slot marks,
+// pruning edges the operand ranges prove infeasible. Pruning is monotone:
+// ranges only grow across the fixpoint, so an edge can only flip from
+// infeasible to feasible, never back. The refined facts are what certify a
+// guarded loop counter: `while (i < k)` caps i at k-1 inside the body.
+func (a *analyzer) refineBranch(out, s absState, op isa.Op, taken bool) (absState, bool) {
+	if !a.values || !s.d.exact() || s.vals == nil {
+		return out, true
+	}
+	switch op {
+	case isa.JZB, isa.JNZB:
+		v := valAt(s.vals, s.d.lo-1)
+		wantZero := (op == isa.JZB) == taken
+		lo, hi, ok := v.rangeOf()
+		if wantZero {
+			if ok && lo > 0 {
+				return out, false
+			}
+			return refineSlot(out, v, wordVal(0)), true
+		}
+		if !ok {
+			return out, true
+		}
+		if hi == 0 {
+			return out, false
+		}
+		if lo == 0 {
+			lo = 1
+		}
+		return refineSlot(out, v, rangeVal(lo, hi)), true
+
+	case isa.JEB, isa.JNEB, isa.JLB, isa.JLEB, isa.JGB, isa.JGEB:
+		x, y := valAt(s.vals, s.d.lo-2), valAt(s.vals, s.d.lo-1)
+		xlo, xhi, xok := x.rangeOf()
+		ylo, yhi, yok := y.rangeOf()
+		if !xok || !yok {
+			return out, true
+		}
+		cond := op
+		if !taken {
+			cond = negateCmp(op)
+		}
+		if cond != isa.JEB && cond != isa.JNEB && (xhi > 0x7FFF || yhi > 0x7FFF) {
+			// The machine compares signed; range refinement is only sound
+			// where the signed and unsigned orders agree.
+			return out, true
+		}
+		rxlo, rxhi, rylo, ryhi := xlo, xhi, ylo, yhi
+		switch cond {
+		case isa.JEB: // x == y
+			rxlo, rylo = maxW(xlo, ylo), maxW(xlo, ylo)
+			rxhi, ryhi = minW(xhi, yhi), minW(xhi, yhi)
+		case isa.JNEB: // x != y
+			if xlo == xhi && ylo == yhi && xlo == ylo {
+				return out, false
+			}
+			if ylo == yhi { // trim a singleton off x's endpoints
+				if xlo == ylo {
+					rxlo = xlo + 1
+				} else if xhi == ylo {
+					rxhi = xhi - 1
+				}
+			}
+			if xlo == xhi {
+				if ylo == xlo {
+					rylo = ylo + 1
+				} else if yhi == xlo {
+					ryhi = yhi - 1
+				}
+			}
+		case isa.JLB: // x < y
+			if yhi == 0 {
+				return out, false
+			}
+			rxhi = minW(xhi, yhi-1)
+			rylo = maxW(ylo, xlo+1)
+		case isa.JLEB: // x <= y
+			rxhi = minW(xhi, yhi)
+			rylo = maxW(ylo, xlo)
+		case isa.JGB: // x > y
+			if xhi == 0 {
+				return out, false
+			}
+			rxlo = maxW(xlo, ylo+1)
+			ryhi = minW(yhi, xhi-1)
+		case isa.JGEB: // x >= y
+			rxlo = maxW(xlo, ylo)
+			ryhi = minW(yhi, xhi)
+		}
+		if rxlo > rxhi || rylo > ryhi {
+			return out, false
+		}
+		if rxlo != xlo || rxhi != xhi {
+			out = refineSlot(out, x, rangeVal(rxlo, rxhi))
+		}
+		if rylo != ylo || ryhi != yhi {
+			out = refineSlot(out, y, rangeVal(rylo, ryhi))
+		}
+		return out, true
+	}
+	return out, true
+}
+
+// refineSlot writes a refined operand value back into the flow-sensitive
+// local it was loaded from, if the copy still carries its load mark.
+func refineSlot(out absState, v, refined value) absState {
+	if v.slot != 0 {
+		out.locs = locSet(out.locs, int(v.slot)-1, refined)
+	}
+	return out
+}
+
+func minW(a, b mem.Word) mem.Word {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxW(a, b mem.Word) mem.Word {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // doRet folds the state at a RET into its procedure's summary (result
@@ -473,17 +730,18 @@ func (a *analyzer) doRet(pc uint32, s absState) {
 		changed = true
 	}
 	if a.values {
+		rv := sanitizeSummary(s.vals)
 		if !a.sumValsN[r] {
 			a.sumValsN[r] = true
-			a.sumVals[r] = s.vals
+			a.sumVals[r] = rv
 			changed = true
-		} else if j := joinVals(a.sumVals[r], s.vals); !valsEqual(j, a.sumVals[r]) {
+		} else if j := joinVals(a.sumVals[r], rv); !valsEqual(j, a.sumVals[r]) {
 			a.sumVals[r] = j
 			changed = true
 		}
 	}
-	if a.sumFreed[r]|s.freed != a.sumFreed[r] {
-		a.sumFreed[r] |= s.freed
+	if u := a.sumFreed[r].union(s.freed); u != a.sumFreed[r] {
+		a.sumFreed[r] = u
 		changed = true
 	}
 	if !changed {
@@ -492,11 +750,37 @@ func (a *analyzer) doRet(pc uint32, s absState) {
 	for _, site := range a.deps[r] {
 		a.enqueue(site)
 	}
-	if r < maxTrackedRegions && a.handlers>>uint(r)&1 == 1 {
+	if r < maxTrackedRegions && a.handlers.has(int(r)) {
 		for _, site := range a.trapSites {
 			a.enqueue(site)
 		}
 	}
+}
+
+// sanitizeSummary strips frame-local facts from a result-stack summary
+// before it crosses the procedure boundary: record pointers name the
+// callee's allocation sites (whose freed-record set the caller does not
+// carry), and slot marks name the callee's locals.
+func sanitizeSummary(vals []value) []value {
+	clean := true
+	for _, v := range vals {
+		if v.kind == vRec || v.slot != 0 {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return vals
+	}
+	out := make([]value, len(vals))
+	for i, v := range vals {
+		if v.kind == vRec {
+			out[i] = topVal
+		} else {
+			out[i] = v.clearSlot()
+		}
+	}
+	return out
 }
 
 func valsEqual(x, y []value) bool {
@@ -622,7 +906,8 @@ func (a *analyzer) finishCall(pc, next uint32, s absState, entry uint32, fsi int
 		a.deps[cr] = append(a.deps[cr], pc)
 	}
 	if a.sumOK[cr] {
-		out := absState{d: a.sum[cr], stored: s.stored, ret: s.ret, freed: s.freed | a.sumFreed[cr]}
+		out := s.deriv(a.sum[cr])
+		out.freed = out.freed.union(a.sumFreed[cr])
 		if a.values && out.d.exact() && a.sumValsN[cr] && len(a.sumVals[cr]) == out.d.lo {
 			out.vals = a.sumVals[cr]
 		}
@@ -693,18 +978,18 @@ func (a *analyzer) doXfer(pc uint32, s absState, next uint32) {
 			a.deps[T] = append(a.deps[T], pc)
 		}
 		if a.sumOK[T] {
-			out := absState{d: a.sum[T], stored: s.stored, ret: s.ret, freed: s.freed | a.sumFreed[T]}
+			out := s.deriv(a.sum[T])
+			out.freed = out.freed.union(a.sumFreed[T])
 			a.propagate(pc, next, out)
 		}
 
 	case v.kind == vCtx && v.transferable():
-		if v.regs&s.freed != 0 {
+		if v.regs.intersects(s.freed) {
 			a.setTaint()
 			a.xferFallback(pc, s, next)
 			return
 		}
-		for m := v.regs; m != 0; m &= m - 1 {
-			T := bits.TrailingZeros64(m)
+		v.regs.forEach(func(T int) {
 			treg := a.regions[T]
 			a.edge(pc, treg.entry, EdgeXfer)
 			if v.src&srcCreated != 0 {
@@ -717,7 +1002,7 @@ func (a *analyzer) doXfer(pc uint32, s absState, next uint32) {
 				a.joinInto(treg.entry, a.entryState(s.freed))
 			}
 			a.bumpPool(T, dx, cur, s.freed)
-		}
+		})
 
 	default:
 		// Unknown word, the running frame itself, or a possibly
@@ -730,7 +1015,8 @@ func (a *analyzer) doXfer(pc uint32, s absState, next uint32) {
 	// Resumption of this frame: the depths (and freed sets) of transfers
 	// targeting this region. Until a pool forms, the site stays suspended.
 	if a.poolOK[cur] {
-		out := absState{d: a.pool[cur], stored: s.stored, ret: s.ret, freed: s.freed | a.poolFreed[cur]}
+		out := s.deriv(a.pool[cur])
+		out.freed = out.freed.union(a.poolFreed[cur])
 		a.propagate(pc, next, out)
 	}
 }
@@ -742,11 +1028,11 @@ func (a *analyzer) doTrapB(pc uint32, s absState, next uint32) {
 			// An in-machine handler's RETURN restores the trapper's
 			// operands beneath the handler's results: at least d.lo words,
 			// at most a full stack.
-			a.propagate(pc, next, absState{d: interval{s.d.lo, maxDepth}, stored: s.stored, ret: s.ret, freed: s.freed})
+			a.propagate(pc, next, s.deriv(interval{s.d.lo, maxDepth}))
 			return
 		}
 		if after, ok := a.applyEffect(pc, s.d, 0, 1); ok {
-			a.propagate(pc, next, absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed})
+			a.propagate(pc, next, s.deriv(after))
 		}
 		return
 	}
@@ -781,15 +1067,16 @@ func (a *analyzer) doTrapB(pc uint32, s absState, next uint32) {
 				} else {
 					out, any = armedAfter, true
 				}
-				freed |= a.handlerFreed()
+				freed = freed.union(a.handlerFreed())
 			}
-			for m := a.handlers; m != 0; m &= m - 1 {
-				a.edge(pc, a.regions[bits.TrailingZeros64(m)].entry, EdgeTrap)
-			}
+			a.handlers.forEach(func(T int) {
+				a.edge(pc, a.regions[T].entry, EdgeTrap)
+			})
 		}
 	}
 	if any {
-		o := absState{d: out, stored: s.stored, ret: s.ret, freed: freed}
+		o := s.deriv(out)
+		o.freed = freed
 		if s.d.exact() && out.exact() && out.lo == s.d.lo+1 {
 			// Both paths preserve the operand prefix and push one word.
 			o.vals = dropPush(s.vals, 0, 1)
@@ -807,10 +1094,10 @@ func (a *analyzer) doDivMod(pc uint32, s absState, next uint32) {
 		if a.trapsPossible {
 			// Division by zero can transfer to a handler; its result depth
 			// is unknown (handler results replace the quotient).
-			a.propagate(pc, next, absState{d: interval{after.lo - 1, maxDepth}, stored: s.stored, ret: s.ret, freed: s.freed})
+			a.propagate(pc, next, s.deriv(interval{after.lo - 1, maxDepth}))
 			return
 		}
-		a.propagate(pc, next, absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed})
+		a.propagate(pc, next, s.deriv(after))
 		return
 	}
 	a.addTrapSite(pc)
@@ -827,14 +1114,15 @@ func (a *analyzer) doDivMod(pc uint32, s absState, next uint32) {
 			}
 			if lo <= maxDepth {
 				out = out.join(interval{lo, hi})
-				freed |= a.handlerFreed()
+				freed = freed.union(a.handlerFreed())
 			}
-			for m := a.handlers; m != 0; m &= m - 1 {
-				a.edge(pc, a.regions[bits.TrailingZeros64(m)].entry, EdgeTrap)
-			}
+			a.handlers.forEach(func(T int) {
+				a.edge(pc, a.regions[T].entry, EdgeTrap)
+			})
 		}
 	}
-	o := absState{d: out, stored: s.stored, ret: s.ret, freed: freed}
+	o := s.deriv(out)
+	o.freed = freed
 	if out == after && out.exact() {
 		o.vals = dropPush(s.vals, 2, 1)
 	}
@@ -844,8 +1132,8 @@ func (a *analyzer) doDivMod(pc uint32, s absState, next uint32) {
 func (a *analyzer) doStrap(pc uint32, s absState, next uint32) {
 	if a.values && s.d.exact() && s.vals != nil && s.d.lo >= 1 {
 		v := s.vals[len(s.vals)-1]
-		out := absState{d: interval{s.d.lo - 1, s.d.lo - 1}, stored: s.stored, ret: s.ret, freed: s.freed,
-			vals: dropPush(s.vals, 1, 0)}
+		out := s.deriv(interval{s.d.lo - 1, s.d.lo - 1})
+		out.vals = dropPush(s.vals, 1, 0)
 		if v.kind == vWord && v.word == 0 {
 			// Disarms the trap handler: no dynamic behaviour at all.
 			a.propagate(pc, next, out)
@@ -854,9 +1142,9 @@ func (a *analyzer) doStrap(pc uint32, s absState, next uint32) {
 		if v.isProcWord() {
 			if T, ok := a.resolveDescQuiet(v.word); ok {
 				a.edge(pc, a.regions[T].entry, EdgeTrap)
-				if !a.armed || a.handlers>>uint(T)&1 == 0 {
+				if !a.armed || !a.handlers.has(T) {
 					a.armed = true
-					a.handlers |= uint64(1) << uint(T)
+					a.handlers = a.handlers.add(T)
 					a.markCallEntered(T)
 					for _, site := range a.trapSites {
 						a.enqueue(site)
@@ -875,7 +1163,7 @@ func (a *analyzer) doStrap(pc uint32, s absState, next uint32) {
 	a.diagCert(pc, ReasonDynamicTransfer, "STRAP installs a dynamic trap handler")
 	a.mayEdge(pc)
 	if after, ok := a.applyEffect(pc, s.d, 1, 0); ok {
-		a.propagate(pc, next, absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed})
+		a.propagate(pc, next, s.deriv(after))
 	}
 }
 
@@ -884,7 +1172,7 @@ func (a *analyzer) doCocreate(pc uint32, in *isa.Inst, s absState, next uint32) 
 		a.diagCert(pc, ReasonDynamicTransfer, "COCREATE constructs a coroutine context resumed outside call/return structure")
 		a.mayEdge(pc)
 		if after, ok := a.applyEffect(pc, s.d, 1, 1); ok {
-			a.propagate(pc, next, absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed})
+			a.propagate(pc, next, s.deriv(after))
 		}
 		return
 	}
@@ -897,7 +1185,7 @@ func (a *analyzer) doCocreate(pc uint32, in *isa.Inst, s absState, next uint32) 
 	if !ok {
 		return
 	}
-	out := absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed}
+	out := s.deriv(after)
 	if after.exact() {
 		out.vals = dropPush(s.vals, 1, 1)
 		v := valAt(s.vals, s.d.lo-1)
@@ -906,7 +1194,7 @@ func (a *analyzer) doCocreate(pc uint32, in *isa.Inst, s absState, next uint32) 
 				if out.vals == nil {
 					out.vals = materialize(nil, after.lo)
 				}
-				out.vals[len(out.vals)-1] = ctxVal(srcCreated, uint64(1)<<uint(T))
+				out.vals[len(out.vals)-1] = ctxVal(srcCreated, rs1(T))
 			}
 		}
 	}
@@ -917,7 +1205,7 @@ func (a *analyzer) doFree(pc uint32, s absState, next uint32) {
 	fallback := func() {
 		a.diagCert(pc, ReasonUnsafeFree, "FREE releases a context the verifier cannot track")
 		if after, ok := a.applyEffect(pc, s.d, 1, 0); ok {
-			a.propagate(pc, next, absState{d: after, stored: s.stored, ret: s.ret, freed: s.freed})
+			a.propagate(pc, next, s.deriv(after))
 		}
 	}
 	if !a.values {
@@ -941,7 +1229,7 @@ func (a *analyzer) doFree(pc uint32, s absState, next uint32) {
 		fallback()
 
 	case v.kind == vCtx && v.freeable():
-		if v.regs&s.freed != 0 {
+		if v.regs.intersects(s.freed) {
 			// A frame of the same region may already be gone: FREE would
 			// tear down recycled storage.
 			a.setTaint()
@@ -950,8 +1238,9 @@ func (a *analyzer) doFree(pc uint32, s absState, next uint32) {
 		}
 		// Own-frame frees additionally require the retain discipline;
 		// certify() checks that against the final summaries.
-		out := absState{d: interval{s.d.lo - 1, s.d.lo - 1}, stored: s.stored, ret: s.ret,
-			freed: s.freed | v.regs, vals: dropPush(s.vals, 1, 0)}
+		out := s.deriv(interval{s.d.lo - 1, s.d.lo - 1})
+		out.freed = s.freed.union(v.regs)
+		out.vals = dropPush(s.vals, 1, 0)
 		a.propagate(pc, next, out)
 
 	default:

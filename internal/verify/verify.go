@@ -72,8 +72,10 @@ type absState struct {
 	d      interval
 	stored uint64  // must-assigned local slots (definite assignment)
 	ret    bool    // current frame retained on every path reaching pc
-	freed  uint64  // regions a frame of which may have been freed
+	freed  regSet  // regions a frame of which may have been freed
+	frec   regSet  // allocation sites a record of which may have been freed
 	vals   []value // stack values, bottom first; nil = untracked
+	locs   []value // flow-sensitive local values; nil/short slots = untracked
 }
 
 func (s absState) join(o absState) absState {
@@ -81,13 +83,23 @@ func (s absState) join(o absState) absState {
 		d:      s.d.join(o.d),
 		stored: s.stored & o.stored,
 		ret:    s.ret && o.ret,
-		freed:  s.freed | o.freed,
+		freed:  s.freed.union(o.freed),
+		frec:   s.frec.union(o.frec),
 		vals:   joinVals(s.vals, o.vals),
+		locs:   joinLocs(s.locs, o.locs),
 	}
 }
 
+// deriv carries every frame-local fact (assigned locals, retain mark,
+// freed sets, local values) into a successor state with depth d and an
+// untracked stack. Every intra-frame propagation builds on it, so adding
+// a frame-local fact to absState means adding it here, once.
+func (s absState) deriv(d interval) absState {
+	return absState{d: d, stored: s.stored, ret: s.ret, freed: s.freed, frec: s.frec, locs: s.locs}
+}
+
 func (s absState) equal(o absState) bool {
-	if s.d != o.d || s.stored != o.stored || s.ret != o.ret || s.freed != o.freed {
+	if s.d != o.d || s.stored != o.stored || s.ret != o.ret || s.freed != o.freed || s.frec != o.frec {
 		return false
 	}
 	if (s.vals == nil) != (o.vals == nil) || len(s.vals) != len(o.vals) {
@@ -98,7 +110,7 @@ func (s absState) equal(o absState) bool {
 			return false
 		}
 	}
-	return true
+	return locsEqual(s.locs, o.locs)
 }
 
 // region is one procedure's code range [entry, end) as the linker laid it
@@ -142,19 +154,25 @@ type analyzer struct {
 	// Per-region result summaries (join of RET states).
 	sum      []interval // result-depth summary
 	sumOK    []bool
-	sumVals  [][]value // result values (nil once arities disagree)
-	sumValsN []bool    // sumVals meaningful (at least one RET folded)
-	sumFreed []uint64  // regions the callee's subtree may free
+	sumVals  [][]value  // result values (nil once arities disagree)
+	sumValsN []bool     // sumVals meaningful (at least one RET folded)
+	sumFreed []regSet   // regions the callee's subtree may free
 	deps     [][]uint32 // call/desc-transfer sites awaiting the summary
 	depSeen  map[uint64]bool
 	maxHi    []int // per region: max hi over its reached pcs
+
+	// Record allocation sites: each reachable AFB gets a stable site index
+	// whose payload (the frame class's word count) bounds certified writes
+	// through pointers carrying the site.
+	recSiteOf   map[uint32]int
+	sitePayload []int
 
 	// Per-region resume pools: the depths (and freed masks) a frame of
 	// the region can be resumed with at its XFERO suspension points.
 	pool      []interval
 	poolOK    []bool
-	poolFreed []uint64
-	xferSrc   []uint64   // regions with an XFERO site targeting this region
+	poolFreed []regSet
+	xferSrc   []regSet   // regions with an XFERO site targeting this region
 	xferSites [][]uint32 // XFERO pcs inside this region (requeued on pool growth)
 	lrcSites  [][]uint32 // LRC pcs inside this region
 	llSites   [][]uint32 // guarded local loads inside this region
@@ -166,7 +184,7 @@ type analyzer struct {
 	// trapsPossible once a run reaches any STRAP (sawStrap), exactly the
 	// old two-pass interval analysis.
 	armed         bool
-	handlers      uint64
+	handlers      regSet
 	trapSites     []uint32 // TRAPB/DIV/MOD pcs, requeued when the model grows
 	trapSeen      map[uint32]bool
 	sawStrap      bool
@@ -186,8 +204,14 @@ type analyzer struct {
 	diags    []Diag
 	seen     map[diagKey]bool
 	certOK   bool
+	heapOK   bool
 	calls    []CallEdge
 	callSeen map[CallEdge]bool
+
+	// Stage-3 results (effects.go): per-region and whole-program write
+	// sets, computed once over the final fixpoint.
+	writes     []WriteSet
+	progWrites WriteSet
 }
 
 // Program verifies a linked program and returns the structured report.
@@ -228,6 +252,7 @@ func Program(p *image.Program) *Report {
 		}
 		break
 	}
+	a.effects()
 	return a.report()
 }
 
@@ -300,23 +325,25 @@ func (a *analyzer) reset() {
 	a.sumOK = make([]bool, nr)
 	a.sumVals = make([][]value, nr)
 	a.sumValsN = make([]bool, nr)
-	a.sumFreed = make([]uint64, nr)
+	a.sumFreed = make([]regSet, nr)
 	a.deps = make([][]uint32, nr)
 	a.depSeen = map[uint64]bool{}
 	a.maxHi = make([]int, nr)
 	for i := range a.maxHi {
 		a.maxHi[i] = -1
 	}
+	a.recSiteOf = map[uint32]int{}
+	a.sitePayload = a.sitePayload[:0]
 	a.pool = make([]interval, nr)
 	a.poolOK = make([]bool, nr)
-	a.poolFreed = make([]uint64, nr)
-	a.xferSrc = make([]uint64, nr)
+	a.poolFreed = make([]regSet, nr)
+	a.xferSrc = make([]regSet, nr)
 	a.xferSites = make([][]uint32, nr)
 	a.lrcSites = make([][]uint32, nr)
 	a.llSites = make([][]uint32, nr)
 	a.siteSeen = map[uint64]bool{}
 	a.armed = false
-	a.handlers = 0
+	a.handlers = regSet{}
 	a.trapSites = a.trapSites[:0]
 	a.trapSeen = map[uint32]bool{}
 	a.sawStrap = false
@@ -332,6 +359,7 @@ func (a *analyzer) reset() {
 	a.diags = nil
 	a.seen = map[diagKey]bool{}
 	a.certOK = true
+	a.heapOK = true
 	a.calls = nil
 	a.callSeen = map[CallEdge]bool{}
 
@@ -339,7 +367,7 @@ func (a *analyzer) reset() {
 	// the target of a serving call, a coroutine creation or a trap handler
 	// installation, and enterProc always clears the stack.
 	for _, reg := range a.regions {
-		a.joinInto(reg.entry, a.entryState(0))
+		a.joinInto(reg.entry, a.entryState(regSet{}))
 	}
 	// The program's start descriptor must itself resolve.
 	if a.p.Entry != 0 {
@@ -355,7 +383,9 @@ func (a *analyzer) reset() {
 // entryState is the canonical procedure entry context: empty stack, no
 // definitely-assigned locals (arguments arrive as frame garbage as far as
 // the value lattice is concerned), carrying the caller's freed set.
-func (a *analyzer) entryState(freed uint64) absState {
+// Record pointers never cross a call (RET summaries sanitize them), so the
+// freed-site set starts empty.
+func (a *analyzer) entryState(freed regSet) absState {
 	s := absState{d: interval{0, 0}, freed: freed}
 	if a.values {
 		s.vals = []value{}
@@ -450,6 +480,22 @@ func (a *analyzer) diagCert(pc uint32, reason Reason, format string, args ...int
 	a.seen[k] = true
 	a.diags = append(a.diags, Diag{
 		PC: pc, Proc: a.procName(pc), Level: LevelWarn, Reason: reason, Cert: true,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// diagHeap emits a Warn that withholds only the heap-effects certificate:
+// the write lands outside run-allocated storage (or cannot be bounded),
+// but the stack-bounds proof is untouched by it.
+func (a *analyzer) diagHeap(pc uint32, reason Reason, format string, args ...interface{}) {
+	a.heapOK = false
+	k := diagKey{pc, reason}
+	if a.seen[k] {
+		return
+	}
+	a.seen[k] = true
+	a.diags = append(a.diags, Diag{
+		PC: pc, Proc: a.procName(pc), Level: LevelWarn, Reason: reason, Heap: true,
 		Msg: fmt.Sprintf(format, args...),
 	})
 }
@@ -598,9 +644,9 @@ func (a *analyzer) report() *Report {
 			pi.ResultLo, pi.ResultHi = a.sum[i].lo, a.sum[i].hi
 		}
 		if i < maxTrackedRegions {
-			pi.Called = a.callEntered[i] && (a.handlers>>uint(i))&1 == 0
-			pi.TrapHandler = (a.handlers>>uint(i))&1 == 1
-			pi.XferTarget = a.xferSrc[i] != 0
+			pi.Called = a.callEntered[i] && !a.handlers.has(i)
+			pi.TrapHandler = a.handlers.has(i)
+			pi.XferTarget = !a.xferSrc[i].empty()
 		} else {
 			pi.Called = a.callEntered[i]
 		}
@@ -608,8 +654,26 @@ func (a *analyzer) report() *Report {
 			pi.ResumeLo, pi.ResumeHi = a.pool[i].lo, a.pool[i].hi
 		}
 		pi.Retained = a.retainedAll[i] && a.retSeen[i]
+		if i < len(a.writes) {
+			pi.Writes = a.writes[i]
+		}
 		r.Procs = append(r.Procs, pi)
 	}
 	r.CertStackBounds = a.certOK && r.Admitted()
+	r.Writes = a.progWrites
+	r.WriteFree = !a.progWrites.Globals && !a.progWrites.Records && !a.progWrites.Unknown
+	r.CertHeapEffects = a.heapOK && !a.progWrites.Unknown && r.Admitted()
+	r.GlobalWords = 0
+	if a.progWrites.Globals {
+		for _, inst := range a.p.Instances {
+			r.GlobalWords += inst.Module.NumGlobals
+		}
+	}
+	switch {
+	case a.progWrites.Unknown:
+		r.MaxDirtyWords = -1
+	default:
+		r.MaxDirtyWords = r.GlobalWords
+	}
 	return r
 }

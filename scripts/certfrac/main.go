@@ -46,6 +46,18 @@ type verifyBlock struct {
 	Fraction       float64 `json:"fraction"`
 	CertifiedEarly int     `json:"certified_early"`
 	FractionEarly  float64 `json:"fraction_early"`
+	// Per-certificate breakdown under the late-bound linkage: seeds
+	// holding only the stack-bounds certificate, only the heap-effects
+	// certificate, or both (Certified == CertStackOnly + CertBoth).
+	// FractionHeap is the heap-effects fraction ((CertHeapOnly +
+	// CertBoth) / Seeds); -check ratchets it alongside Fraction.
+	CertStackOnly int     `json:"cert_stack_only,omitempty"`
+	CertHeapOnly  int     `json:"cert_heap_only,omitempty"`
+	CertBoth      int     `json:"cert_both,omitempty"`
+	FractionHeap  float64 `json:"fraction_heap,omitempty"`
+	// WriteFree counts late-bound seeds additionally proved write-free:
+	// their images take the elided Reset path.
+	WriteFree int `json:"write_free,omitempty"`
 	// Baseline is the first recorded measurement, kept for before/after
 	// comparison and as the -check ratchet floor.
 	Baseline *verifyBlock `json:"baseline,omitempty"`
@@ -72,6 +84,7 @@ func main() {
 	flag.Parse()
 
 	var admitted, certified, certifiedEarly, done atomic.Int64
+	var stackOnly, heapOnly, both, writeFree atomic.Int64
 	seeds := make(chan int64)
 	var wg sync.WaitGroup
 	for w := 0; w < *workers; w++ {
@@ -100,6 +113,19 @@ func main() {
 							certified.Add(1)
 						}
 					}
+					if !early {
+						switch {
+						case rep.CertStackBounds && rep.CertHeapEffects:
+							both.Add(1)
+						case rep.CertStackBounds:
+							stackOnly.Add(1)
+						case rep.CertHeapEffects:
+							heapOnly.Add(1)
+						}
+						if rep.CertHeapEffects && rep.WriteFree {
+							writeFree.Add(1)
+						}
+					}
 				}
 				if ok {
 					admitted.Add(1)
@@ -126,6 +152,11 @@ func main() {
 		Fraction:       frac(int(certified.Load()), *n),
 		CertifiedEarly: int(certifiedEarly.Load()),
 		FractionEarly:  frac(int(certifiedEarly.Load()), *n),
+		CertStackOnly:  int(stackOnly.Load()),
+		CertHeapOnly:   int(heapOnly.Load()),
+		CertBoth:       int(both.Load()),
+		FractionHeap:   frac(int(heapOnly.Load()+both.Load()), *n),
+		WriteFree:      int(writeFree.Load()),
 	}
 
 	var f fileShape
@@ -152,6 +183,8 @@ func main() {
 
 	fmt.Printf("certfrac: seeds %d: admitted %d, certified %d (%.4f late-bound, %.4f early-bound)\n",
 		cur.Seeds, cur.Admitted, cur.Certified, cur.Fraction, cur.FractionEarly)
+	fmt.Printf("certfrac: certificates: %d stack-only, %d heap-only, %d both (heap fraction %.4f, %d write-free)\n",
+		cur.CertStackOnly, cur.CertHeapOnly, cur.CertBoth, cur.FractionHeap, cur.WriteFree)
 	if cur.Baseline != nil && cur.Baseline != cur {
 		fmt.Printf("certfrac: recorded baseline: %.4f over %d seeds\n", cur.Baseline.Fraction, cur.Baseline.Seeds)
 	}
@@ -159,6 +192,11 @@ func main() {
 	if *check && prev != nil && cur.Fraction < prev.Fraction-1e-9 {
 		fmt.Fprintf(os.Stderr, "certfrac: FAIL: fraction %.4f regressed below recorded %.4f\n",
 			cur.Fraction, prev.Fraction)
+		os.Exit(1)
+	}
+	if *check && prev != nil && cur.FractionHeap < prev.FractionHeap-1e-9 {
+		fmt.Fprintf(os.Stderr, "certfrac: FAIL: heap fraction %.4f regressed below recorded %.4f\n",
+			cur.FractionHeap, prev.FractionHeap)
 		os.Exit(1)
 	}
 

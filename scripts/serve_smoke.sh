@@ -75,10 +75,11 @@ fi
 echo "serve-smoke: registry submit-or-hit OK (hash ${HASH%"${HASH#????????}"}…, 1 miss)"
 
 # Verifier admission split: the trivial program above is certified; a
-# heap-touching program is admitted but falls back to the checked table,
-# reporting its denial reason codes both in the /run response and in the
-# per-reason admission counters.
-UNCERT_BODY='{"modules":{"u":"module u; proc main(n) { var a = alloc(4); store(a, n); var v = load(a); dealloc(a); return v; }"},"entry":"u.main","args":[9]}'
+# program that stores through a caller-passed record pointer (a write the
+# summary analysis cannot place) is admitted but falls back to the checked
+# table, reporting its denial reason codes both in the /run response and
+# in the per-reason admission counters.
+UNCERT_BODY='{"modules":{"u":"module u; proc poke(p, v) { store(p, v); } proc main(n) { var a = alloc(4); poke(a, n); var v = load(a); dealloc(a); return v; }"},"entry":"u.main","args":[9]}'
 UNCERT="$(curl -fsS -X POST -d "$UNCERT_BODY" "$ADDR/run")"
 case "$UNCERT" in
     *'"results":[9]'*) ;;
@@ -89,7 +90,7 @@ case "$UNCERT" in
     *) echo "serve-smoke: uncertified /run carries no certReasons: $UNCERT" >&2; exit 1 ;;
 esac
 VMETRICS="$(curl -fsS "$ADDR/metrics")"
-V_CERT="$(printf '%s\n' "$VMETRICS" | awk '$1 == "fpc_verify_certified_total" {print $2}')"
+V_CERT="$(printf '%s\n' "$VMETRICS" | awk -F' ' '/^fpc_verify_certified_total\{cert="[a-z_]*"\}/ {s += $2} END {print s+0}')"
 V_UNCERT="$(printf '%s\n' "$VMETRICS" | awk -F' ' '/^fpc_verify_uncertified_total\{reason="[a-z-]*"\}/ {s += $2} END {print s+0}')"
 echo "serve-smoke: verify admission certified ${V_CERT:-0}, uncertified (by reason) $V_UNCERT"
 if [ "${V_CERT:-0}" -lt 1 ]; then
